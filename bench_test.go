@@ -1,0 +1,222 @@
+package hta
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the repository's ablations: `go test -bench=. -benchmem` regenerates
+// every experiment. Each benchmark reports the headline simulated
+// quantities as custom metrics (sim-seconds, core-seconds) so the
+// bench output doubles as the results table.
+
+import (
+	"strings"
+	"testing"
+
+	"hta/internal/experiments"
+)
+
+// metricName sanitizes run names into benchmark metric units (no
+// whitespace allowed).
+func metricName(parts ...string) string {
+	repl := strings.NewReplacer(" ", "", "(", "", ")", "", "%", "pct")
+	return repl.Replace(strings.Join(parts, "-"))
+}
+
+// BenchmarkFig2HPATargetSweep regenerates Fig. 2: the 200-job BLAST
+// workload under HPA at target CPU 10/50/99 % plus the ideal fleet.
+func BenchmarkFig2HPATargetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig2(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				b.ReportMetric(row.Runtime.Seconds(), metricName(row.Config, "runtime-sim-s"))
+			}
+			b.ReportMetric(rep.Ideal.Runtime.Seconds(), "Ideal-runtime-sim-s")
+		}
+	}
+}
+
+// BenchmarkFig4WorkerSizing regenerates Fig. 4: fine- vs
+// coarse-grained worker pods with and without known requirements.
+func BenchmarkFig4WorkerSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig4(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for j, row := range rep.Rows {
+				tag := []string{"a", "b", "c"}[j]
+				b.ReportMetric(row.Runtime.Seconds(), tag+"-runtime-sim-s")
+				b.ReportMetric(row.AvgBandwidth, tag+"-bandwidth-MBps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6InitLatency regenerates Fig. 6: ten cold-start probes
+// measuring the cluster's resource-initialization latency.
+func BenchmarkFig6InitLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig6(10, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.MeanSec, "mean-init-s")
+			b.ReportMetric(rep.StdSec, "std-init-s")
+		}
+	}
+}
+
+// BenchmarkFig10BlastWorkflow regenerates Fig. 10 (a, b and the
+// summary table): the multistage BLAST workflow under HPA-20, HPA-50
+// and HTA.
+func BenchmarkFig10BlastWorkflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig10(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				b.ReportMetric(row.Runtime.Seconds(), metricName(row.Autoscaler, "runtime-sim-s"))
+				b.ReportMetric(row.Waste, metricName(row.Autoscaler, "waste-core-s"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig11IOBound regenerates Fig. 11 (b and the summary
+// table): 200 I/O-intensive tasks under HPA-20, HPA-50 and HTA.
+func BenchmarkFig11IOBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig11(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				b.ReportMetric(row.Runtime.Seconds(), metricName(row.Autoscaler, "runtime-sim-s"))
+				b.ReportMetric(row.Shortage, metricName(row.Autoscaler, "shortage-core-s"))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFixedCycle regenerates ablation A1: HTA with the
+// live-measured initialization time versus fixed 30 s / 600 s cycles.
+func BenchmarkAblationFixedCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationFixedCycle(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.Full.Waste, "measured-waste-core-s")
+			b.ReportMetric(rep.FixedSlow.Waste, "fixed600s-waste-core-s")
+		}
+	}
+}
+
+// BenchmarkAblationNoCategories regenerates ablation A2: HTA with and
+// without per-category resource estimation.
+func BenchmarkAblationNoCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationNoCategories(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.FullUtil*100, "with-estimation-cpu-pct")
+			b.ReportMetric(rep.DisUtil*100, "without-estimation-cpu-pct")
+		}
+	}
+}
+
+// BenchmarkAblationHPAStabilization regenerates ablation A3: the HPA
+// scale-down stabilization window sweep.
+func BenchmarkAblationHPAStabilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHPAStabilization(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationQueueScaler regenerates ablation A4: a KEDA-style
+// queue-proportional scaler against HTA.
+func BenchmarkAblationQueueScaler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationQueueScaler(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.QPA.Waste, "qpa-waste-core-s")
+			b.ReportMetric(rep.HTA.Waste, "hta-waste-core-s")
+			b.ReportMetric(float64(rep.QPARequeues), "qpa-interrupted-dispatches")
+		}
+	}
+}
+
+// BenchmarkFullStackSmallWorkload measures the façade path end to
+// end: build a system, run 50 tasks under HTA, tear down.
+func BenchmarkFullStackSmallWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(SystemConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.RunTasks(UniformTasks(50, 60e9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != 50 {
+			b.Fatalf("completed = %d", res.Completed)
+		}
+		sys.Cluster().Stop()
+	}
+}
+
+// BenchmarkAblationDispatchPolicy regenerates ablation A5: the
+// dispatch-policy comparison at partial and saturated load.
+func BenchmarkAblationDispatchPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationDispatchPolicy(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rep.Rows) > 2 {
+			b.ReportMetric(rep.Rows[0].DeliveredMB, "firstfit-partial-MB")
+			b.ReportMetric(rep.Rows[2].DeliveredMB, "worstfit-partial-MB")
+		}
+	}
+}
+
+// BenchmarkSweepInitLatency regenerates sweep S1: autoscaler behaviour
+// as node-provisioning latency varies.
+func BenchmarkSweepInitLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepInitLatency(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamDiurnal regenerates stream S2: a two-hour diurnal
+// arrival stream under HPA-20% and HTA.
+func BenchmarkStreamDiurnal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Stream(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				b.ReportMetric(row.Waste, metricName(row.Autoscaler, "waste-core-s"))
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command htabench regenerates the paper's evaluation: every figure
+// and table of "Autoscaling High-Throughput Workloads on Container
+// Orchestrators" (CLUSTER 2020) plus the repository's own ablations,
+// all on the simulated stack.
+//
+// Usage:
+//
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hta/internal/experiments"
+	"hta/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream",
+		"comma-separated experiments to run")
+	csvDir := flag.String("csv", "", "directory to export per-run CSV series into")
+	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
+	flag.Parse()
+
+	selected := make(map[string]bool)
+	for _, r := range strings.Split(*runs, ",") {
+		selected[strings.TrimSpace(r)] = true
+	}
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	all := []experiment{
+		{"fig2", func() (fmt.Stringer, error) { return experiments.Fig2(*seed) }},
+		{"fig4", func() (fmt.Stringer, error) { return experiments.Fig4(*seed) }},
+		{"fig6", func() (fmt.Stringer, error) { return experiments.Fig6(10, *seed) }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10(*seed) }},
+		{"fig11", func() (fmt.Stringer, error) { return experiments.Fig11(*seed) }},
+		{"ablations", runAblations(*seed)},
+		{"sweeps", func() (fmt.Stringer, error) { return experiments.SweepInitLatency(*seed) }},
+		{"stream", func() (fmt.Stringer, error) { return experiments.Stream(*seed) }},
+	}
+
+	var page *report.Page
+	if *htmlOut != "" {
+		page = report.NewPage("HTA reproduction — experiment report")
+	}
+	failed := false
+	for _, ex := range all {
+		if !selected[ex.name] {
+			continue
+		}
+		start := time.Now()
+		rep, err := ex.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("==== %s (simulated in %v) ====\n%s\n", ex.name, time.Since(start).Round(time.Millisecond), rep)
+		if *csvDir != "" {
+			if d, ok := rep.(interface{ WriteCSVs(string) error }); ok {
+				if err := d.WriteCSVs(*csvDir); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: csv export: %v\n", ex.name, err)
+					failed = true
+				}
+			}
+		}
+		if page != nil {
+			if a, ok := rep.(experiments.PageAdder); ok {
+				a.AddToPage(page)
+			}
+		}
+	}
+	if page != nil && !failed {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := page.Render(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+		f.Close()
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runAblations(seed int64) func() (fmt.Stringer, error) {
+	return func() (fmt.Stringer, error) {
+		var b strings.Builder
+		a1, err := experiments.AblationFixedCycle(seed)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(a1.String())
+		b.WriteString("\n")
+		a2, err := experiments.AblationNoCategories(seed)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(a2.String())
+		b.WriteString("\n")
+		a3, err := experiments.AblationHPAStabilization(seed)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(a3.String())
+		b.WriteString("\n")
+		a4, err := experiments.AblationQueueScaler(seed)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(a4.String())
+		b.WriteString("\n")
+		a5, err := experiments.AblationDispatchPolicy(seed)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(a5.String())
+		return stringer{b.String()}, nil
+	}
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

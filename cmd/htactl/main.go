@@ -1,0 +1,154 @@
+// Command htactl executes an HTC workload on the simulated Kubernetes
+// cluster under a chosen autoscaler and reports the supply/demand
+// outcome — a laptop-scale dry run of a workload's scaling behaviour
+// before committing cloud money to it.
+//
+// The workload comes from a Makeflow file (-f) or a per-task trace
+// CSV (-trace, schema: category,exec_s,cpu_milli,memory_mb,disk_mb,
+// input_mb,output_mb,cores).
+//
+//	htactl -f workflow.mf                    # HTA (default)
+//	htactl -f workflow.mf -autoscaler hpa -target 0.2
+//	htactl -trace run.csv -autoscaler all    # compare all autoscalers
+//	htactl -f workflow.mf -exec-time 2m      # synthetic task duration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hta/internal/dag"
+	"hta/internal/experiments"
+	"hta/internal/flow"
+	"hta/internal/hpa"
+	"hta/internal/kubesim"
+	"hta/internal/makeflow"
+	"hta/internal/resources"
+	"hta/internal/workload"
+	"hta/internal/wq"
+)
+
+func main() {
+	log.SetFlags(0)
+	file := flag.String("f", "", "Makeflow workflow file")
+	trace := flag.String("trace", "", "task trace CSV (alternative to -f)")
+	scaler := flag.String("autoscaler", "hta", "autoscaler: hta, hpa, static or all")
+	target := flag.Float64("target", 0.2, "HPA target CPU utilization")
+	workers := flag.Int("workers", 10, "fleet size for -autoscaler static")
+	maxNodes := flag.Int("max-nodes", 20, "cluster node quota")
+	execTime := flag.Duration("exec-time", time.Minute, "simulated execution time per Makeflow task")
+	cpuMilli := flag.Int64("task-cpu", 900, "simulated busy millicores per Makeflow task")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if (*file == "") == (*trace == "") {
+		log.Fatal("htactl: provide exactly one of -f workflow.mf or -trace run.csv")
+	}
+	wl, desc, total, err := loadWorkload(*file, *trace, *execTime, *cpuMilli)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kube := kubesim.Config{InitialNodes: 3, MinNodes: 1, MaxNodes: *maxNodes, Seed: *seed}
+
+	names := []string{*scaler}
+	if *scaler == "all" {
+		names = []string{"hta", "hpa", "static"}
+	}
+	fmt.Printf("workload: %s (%d tasks)\n", desc, total)
+	for _, name := range names {
+		res, err := runOne(name, wl(), kube, *target, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s ===\n", name)
+		fmt.Printf("simulated runtime:     %.0fs\n", res.Runtime.Seconds())
+		fmt.Printf("tasks completed:       %d\n", res.Completed)
+		fmt.Printf("peak workers:          %.0f\n", res.Workers.Max())
+		fmt.Printf("mean CPU utilization:  %.1f%%\n", res.MeanCPUUtil*100)
+		fmt.Printf("accumulated waste:     %.0f core-s\n", res.AccumulatedWaste())
+		fmt.Printf("accumulated shortage:  %.0f core-s\n", res.AccumulatedShortage())
+		if res.Requeues > 0 {
+			fmt.Printf("interrupted dispatches: %d\n", res.Requeues)
+		}
+		fmt.Printf("worker pool over time:\n%s", res.Workers.ASCII(res.End, 10, 44))
+	}
+}
+
+// loadWorkload returns a factory (each run needs a fresh graph), a
+// description and the task count.
+func loadWorkload(file, trace string, execTime time.Duration, cpuMilli int64) (func() experiments.Workload, string, int, error) {
+	if trace != "" {
+		f, err := os.Open(trace)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		defer f.Close()
+		specs, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		factory := func() experiments.Workload {
+			wl, err := experiments.Flat(specs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return wl
+		}
+		return factory, trace, len(specs), nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	parsed, err := makeflow.ParseString(string(data))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	total := parsed.Graph.Len()
+	factory := func() experiments.Workload {
+		// Re-parse for a fresh runtime state per run.
+		p, err := makeflow.ParseString(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		specFor := func(n dag.Node) wq.TaskSpec {
+			return wq.TaskSpec{
+				Command:   n.Command,
+				Category:  n.Category,
+				Resources: n.Resources,
+				Profile: wq.Profile{
+					ExecDuration: execTime,
+					UsedCPUMilli: cpuMilli,
+					UsedMemoryMB: 512,
+				},
+			}
+		}
+		return experiments.Workload{Graph: p.Graph, Spec: flow.SpecFunc(specFor)}
+	}
+	return factory, file, total, nil
+}
+
+func runOne(name string, wl experiments.Workload, kube kubesim.Config, target float64, workers int) (*experiments.RunResult, error) {
+	switch name {
+	case "hta":
+		return experiments.RunHTA("hta", wl, experiments.HTAOptions{Kube: kube})
+	case "hpa":
+		return experiments.RunHPA("hpa", wl, experiments.HPAOptions{
+			Kube: kube,
+			HPA: hpa.Config{
+				TargetCPUUtilization: target,
+				MaxReplicas:          kube.MaxNodes * 3,
+			},
+			PodResources: resources.New(1, 4096, 10000),
+		})
+	case "static":
+		return experiments.RunStatic("static", wl, experiments.StaticOptions{
+			Workers:         workers,
+			WorkerResources: resources.New(3, 12288, 100000),
+		})
+	}
+	return nil, fmt.Errorf("htactl: unknown autoscaler %q (want hta, hpa, static or all)", name)
+}

@@ -1,0 +1,123 @@
+// Command htaoperator runs the HTA feedback loop against a real
+// Kubernetes API server: it hosts the TCP Work Queue master, watches
+// its worker pods, measures cold-start initialization times, and
+// creates/drains worker pods per Algorithm 1. Worker pods are
+// expected to run `wqworker -master $WQ_MASTER -id $WQ_WORKER_ID`.
+//
+//	htaoperator -kube-api https://host:6443 -token $TOKEN \
+//	    -image registry/wq-worker:latest -listen 0.0.0.0:9123 \
+//	    -f workflow.mf
+//
+// With -f the operator executes the workflow and exits when it
+// completes; without it, the operator serves until interrupted and
+// tasks can be submitted by other processes sharing the master.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hta/internal/dag"
+	"hta/internal/flow"
+	"hta/internal/kubeclient"
+	"hta/internal/makeflow"
+	"hta/internal/operator"
+	"hta/internal/resources"
+	"hta/internal/wq"
+	"hta/internal/wq/wire"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	kubeAPI := flag.String("kube-api", "", "Kubernetes API server URL (required)")
+	namespace := flag.String("namespace", "default", "namespace for worker pods")
+	token := flag.String("token", "", "bearer token for the API server")
+	listen := flag.String("listen", "0.0.0.0:9123", "Work Queue master listen address")
+	advertise := flag.String("advertise", "", "master address advertised to worker pods (default: listen address)")
+	image := flag.String("image", "", "worker container image (required)")
+	cores := flag.Float64("worker-cores", 3, "per-worker cores")
+	memory := flag.Int64("worker-memory", 12288, "per-worker memory (MB)")
+	minWorkers := flag.Int("min-workers", 0, "worker-pod floor")
+	maxWorkers := flag.Int("max-workers", 20, "worker-pod quota")
+	initial := flag.Int("initial-workers", 3, "warm-up fleet size")
+	cycle := flag.Duration("cycle", 30*time.Second, "planning interval")
+	file := flag.String("f", "", "Makeflow workflow to execute (optional)")
+	flag.Parse()
+
+	if *kubeAPI == "" || *image == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client, err := kubeclient.New(kubeclient.Config{
+		BaseURL:     *kubeAPI,
+		Namespace:   *namespace,
+		BearerToken: *token,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	master, err := wire.ListenConfig(*listen, wire.MasterConfig{HeartbeatTimeout: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer master.Close()
+	log.Printf("master listening on %s", master.Addr())
+
+	op, err := operator.New(operator.Config{
+		Client:           client,
+		Master:           master,
+		MasterAddr:       *advertise,
+		WorkerImage:      *image,
+		WorkerResources:  resources.New(*cores, *memory, 100000),
+		InitialWorkers:   *initial,
+		MinWorkers:       *minWorkers,
+		MaxWorkers:       *maxWorkers,
+		Cycle:            *cycle,
+		InitTimeFallback: 160 * time.Second,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var done atomic.Bool
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parsed, err := makeflow.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		adapter := wire.NewFlowAdapter(master)
+		runner := flow.NewRunner(parsed.Graph, adapter, func(n dag.Node) wq.TaskSpec {
+			return wq.TaskSpec{Command: n.Command, Category: n.Category, Resources: n.Resources}
+		})
+		runner.OnAllDone(func() {
+			log.Printf("workflow complete (%d tasks)", parsed.Graph.Len())
+			done.Store(true)
+			cancel()
+		})
+		runner.Start()
+		log.Printf("executing %s (%d tasks)", *file, parsed.Graph.Len())
+	}
+
+	err = op.Run(ctx)
+	if done.Load() || ctx.Err() != nil {
+		s := master.Stats()
+		log.Printf("shutting down: done=%d workers=%d", s.Done, s.Workers)
+		return
+	}
+	log.Fatal(err)
+}

@@ -1,0 +1,117 @@
+// Command wqmaster runs a Work Queue master over TCP. Point it at a
+// Makeflow file and start wqworker processes against its address; the
+// master walks the workflow DAG, dispatches ready rules as shell
+// commands and exits when the workflow completes.
+//
+//	wqmaster -addr 127.0.0.1:9123 -f workflow.mf
+//	wqmaster -exec 'echo hello' -n 10
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"hta/internal/dag"
+	"hta/internal/flow"
+	"hta/internal/makeflow"
+	"hta/internal/resources"
+	"hta/internal/wq"
+	"hta/internal/wq/wire"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	addr := flag.String("addr", "127.0.0.1:9123", "listen address")
+	file := flag.String("f", "", "Makeflow workflow file to execute")
+	execCmd := flag.String("exec", "", "run this shell command as a bag of tasks instead of a workflow")
+	n := flag.Int("n", 1, "number of copies of -exec to run")
+	cores := flag.Float64("task-cores", 1, "declared cores per -exec task")
+	flag.Parse()
+
+	if *file == "" && *execCmd == "" {
+		log.Fatal("wqmaster: provide -f workflow.mf or -exec 'command'")
+	}
+
+	m, err := wire.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	log.Printf("master listening on %s", m.Addr())
+
+	g, specFor, err := buildWorkload(*file, *execCmd, *n, *cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	adapter := wire.NewFlowAdapter(m)
+	var mu sync.Mutex
+	completed := 0
+	done := make(chan struct{})
+	adapter.OnComplete(func(r wq.Result) {
+		mu.Lock()
+		completed++
+		c := completed
+		mu.Unlock()
+		log.Printf("task %s finished on %s in %v (%d/%d)",
+			r.Task.Tag, r.Task.WorkerID, r.Task.ExecWall, c, g.Len())
+	})
+	runner := flow.NewRunner(g, adapter, specFor)
+	runner.OnAllDone(func() { close(done) })
+	runner.Start()
+
+	start := time.Now()
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			if err := runner.Err(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("workflow complete: %d tasks in %v", g.Len(), time.Since(start).Round(time.Millisecond))
+			return
+		case <-ticker.C:
+			s := m.Stats()
+			log.Printf("status: waiting=%d running=%d done=%d workers=%d",
+				s.Waiting, s.Running, s.Done, s.Workers)
+		}
+	}
+}
+
+func buildWorkload(file, execCmd string, n int, cores float64) (*dag.Graph, flow.SpecFunc, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		parsed, err := makeflow.Parse(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return parsed.Graph, func(node dag.Node) wq.TaskSpec {
+			return wq.TaskSpec{
+				Command:   node.Command,
+				Category:  node.Category,
+				Resources: node.Resources,
+			}
+		}, nil
+	}
+	specs := make([]wq.TaskSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, wq.TaskSpec{
+			Command:   execCmd,
+			Category:  "exec",
+			Resources: resources.Vector{MilliCPU: int64(cores * 1000)},
+		})
+	}
+	g, fn, err := flow.FromSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, fn, nil
+}

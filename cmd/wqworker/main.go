@@ -1,0 +1,49 @@
+// Command wqworker runs a Work Queue worker over TCP: it connects to
+// a wqmaster, advertises its resource capacity, executes the task
+// commands it receives in a shell, and exits when drained or
+// disconnected.
+//
+//	wqworker -master 127.0.0.1:9123 -id worker-1 -cores 4 -memory 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/wq/wire"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	master := flag.String("master", "127.0.0.1:9123", "master address")
+	id := flag.String("id", "", "worker identity (default: worker-<pid>)")
+	cores := flag.Float64("cores", 1, "advertised cores")
+	memory := flag.Int64("memory", 1024, "advertised memory (MB)")
+	disk := flag.Int64("disk", 10240, "advertised disk (MB)")
+	shell := flag.String("shell", "/bin/sh", "shell for task commands")
+	timeout := flag.Duration("task-timeout", 0, "per-task execution timeout (0 = none)")
+	flag.Parse()
+
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w, err := wire.Connect(*master, wire.WorkerConfig{
+		ID:          *id,
+		Capacity:    resources.New(*cores, *memory, *disk),
+		Shell:       *shell,
+		TaskTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker %s connected to %s (%.1f cores, %d MB)", *id, *master, *cores, *memory)
+	start := time.Now()
+	if err := w.Wait(); err != nil {
+		log.Fatalf("worker exited after %v: %v", time.Since(start).Round(time.Second), err)
+	}
+	log.Printf("worker drained cleanly after %v", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,57 @@
+package hta_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta"
+)
+
+// The façade runs an entire HTC workload — cluster, scheduler and
+// autoscaler — in virtual time.
+func ExampleSystem_RunTasks() {
+	sys, err := hta.NewSystem(hta.SystemConfig{
+		Cluster: hta.ClusterConfig{InitialNodes: 3, MaxNodes: 10, Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Cluster().Stop()
+
+	res, err := sys.RunTasks(hta.UniformTasks(30, time.Minute))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("all done:", res.Runtime > 0)
+	// Output:
+	// completed: 30
+	// all done: true
+}
+
+// Makeflow files execute directly against the simulated stack.
+func ExampleSystem_RunMakeflow() {
+	sys, err := hta.NewSystem(hta.SystemConfig{
+		Cluster: hta.ClusterConfig{InitialNodes: 3, MaxNodes: 5, Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Cluster().Stop()
+
+	wf := `
+split.0 split.1: input
+	split input 2
+out.0: split.0
+	work split.0
+out.1: split.1
+	work split.1
+`
+	res, err := sys.RunMakeflow(strings.NewReader(wf), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks:", res.Completed)
+	// Output: tasks: 3
+}

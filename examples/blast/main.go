@@ -1,0 +1,72 @@
+// Blast: the paper's motivating bioinformatics scenario (Fig. 10). A
+// three-stage BLAST workflow — 200 split/align tasks, a 34-task
+// middle stage, 164 final-stage tasks — runs twice on the same
+// simulated 20-node cluster: once under the Kubernetes Horizontal Pod
+// Autoscaler at a 20% CPU target, once under HTA. The comparison
+// shows HTA following the workflow's stage structure (scaling down
+// through the narrow middle stage) where HPA stays pinned at the
+// peak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hta/internal/experiments"
+	"hta/internal/hpa"
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/workload"
+)
+
+func main() {
+	kube := kubesim.Config{InitialNodes: 3, MinNodes: 1, MaxNodes: 20, Seed: 1}
+
+	// HPA baseline: one-core worker pods, tasks with declared
+	// requirements.
+	p := workload.DefaultMultistage()
+	p.Declared = true
+	g, spec, err := p.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hpaRes, err := experiments.RunHPA("HPA-20%", experiments.Workload{Graph: g, Spec: spec},
+		experiments.HPAOptions{
+			Kube:         kube,
+			PodResources: resources.New(1, 4096, 20000),
+			HPA: hpa.Config{
+				TargetCPUUtilization: 0.20,
+				MaxReplicas:          60,
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HTA: requirements unknown; the warm-up stage measures each
+	// category from its first completed task.
+	p2 := workload.DefaultMultistage()
+	g2, spec2, err := p2.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	htaRes, err := experiments.RunHTA("HTA", experiments.Workload{Graph: g2, Spec: spec2},
+		experiments.HTAOptions{Kube: kube})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Three-stage BLAST workflow (200 / 34 / 164 tasks) on a 20-node cluster")
+	fmt.Printf("%-10s %10s %16s %18s\n", "Autoscaler", "Runtime", "Accum. Waste", "Accum. Shortage")
+	for _, r := range []*experiments.RunResult{hpaRes, htaRes} {
+		fmt.Printf("%-10s %9.0fs %11.0f core-s %13.0f core-s\n",
+			r.Name, r.Runtime.Seconds(), r.AccumulatedWaste(), r.AccumulatedShortage())
+	}
+	fmt.Printf("\nHPA-20%% supply (cores) — pinned at the peak through the narrow stage:\n%s",
+		hpaRes.Account.Supply.ASCII(hpaRes.End, 12, 44))
+	fmt.Printf("\nHTA supply (cores) — follows the stage structure:\n%s",
+		htaRes.Account.Supply.ASCII(htaRes.End, 12, 44))
+	fmt.Printf("\nTrade-off: HTA ran %.0f%% longer but wasted %.1f× less resource.\n",
+		100*(htaRes.Runtime.Seconds()/hpaRes.Runtime.Seconds()-1),
+		hpaRes.AccumulatedWaste()/htaRes.AccumulatedWaste())
+}

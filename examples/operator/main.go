@@ -1,0 +1,141 @@
+// Operator: the deployable HTA stack on a laptop. An in-process fake
+// Kubernetes API server (internal/kubeclient/kubetest) stands in for
+// the cluster, a goroutine plays the kubelet — turning created worker
+// pods into real TCP Work Queue workers that execute real shell
+// commands — and the real operator (internal/operator, the same code
+// cmd/htaoperator deploys) watches pods, measures cold starts and
+// scales the fleet per Algorithm 1.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hta/internal/kubeclient"
+	"hta/internal/kubeclient/kubetest"
+	"hta/internal/operator"
+	"hta/internal/resources"
+	"hta/internal/wq/wire"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+
+	// The "cluster": a fake API server.
+	apiServer := kubetest.NewServer()
+	defer apiServer.Close()
+	client, err := kubeclient.New(kubeclient.Config{BaseURL: apiServer.URL()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fake API server at %s\n", apiServer.URL())
+
+	// The Work Queue master the operator hosts.
+	master, err := wire.ListenConfig("127.0.0.1:0", wire.MasterConfig{HeartbeatTimeout: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer master.Close()
+	fmt.Printf("work queue master at %s\n", master.Addr())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The "kubelet": watches worker pods, marks them Running after a
+	// simulated 300 ms cold start, and connects a real TCP worker for
+	// each — exactly what the container entrypoint does in a real
+	// deployment.
+	events, err := client.WatchPods(ctx, map[string]string{"app": "wq-worker"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for ev := range events {
+			if ev.Type != kubeclient.WatchAdded {
+				continue
+			}
+			pod := ev.Pod
+			go func() {
+				time.Sleep(300 * time.Millisecond) // provisioning + image pull
+				if apiServer.SetPodPhase("default", pod.Metadata.Name, kubeclient.PodRunning) != nil {
+					return
+				}
+				req := pod.Spec.Containers[0].Resources.Requests
+				cpu, _ := kubeclient.ParseCPUQuantity(req["cpu"])
+				mem, _ := kubeclient.ParseMemoryQuantity(req["memory"])
+				w, err := wire.Connect(master.Addr(), wire.WorkerConfig{
+					ID:       pod.Metadata.Name,
+					Capacity: resources.Vector{MilliCPU: cpu, MemoryMB: mem, DiskMB: 10000},
+				})
+				if err == nil {
+					fmt.Printf("  kubelet: pod %s running, worker connected\n", pod.Metadata.Name)
+					w.Wait()
+				}
+			}()
+		}
+	}()
+
+	// The operator.
+	op, err := operator.New(operator.Config{
+		Client:           client,
+		Master:           master,
+		WorkerImage:      "wq-worker:latest",
+		WorkerResources:  resources.New(2, 2048, 10000),
+		InitialWorkers:   1,
+		MaxWorkers:       5,
+		Cycle:            250 * time.Millisecond,
+		InitTimeFallback: 500 * time.Millisecond,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go op.Run(ctx)
+
+	// Submit a burst of real shell tasks.
+	const n = 12
+	done := make(chan struct{})
+	completed := 0
+	master.OnComplete(func(r wire.Result) {
+		fmt.Printf("  task %d on %s: %q (%.0f%% CPU)\n",
+			r.Task.ID, r.Task.WorkerID, firstLine(r.Task.Output), float64(r.Task.MeasuredCPUMilli)/10)
+		completed++
+		if completed == n {
+			close(done)
+		}
+	})
+	for i := 0; i < n; i++ {
+		master.Submit(fmt.Sprintf("sleep 0.5 && echo result-%d", i), "demo", resources.New(1, 256, 1))
+	}
+	fmt.Printf("submitted %d tasks; operator scaling...\n", n)
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		log.Fatalf("timed out; stats: %+v", master.Stats())
+	}
+	initTime, measured := op.InitTime()
+	fmt.Printf("all %d tasks complete; measured cold start %v (measured=%v)\n",
+		n, initTime.Round(time.Millisecond), measured)
+
+	// Watch the drain: the operator releases the idle fleet.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if apiServer.PodCount() == 0 {
+			fmt.Println("fleet drained: all worker pods deleted")
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("pods remaining at exit: %d\n", apiServer.PodCount())
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

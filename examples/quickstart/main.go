@@ -1,0 +1,46 @@
+// Quickstart: run a bag of 100 one-minute tasks on a simulated
+// Kubernetes cluster under the High-Throughput Autoscaler and print
+// what the autoscaler did. Everything runs in virtual time, so this
+// finishes in milliseconds of wall clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hta"
+)
+
+func main() {
+	sys, err := hta.NewSystem(hta.SystemConfig{
+		Cluster: hta.ClusterConfig{
+			InitialNodes: 3,
+			MaxNodes:     10,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+
+	// 100 tasks of ~1 minute each with *unknown* resource
+	// requirements: HTA probes the first one, learns the category's
+	// consumption, and packs the rest.
+	res, err := sys.RunTasks(hta.UniformTasks(100, time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload runtime:      %.0fs (virtual)\n", res.Runtime.Seconds())
+	fmt.Printf("tasks completed:       %d\n", res.Completed)
+	fmt.Printf("peak workers:          %d\n", res.PeakWorkers)
+	fmt.Printf("accumulated waste:     %.0f core-s\n", res.AccumulatedWasteCoreSeconds)
+	fmt.Printf("accumulated shortage:  %.0f core-s\n", res.AccumulatedShortageCoreSeconds)
+	if len(res.InitTimeSamples) > 0 {
+		fmt.Printf("measured node init:    %.0fs (latest)\n",
+			res.InitTimeSamples[len(res.InitTimeSamples)-1].Seconds())
+	}
+	end := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC).Add(res.Runtime)
+	fmt.Printf("\nworker-pool supply over time (cores):\n%s", res.Supply.ASCII(end, 12, 44))
+}

@@ -1,0 +1,3 @@
+module hta
+
+go 1.22

@@ -1,0 +1,180 @@
+package hta
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hta/internal/flow"
+)
+
+func TestSystemRunTasks(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	res, err := sys.RunTasks(UniformTasks(20, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+	if res.Runtime <= 0 {
+		t.Error("no runtime recorded")
+	}
+	if res.PeakWorkers < 3 {
+		t.Errorf("peak workers = %d", res.PeakWorkers)
+	}
+	if res.Supply == nil || res.Waste == nil {
+		t.Error("missing series")
+	}
+	if res.AccumulatedWasteCoreSeconds < 0 || res.AccumulatedShortageCoreSeconds < 0 {
+		t.Error("negative integrals")
+	}
+}
+
+func TestSystemRunMakeflow(t *testing.T) {
+	const wf = `
+CATEGORY=prep
+CORES=1
+MEMORY=1024
+stage.in: raw
+	prep raw > stage.in
+
+CATEGORY=work
+CORES=1
+MEMORY=1024
+out.0: stage.in
+	work stage.in 0
+out.1: stage.in
+	work stage.in 1
+`
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	res, err := sys.RunMakeflow(strings.NewReader(wf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Errorf("completed = %d, want 3", res.Completed)
+	}
+	// prep must run before work: makespan ≥ 2 minutes of the default
+	// profile.
+	if res.Runtime < 2*time.Minute {
+		t.Errorf("runtime = %v, want ≥ 2m (dependency order)", res.Runtime)
+	}
+}
+
+func TestSystemRunMakeflowParseError(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	if _, err := sys.RunMakeflow(strings.NewReader("\tindented command\n"), nil); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestSystemCustomCluster(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cluster:          ClusterConfig{InitialNodes: 2, MaxNodes: 4, Seed: 9},
+		Autoscaler:       AutoscalerConfig{InitialWorkers: 2},
+		MasterEgressMBps: 500,
+		StreamContention: 0.97,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	if got := sys.Cluster().ReadyNodes(); got != 2 {
+		t.Errorf("nodes = %d", got)
+	}
+	specs := BlastWorkload(10).Specs()
+	res, err := sys.RunTasks(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+}
+
+func TestWorkloadGeneratorsExposed(t *testing.T) {
+	if got := len(BlastWorkload(7).Specs()); got != 7 {
+		t.Errorf("blast specs = %d", got)
+	}
+	if got := len(IOBoundWorkload().Specs()); got != 200 {
+		t.Errorf("io specs = %d", got)
+	}
+	g, _, err := MultistageWorkload().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 398 {
+		t.Errorf("multistage nodes = %d", g.Len())
+	}
+}
+
+func TestParseMakeflowExposed(t *testing.T) {
+	res, err := ParseMakeflow(strings.NewReader("out: in\n\tcmd\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Len() != 1 {
+		t.Errorf("len = %d", res.Graph.Len())
+	}
+}
+
+func TestNewResources(t *testing.T) {
+	v := NewResources(2, 4096, 100)
+	if v.MilliCPU != 2000 || v.MemoryMB != 4096 || v.DiskMB != 100 {
+		t.Errorf("vector = %v", v)
+	}
+}
+
+func TestRunWorkflowTimeout(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cluster: ClusterConfig{InitialNodes: 1, MaxNodes: 1, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	// One enormous task that can never be placed (exceeds any node).
+	specs := []TaskSpec{{
+		Category:  "huge",
+		Resources: NewResources(64, 1, 1),
+	}}
+	g, fn, err := flow.FromSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWorkflow(g, fn, time.Hour); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestSystemStatus(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Cluster().Stop()
+	st := sys.Status()
+	if st.Stage != "warm-up" {
+		t.Errorf("stage = %q", st.Stage)
+	}
+	if _, err := sys.RunTasks(UniformTasks(5, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	st = sys.Status()
+	if st.Stage != "done" || st.Completed != 5 {
+		t.Errorf("final status = %+v", st)
+	}
+}

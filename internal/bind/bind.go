@@ -1,0 +1,42 @@
+// Package bind glues the pod world to the Work Queue world for
+// scenarios where something other than HTA owns the worker pods (the
+// HPA and queue-proportional baselines, and tests).
+package bind
+
+import (
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/wq"
+)
+
+// Workers connects a cluster's pods to a master: every matching pod that reaches Running joins
+// the master as a worker with the pod's requested resources, reports
+// its live usage to the metrics server, and is disconnected — with
+// its running tasks requeued — when the pod is deleted.
+func Workers(cluster *kubesim.Cluster, master *wq.Master, selector map[string]string) {
+	connected := make(map[string]bool)
+	cluster.OnPod(func(ev kubesim.PodWatchEvent) {
+		name := ev.Pod.Name
+		if !ev.Pod.MatchesSelector(selector) {
+			return
+		}
+		switch {
+		case ev.Type == kubesim.Modified && ev.Reason == kubesim.ReasonStarted:
+			if connected[name] {
+				return
+			}
+			if err := master.AddWorker(name, ev.Pod.Resources); err != nil {
+				return
+			}
+			connected[name] = true
+			_ = cluster.SetPodUsage(name, func() resources.Vector {
+				return master.WorkerUsage(name)
+			})
+		case ev.Type == kubesim.Deleted:
+			if connected[name] {
+				delete(connected, name)
+				_ = master.KillWorker(name)
+			}
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/wq"
+)
+
+// BenchmarkEstimateScale measures Algorithm 1 on a busy snapshot:
+// 20 workers, 60 running tasks, 300 waiting.
+func BenchmarkEstimateScale(b *testing.B) {
+	in := EstimateInput{
+		Now:            t0,
+		InitTime:       160 * time.Second,
+		DefaultCycle:   30 * time.Second,
+		WorkerTemplate: nodeCap,
+		Estimator: &mapEstimator{
+			res: map[string]resources.Vector{"c": resources.New(1, 3800, 0)},
+			dur: map[string]time.Duration{"c": 300 * time.Second},
+		},
+	}
+	for i := 0; i < 20; i++ {
+		in.Workers = append(in.Workers, WorkerInfo{ID: fmt.Sprintf("w%d", i), Capacity: nodeCap})
+	}
+	alloc := resources.New(1, 3800, 0)
+	for i := 0; i < 60; i++ {
+		in.Running = append(in.Running, wq.Task{
+			TaskSpec:  wq.TaskSpec{Category: "c"},
+			WorkerID:  fmt.Sprintf("w%d", i%20),
+			StartedAt: t0.Add(-time.Duration(i) * time.Second),
+			Allocated: alloc,
+		})
+	}
+	in.Waiting = waiting(300, "c")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec := EstimateScale(in)
+		if dec.ScaleChange == 0 && dec.UnplacedWaiting == 0 {
+			b.Fatal("unexpected trivial decision")
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/monitor"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// Config tunes the HTA middleware.
+type Config struct {
+	// WorkerImage is the worker-pod container image (default
+	// "wq-worker").
+	WorkerImage string
+	// MasterImage is the master container image (default
+	// "wq-master").
+	MasterImage string
+	// InitialWorkers is the warm-up worker-pod count (default 3,
+	// matching the paper's initial 3-node cluster).
+	InitialWorkers int
+	// MaxWorkers caps the worker-pod pool (default: the cluster's
+	// MaxNodes quota).
+	MaxWorkers int
+	// DefaultCycle is the resize interval while supply and demand
+	// are balanced (default 30 s).
+	DefaultCycle time.Duration
+	// InitTimeFallback seeds the initialization-time estimate before
+	// the first live measurement (default 160 s, the paper's
+	// observed GKE latency).
+	InitTimeFallback time.Duration
+	// Monitor configures the per-category resource estimator.
+	Monitor monitor.Config
+	// DeployMaster controls whether HTA creates the master
+	// StatefulSet and its Services on the cluster (default true).
+	DeployMaster *bool
+	// DisableInitFeedback (ablation A1) makes HTA ignore measured
+	// initialization times and always plan with InitTimeFallback.
+	DisableInitFeedback bool
+	// DisableEstimator (ablation A2) turns off per-category resource
+	// estimation: tasks with unknown requirements are dispatched
+	// conservatively (one per worker) for the whole run and warm-up
+	// holdback is skipped.
+	DisableEstimator bool
+}
+
+func (c Config) withDefaults(cluster *kubesim.Cluster) Config {
+	if c.WorkerImage == "" {
+		c.WorkerImage = "wq-worker"
+	}
+	if c.MasterImage == "" {
+		c.MasterImage = "wq-master"
+	}
+	if c.InitialWorkers == 0 {
+		c.InitialWorkers = 3
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = cluster.Config().MaxNodes
+	}
+	if c.DefaultCycle == 0 {
+		c.DefaultCycle = 30 * time.Second
+	}
+	if c.InitTimeFallback == 0 {
+		c.InitTimeFallback = 160 * time.Second
+	}
+	if c.DeployMaster == nil {
+		yes := true
+		c.DeployMaster = &yes
+	}
+	return c
+}
+
+// workerPodState tracks each worker pod HTA manages.
+type workerPodState int
+
+const (
+	podCreating workerPodState = iota // created, worker not yet connected
+	podActive                         // worker connected to the master
+	podDraining                       // drain requested
+)
+
+// Autoscaler is the HTA middleware: it deploys the Work Queue
+// framework on the cluster, relays workflow tasks to the master
+// (holding back all but one probe task per unmeasured category during
+// warm-up), and runs the feedback resize loop.
+type Autoscaler struct {
+	eng     *simclock.Engine
+	cluster *kubesim.Cluster
+	master  *wq.Master
+	mon     *monitor.Monitor
+	tracker *LifecycleTracker
+	cfg     Config
+
+	pods   map[string]workerPodState
+	podSeq int
+
+	held        map[string][]wq.TaskSpec // category -> held task specs
+	probeActive map[string]bool
+
+	cycleTimer    *simclock.Timer
+	started       bool
+	shutdown      bool
+	cleaned       bool
+	everSubmitted bool
+	warmupOver    bool
+	onDone        func()
+
+	// Decisions records every resize decision for observability.
+	Decisions []DecisionRecord
+}
+
+// DecisionRecord is one resize decision with its timestamp.
+type DecisionRecord struct {
+	At time.Time
+	Decision
+}
+
+// workerLabels mark the pods HTA manages.
+func workerLabels() map[string]string {
+	return map[string]string{"app": "wq-worker", "managed-by": "hta"}
+}
+
+// New wires an HTA instance to a cluster and a master. Call Start to
+// deploy and begin autoscaling.
+func New(eng *simclock.Engine, cluster *kubesim.Cluster, master *wq.Master, cfg Config) *Autoscaler {
+	cfg = cfg.withDefaults(cluster)
+	a := &Autoscaler{
+		eng:         eng,
+		cluster:     cluster,
+		master:      master,
+		mon:         monitor.New(cfg.Monitor),
+		cfg:         cfg,
+		pods:        make(map[string]workerPodState),
+		held:        make(map[string][]wq.TaskSpec),
+		probeActive: make(map[string]bool),
+	}
+	a.tracker = NewLifecycleTracker(cluster, workerLabels(), cfg.InitTimeFallback)
+	if !cfg.DisableEstimator {
+		master.SetEstimator(a.mon)
+	}
+	master.OnComplete(a.onTaskComplete)
+	cluster.OnPod(a.onPodEvent)
+	return a
+}
+
+// Monitor exposes the per-category estimator (for reporting).
+func (a *Autoscaler) Monitor() *monitor.Monitor { return a.mon }
+
+// Tracker exposes the initialization-time tracker.
+func (a *Autoscaler) Tracker() *LifecycleTracker { return a.tracker }
+
+// Start runs the warm-up stage: deploy the master StatefulSet and its
+// services, create the initial worker pods, and begin the resize
+// loop.
+func (a *Autoscaler) Start() error {
+	if a.started {
+		return fmt.Errorf("hta: Start called twice")
+	}
+	a.started = true
+	if *a.cfg.DeployMaster {
+		err := a.cluster.CreateStatefulSet(kubesim.StatefulSet{
+			Name:     "wq-master",
+			Replicas: 1,
+			Template: kubesim.PodSpec{
+				Image:  a.cfg.MasterImage,
+				Labels: map[string]string{"app": "wq-master"},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for _, svc := range []kubesim.Service{
+			{Name: "wq-master", Selector: map[string]string{"app": "wq-master"}, Port: 9123},
+			{Name: "wq-master-external", Selector: map[string]string{"app": "wq-master"}, Port: 9123},
+		} {
+			if err := a.cluster.CreateService(svc); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < a.cfg.InitialWorkers; i++ {
+		a.createWorkerPod()
+	}
+	a.scheduleNext(a.cfg.DefaultCycle)
+	return nil
+}
+
+// Submit relays a workflow task toward the master. During the
+// warm-up stage — until the first task of the workload completes —
+// tasks of a category with neither declared resources nor completed
+// measurements are held back behind a single probe task (paper §V-C
+// stage 1: "HTA sends out only a portion of jobs with one job per
+// category"); the rest of the category is released when its probe
+// completes. After warm-up, unknown tasks go straight to the master,
+// where the first of each new category still runs exclusively and is
+// measured (paper §IV-A).
+func (a *Autoscaler) Submit(spec wq.TaskSpec) int {
+	a.everSubmitted = true
+	if a.cfg.DisableEstimator || a.warmupOver || !spec.Resources.IsZero() || a.mon.Known(spec.Category) {
+		return a.master.Submit(spec)
+	}
+	if !a.probeActive[spec.Category] {
+		a.probeActive[spec.Category] = true
+		return a.master.Submit(spec)
+	}
+	a.held[spec.Category] = append(a.held[spec.Category], spec)
+	return 0
+}
+
+// HeldTasks returns how many tasks are held back awaiting category
+// measurements.
+func (a *Autoscaler) HeldTasks() int {
+	n := 0
+	for _, hs := range a.held {
+		n += len(hs)
+	}
+	return n
+}
+
+// OnComplete subscribes to task completions (delegates to the
+// master; HTA's own bookkeeping runs first).
+func (a *Autoscaler) OnComplete(fn func(wq.Result)) { a.master.OnComplete(fn) }
+
+// Shutdown enters the clean-up stage: once the queue drains, all
+// workers are drained, the deployment units are deleted, and onDone
+// fires.
+func (a *Autoscaler) Shutdown(onDone func()) {
+	a.shutdown = true
+	a.onDone = onDone
+	a.maybeCleanup()
+}
+
+func (a *Autoscaler) onTaskComplete(r wq.Result) {
+	a.mon.Observe(r.Task)
+	a.warmupOver = true
+	// Release any held tasks of the now-measured category.
+	if hs := a.held[r.Task.Category]; len(hs) > 0 {
+		delete(a.held, r.Task.Category)
+		for _, spec := range hs {
+			a.master.Submit(spec)
+		}
+	}
+	a.maybeCleanup()
+}
+
+func (a *Autoscaler) maybeCleanup() {
+	if !a.shutdown || a.cleaned {
+		return
+	}
+	s := a.master.Stats()
+	if s.Waiting > 0 || s.Running > 0 || a.HeldTasks() > 0 {
+		return
+	}
+	a.cleaned = true
+	if a.cycleTimer != nil {
+		a.cycleTimer.Stop()
+		a.cycleTimer = nil
+	}
+	for _, name := range a.sortedPodNames() {
+		if a.pods[name] != podDraining {
+			a.drainPod(name)
+		}
+	}
+	if *a.cfg.DeployMaster {
+		// Best-effort removal of the deployment units.
+		_ = a.cluster.DeleteStatefulSet("wq-master")
+	}
+	if a.onDone != nil {
+		done := a.onDone
+		a.onDone = nil
+		a.eng.After(0, "hta-shutdown-done", done)
+	}
+}
+
+// --- pod/worker glue ---
+
+func (a *Autoscaler) createWorkerPod() {
+	a.podSeq++
+	name := fmt.Sprintf("wq-worker-%d", a.podSeq)
+	// One worker-pod per node: the pod requests the node's entire
+	// allocatable vector (paper §IV-A).
+	spec := kubesim.PodSpec{
+		Name:      name,
+		Image:     a.cfg.WorkerImage,
+		Resources: a.cluster.Config().NodeAllocatable,
+		Labels:    workerLabels(),
+	}
+	if _, err := a.cluster.CreatePod(spec); err != nil {
+		a.podSeq--
+		return
+	}
+	a.pods[name] = podCreating
+}
+
+func (a *Autoscaler) onPodEvent(ev kubesim.PodWatchEvent) {
+	name := ev.Pod.Name
+	st, mine := a.pods[name]
+	if !mine {
+		return
+	}
+	switch {
+	case ev.Type == kubesim.Modified && ev.Reason == kubesim.ReasonStarted:
+		if st != podCreating {
+			return
+		}
+		a.pods[name] = podActive
+		if err := a.master.AddWorker(name, ev.Pod.Resources); err == nil {
+			_ = a.cluster.SetPodUsage(name, func() resources.Vector {
+				return a.master.WorkerUsage(name)
+			})
+		}
+	case ev.Type == kubesim.Deleted:
+		delete(a.pods, name)
+		if st == podActive && ev.Reason == kubesim.ReasonKilling {
+			// Pod killed underneath us (e.g. node failure): requeue
+			// its tasks.
+			_ = a.master.KillWorker(name)
+		}
+	}
+}
+
+func (a *Autoscaler) drainPod(name string) {
+	st := a.pods[name]
+	switch st {
+	case podCreating:
+		// Never connected: delete outright.
+		delete(a.pods, name)
+		_ = a.cluster.DeletePod(name)
+		return
+	case podDraining:
+		return
+	}
+	a.pods[name] = podDraining
+	err := a.master.DrainWorker(name, func() {
+		// Worker exited cleanly; the pod completes and is removed.
+		if _, ok := a.pods[name]; !ok {
+			return
+		}
+		delete(a.pods, name)
+		_ = a.cluster.MarkPodSucceeded(name)
+		_ = a.cluster.DeletePod(name)
+	})
+	if err != nil {
+		// Worker never connected or already gone.
+		delete(a.pods, name)
+		_ = a.cluster.DeletePod(name)
+	}
+}
+
+func (a *Autoscaler) podCounts() (creating, active, draining int) {
+	for _, st := range a.pods {
+		switch st {
+		case podCreating:
+			creating++
+		case podActive:
+			active++
+		case podDraining:
+			draining++
+		}
+	}
+	return
+}
+
+// WorkerPodCount returns the number of live (non-draining) worker
+// pods HTA manages.
+func (a *Autoscaler) WorkerPodCount() int {
+	creating, active, _ := a.podCounts()
+	return creating + active
+}
+
+// --- resize loop ---
+
+func (a *Autoscaler) scheduleNext(d time.Duration) {
+	if d < time.Second {
+		d = time.Second
+	}
+	a.cycleTimer = a.eng.After(d, "hta-resize", a.resizeOnce)
+}
+
+func (a *Autoscaler) resizeOnce() {
+	if a.shutdown {
+		a.maybeCleanup()
+		if !a.cleaned {
+			// Queue not drained yet; keep cycling.
+			a.scheduleNext(a.cfg.DefaultCycle)
+		}
+		return
+	}
+	if !a.everSubmitted {
+		// Warm-up stage: keep the initial fleet until the first batch
+		// arrives.
+		a.scheduleNext(a.cfg.DefaultCycle)
+		return
+	}
+	dec := a.decide()
+	if dec.ScaleChange < 0 && a.HeldTasks() > 0 {
+		// Held tasks are demand that will be released the moment a
+		// category probe completes; keep the fleet for them.
+		dec.ScaleChange = 0
+	}
+	a.Decisions = append(a.Decisions, DecisionRecord{At: a.eng.Now(), Decision: dec})
+	a.apply(dec)
+	a.scheduleNext(dec.NextCycle)
+}
+
+// decide assembles Algorithm 1's inputs from the live system and
+// evaluates it.
+func (a *Autoscaler) decide() Decision {
+	var workers []WorkerInfo
+	for _, id := range a.master.Workers() {
+		if a.pods[id] == podDraining {
+			continue
+		}
+		if cap, ok := a.master.WorkerCapacity(id); ok {
+			workers = append(workers, WorkerInfo{ID: id, Capacity: cap})
+		}
+	}
+	initTime := a.tracker.Latest()
+	if a.cfg.DisableInitFeedback {
+		initTime = a.cfg.InitTimeFallback
+	}
+	var estimator wq.Estimator
+	if !a.cfg.DisableEstimator {
+		estimator = a.mon
+	}
+	return EstimateScale(EstimateInput{
+		Now:            a.eng.Now(),
+		InitTime:       initTime,
+		DefaultCycle:   a.cfg.DefaultCycle,
+		Running:        a.master.RunningTasks(),
+		Waiting:        a.master.WaitingTasks(),
+		Estimator:      estimator,
+		Workers:        workers,
+		WorkerTemplate: a.cluster.Config().NodeAllocatable,
+	})
+}
+
+func (a *Autoscaler) apply(dec Decision) {
+	creating, active, _ := a.podCounts()
+	switch {
+	case dec.ScaleChange > 0:
+		// Pods already being created absorb part of the need.
+		n := dec.ScaleChange - creating
+		if room := a.cfg.MaxWorkers - creating - active; n > room {
+			n = room
+		}
+		for i := 0; i < n; i++ {
+			a.createWorkerPod()
+		}
+	case dec.ScaleChange < 0:
+		a.drainIdle(-dec.ScaleChange)
+	}
+}
+
+// sortedPodNames returns managed pod names in deterministic order.
+func (a *Autoscaler) sortedPodNames() []string {
+	names := make([]string, 0, len(a.pods))
+	for name := range a.pods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// drainIdle drains up to n idle workers (and surplus still-creating
+// pods first, which are free to cancel).
+func (a *Autoscaler) drainIdle(n int) {
+	for _, name := range a.sortedPodNames() {
+		if n == 0 {
+			return
+		}
+		if a.pods[name] == podCreating {
+			a.drainPod(name)
+			n--
+		}
+	}
+	for _, id := range a.master.Workers() {
+		if n == 0 {
+			return
+		}
+		if a.pods[id] != podActive || a.master.WorkerBusy(id) {
+			continue
+		}
+		a.drainPod(id)
+		n--
+	}
+}
+
+// Status is a point-in-time snapshot of the autoscaler, for
+// dashboards and CLIs.
+type Status struct {
+	Stage string // "warm-up", "runtime", "clean-up", "done"
+
+	WorkersActive   int
+	WorkersCreating int
+	WorkersDraining int
+
+	QueueWaiting int
+	QueueRunning int
+	TasksHeld    int
+	Completed    int
+
+	InitTime         time.Duration // current planning window
+	InitTimeMeasured bool
+	KnownCategories  []string
+	Decisions        int
+}
+
+// Status reports the autoscaler's current state.
+func (a *Autoscaler) Status() Status {
+	s := a.master.Stats()
+	creating, active, draining := a.podCounts()
+	st := Status{
+		WorkersActive:    active,
+		WorkersCreating:  creating,
+		WorkersDraining:  draining,
+		QueueWaiting:     s.Waiting,
+		QueueRunning:     s.Running,
+		TasksHeld:        a.HeldTasks(),
+		Completed:        a.master.CompletedCount(),
+		InitTime:         a.tracker.Latest(),
+		InitTimeMeasured: a.tracker.Measured(),
+		KnownCategories:  a.mon.Categories(),
+		Decisions:        len(a.Decisions),
+	}
+	switch {
+	case a.cleaned:
+		st.Stage = "done"
+	case a.shutdown:
+		st.Stage = "clean-up"
+	case !a.warmupOver:
+		st.Stage = "warm-up"
+	default:
+		st.Stage = "runtime"
+	}
+	return st
+}
+
+// String renders a one-line status summary.
+func (s Status) String() string {
+	return fmt.Sprintf("[%s] workers=%d(+%d creating, %d draining) queue=%d/%d held=%d done=%d init=%.0fs cats=%d",
+		s.Stage, s.WorkersActive, s.WorkersCreating, s.WorkersDraining,
+		s.QueueWaiting, s.QueueRunning, s.TasksHeld, s.Completed,
+		s.InitTime.Seconds(), len(s.KnownCategories))
+}

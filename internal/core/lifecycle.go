@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"hta/internal/kubesim"
+)
+
+// LifecycleTracker watches worker-pod events through the informer
+// cache and derives the cluster manager's latest resource-
+// initialization time (paper §V-B): for every pod whose creation
+// passed through all three states — No Available Node
+// (FailedScheduling), No Container Image (Pulling) and Running — the
+// interval from the creation request to readiness is recorded as the
+// newest initialization-time sample.
+type LifecycleTracker struct {
+	fallback time.Duration
+	selector map[string]string
+
+	latest  time.Duration
+	samples []time.Duration
+}
+
+// NewLifecycleTracker subscribes to the cluster's pod informer.
+// fallback is returned by Latest until the first measurement; pods
+// not matching the selector (nil = all) are ignored.
+func NewLifecycleTracker(cluster *kubesim.Cluster, selector map[string]string, fallback time.Duration) *LifecycleTracker {
+	lt := &LifecycleTracker{fallback: fallback, selector: selector}
+	cluster.OnPod(lt.onPod)
+	return lt
+}
+
+func (lt *LifecycleTracker) onPod(ev kubesim.PodWatchEvent) {
+	if ev.Type != kubesim.Modified || ev.Reason != kubesim.ReasonStarted {
+		return
+	}
+	if !ev.Pod.MatchesSelector(lt.selector) {
+		return
+	}
+	// Only pods that experienced the full cold path measure the
+	// cluster's initialization latency; a pod that landed on an
+	// existing warm node says nothing about provisioning.
+	if !ev.Pod.UnschedulableSeen || !ev.Pod.PulledImage {
+		return
+	}
+	d := ev.Pod.RunningAt.Sub(ev.Pod.CreatedAt)
+	if d <= 0 {
+		return
+	}
+	lt.latest = d
+	lt.samples = append(lt.samples, d)
+}
+
+// Latest returns the most recent initialization time, or the
+// fallback before any measurement.
+func (lt *LifecycleTracker) Latest() time.Duration {
+	if lt.latest == 0 {
+		return lt.fallback
+	}
+	return lt.latest
+}
+
+// Measured reports whether at least one sample has been observed.
+func (lt *LifecycleTracker) Measured() bool { return lt.latest != 0 }
+
+// Samples returns all observed initialization times in order.
+func (lt *LifecycleTracker) Samples() []time.Duration {
+	return append([]time.Duration(nil), lt.samples...)
+}
+
+// MeanStd returns the sample mean and standard deviation in seconds
+// (0, 0 when empty) — the Fig. 6 statistics.
+func (lt *LifecycleTracker) MeanStd() (mean, std float64) {
+	if len(lt.samples) == 0 {
+		return 0, 0
+	}
+	for _, d := range lt.samples {
+		mean += d.Seconds()
+	}
+	mean /= float64(len(lt.samples))
+	if len(lt.samples) > 1 {
+		var ss float64
+		for _, d := range lt.samples {
+			diff := d.Seconds() - mean
+			ss += diff * diff
+		}
+		// Population standard deviation, as Fig. 6 reports.
+		std = math.Sqrt(ss / float64(len(lt.samples)))
+	}
+	return mean, std
+}

@@ -1,0 +1,481 @@
+// Package dag models a high-throughput workload as a directed acyclic
+// graph of tasks connected by file dependencies, the representation a
+// workflow manager such as Makeflow builds from a workload
+// description. The graph tracks runtime state (pending → ready →
+// running → complete) and surfaces the ready frontier that the
+// workflow manager dispatches to the job scheduler.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hta/internal/resources"
+)
+
+// Node is one task of the workflow.
+type Node struct {
+	ID       string
+	Command  string
+	Category string // stage tag; tasks of a category are copies of the same program
+	Inputs   []string
+	Outputs  []string
+	// Resources is the declared requirement; the zero vector means
+	// "unknown", which makes schedulers fall back to conservative
+	// one-task-per-worker placement (paper §III-A).
+	Resources resources.Vector
+	// EstimatedDuration, when non-zero, is used for critical-path
+	// analysis and by simulated executors.
+	EstimatedDuration time.Duration
+	// Local marks a rule to run at the workflow manager itself
+	// rather than on a remote worker (Makeflow's LOCAL prefix).
+	Local bool
+}
+
+// State is the runtime state of a node.
+type State int
+
+// Node states, in normal order of progression.
+const (
+	Pending  State = iota // waiting on dependencies
+	Ready                 // all dependencies complete, not yet dispatched
+	Running               // dispatched to the scheduler
+	Complete              // finished successfully
+	Failed                // finished unsuccessfully; may be retried
+)
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Complete:
+		return "complete"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Graph is a workflow DAG. Build it with Add calls followed by
+// Finalize; after Finalize the runtime methods (Ready, Start,
+// Complete, Fail) drive execution state.
+type Graph struct {
+	nodes      map[string]*Node
+	order      []string // insertion order, for deterministic iteration
+	producer   map[string]string
+	deps       map[string][]string // node -> dependency node IDs
+	dependents map[string][]string
+	state      map[string]State
+	attempts   map[string]int
+	remaining  map[string]int // unfinished dependency count
+	nComplete  int
+	finalized  bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:      make(map[string]*Node),
+		producer:   make(map[string]string),
+		deps:       make(map[string][]string),
+		dependents: make(map[string][]string),
+		state:      make(map[string]State),
+		attempts:   make(map[string]int),
+		remaining:  make(map[string]int),
+	}
+}
+
+// Add inserts a node. It fails on duplicate node IDs, on two nodes
+// producing the same output file, or after Finalize.
+func (g *Graph) Add(n Node) error {
+	if g.finalized {
+		return fmt.Errorf("dag: Add %q after Finalize", n.ID)
+	}
+	if n.ID == "" {
+		return fmt.Errorf("dag: node with empty ID")
+	}
+	if _, dup := g.nodes[n.ID]; dup {
+		return fmt.Errorf("dag: duplicate node ID %q", n.ID)
+	}
+	for _, out := range n.Outputs {
+		if p, dup := g.producer[out]; dup {
+			return fmt.Errorf("dag: output %q produced by both %q and %q", out, p, n.ID)
+		}
+	}
+	cp := n
+	cp.Inputs = append([]string(nil), n.Inputs...)
+	cp.Outputs = append([]string(nil), n.Outputs...)
+	g.nodes[n.ID] = &cp
+	g.order = append(g.order, n.ID)
+	for _, out := range cp.Outputs {
+		g.producer[out] = n.ID
+	}
+	return nil
+}
+
+// Finalize resolves file dependencies into edges, verifies acyclicity
+// and initializes runtime state. Inputs with no producer are treated
+// as external source files.
+func (g *Graph) Finalize() error {
+	if g.finalized {
+		return fmt.Errorf("dag: Finalize called twice")
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		seen := make(map[string]bool)
+		for _, in := range n.Inputs {
+			p, ok := g.producer[in]
+			if !ok || p == id || seen[p] {
+				continue
+			}
+			seen[p] = true
+			g.deps[id] = append(g.deps[id], p)
+			g.dependents[p] = append(g.dependents[p], id)
+		}
+	}
+	if cycle := g.findCycle(); cycle != nil {
+		return fmt.Errorf("dag: dependency cycle: %v", cycle)
+	}
+	for _, id := range g.order {
+		g.remaining[id] = len(g.deps[id])
+		if g.remaining[id] == 0 {
+			g.state[id] = Ready
+		} else {
+			g.state[id] = Pending
+		}
+	}
+	g.finalized = true
+	return nil
+}
+
+func (g *Graph) findCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.nodes))
+	var stack []string
+	var cycle []string
+	var visit func(id string) bool
+	visit = func(id string) bool {
+		color[id] = gray
+		stack = append(stack, id)
+		for _, d := range g.deps[id] {
+			switch color[d] {
+			case gray:
+				// Found a back edge; extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == d {
+						break
+					}
+				}
+				return true
+			case white:
+				if visit(d) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[id] = black
+		return false
+	}
+	for _, id := range g.order {
+		if color[id] == white && visit(id) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Node returns a copy of the node with the given ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// IDs returns all node IDs in insertion order.
+func (g *Graph) IDs() []string { return append([]string(nil), g.order...) }
+
+// Dependencies returns the IDs of the nodes that must complete before id.
+func (g *Graph) Dependencies(id string) []string {
+	return append([]string(nil), g.deps[id]...)
+}
+
+// Dependents returns the IDs of the nodes that depend on id.
+func (g *Graph) Dependents(id string) []string {
+	return append([]string(nil), g.dependents[id]...)
+}
+
+// SourceFiles returns input files no node produces, sorted.
+func (g *Graph) SourceFiles() []string {
+	set := make(map[string]bool)
+	for _, id := range g.order {
+		for _, in := range g.nodes[id].Inputs {
+			if _, ok := g.producer[in]; !ok {
+				set[in] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// State returns the runtime state of a node.
+func (g *Graph) State(id string) State { return g.state[id] }
+
+// Attempts returns how many times the node has been started.
+func (g *Graph) Attempts(id string) int { return g.attempts[id] }
+
+// Ready returns the IDs of all nodes currently in the Ready state, in
+// insertion order.
+func (g *Graph) Ready() []string {
+	g.mustFinal("Ready")
+	var out []string
+	for _, id := range g.order {
+		if g.state[id] == Ready {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Start transitions a Ready node to Running.
+func (g *Graph) Start(id string) error {
+	g.mustFinal("Start")
+	if err := g.requireState(id, Ready); err != nil {
+		return err
+	}
+	g.state[id] = Running
+	g.attempts[id]++
+	return nil
+}
+
+// Complete marks a Running node complete and returns the IDs of nodes
+// that became Ready as a result, in insertion order.
+func (g *Graph) Complete(id string) ([]string, error) {
+	g.mustFinal("Complete")
+	if err := g.requireState(id, Running); err != nil {
+		return nil, err
+	}
+	g.state[id] = Complete
+	g.nComplete++
+	var newly []string
+	for _, dep := range g.dependents[id] {
+		g.remaining[dep]--
+		if g.remaining[dep] < 0 {
+			panic(fmt.Sprintf("dag: dependency count underflow for %q", dep))
+		}
+		if g.remaining[dep] == 0 && g.state[dep] == Pending {
+			g.state[dep] = Ready
+			newly = append(newly, dep)
+		}
+	}
+	return newly, nil
+}
+
+// Fail marks a Running node Failed.
+func (g *Graph) Fail(id string) error {
+	g.mustFinal("Fail")
+	if err := g.requireState(id, Running); err != nil {
+		return err
+	}
+	g.state[id] = Failed
+	return nil
+}
+
+// Retry returns a Failed node to Ready so it can be dispatched again.
+func (g *Graph) Retry(id string) error {
+	g.mustFinal("Retry")
+	if err := g.requireState(id, Failed); err != nil {
+		return err
+	}
+	g.state[id] = Ready
+	return nil
+}
+
+// Done reports whether every node is Complete.
+func (g *Graph) Done() bool { return g.nComplete == len(g.order) }
+
+// Completed returns the number of completed nodes.
+func (g *Graph) Completed() int { return g.nComplete }
+
+// Counts returns the number of nodes in each state.
+func (g *Graph) Counts() map[State]int {
+	out := make(map[State]int)
+	for _, id := range g.order {
+		out[g.state[id]]++
+	}
+	return out
+}
+
+func (g *Graph) requireState(id string, want State) error {
+	s, ok := g.state[id]
+	if !ok {
+		return fmt.Errorf("dag: unknown node %q", id)
+	}
+	if s != want {
+		return fmt.Errorf("dag: node %q is %v, want %v", id, s, want)
+	}
+	return nil
+}
+
+func (g *Graph) mustFinal(op string) {
+	if !g.finalized {
+		panic("dag: " + op + " before Finalize")
+	}
+}
+
+// TopoOrder returns node IDs in a dependency-respecting order
+// (dependencies before dependents), stable with respect to insertion
+// order among independent nodes.
+func (g *Graph) TopoOrder() []string {
+	g.mustFinal("TopoOrder")
+	indeg := make(map[string]int, len(g.nodes))
+	for _, id := range g.order {
+		indeg[id] = len(g.deps[id])
+	}
+	var frontier []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	out := make([]string, 0, len(g.order))
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, id)
+		for _, dep := range g.dependents[id] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				frontier = append(frontier, dep)
+			}
+		}
+	}
+	return out
+}
+
+// Levels partitions nodes by their depth: level 0 has no
+// dependencies, level k depends only on levels < k with at least one
+// dependency in level k-1. For stage-structured HTC workloads the
+// levels correspond to stages.
+func (g *Graph) Levels() [][]string {
+	g.mustFinal("Levels")
+	depth := make(map[string]int, len(g.nodes))
+	maxDepth := 0
+	for _, id := range g.TopoOrder() {
+		d := 0
+		for _, dep := range g.deps[id] {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]string, maxDepth+1)
+	for _, id := range g.order {
+		levels[depth[id]] = append(levels[depth[id]], id)
+	}
+	return levels
+}
+
+// CriticalPath returns the longest dependency chain measured by
+// EstimatedDuration (nodes with zero estimates count as zero) and its
+// total duration.
+func (g *Graph) CriticalPath() ([]string, time.Duration) {
+	g.mustFinal("CriticalPath")
+	dist := make(map[string]time.Duration, len(g.nodes))
+	prev := make(map[string]string, len(g.nodes))
+	var best string
+	var bestDist time.Duration = -1
+	for _, id := range g.TopoOrder() {
+		d := g.nodes[id].EstimatedDuration
+		var through time.Duration
+		var from string
+		for _, dep := range g.deps[id] {
+			if dist[dep] > through || (dist[dep] == through && from == "") {
+				through = dist[dep]
+				from = dep
+			}
+		}
+		dist[id] = through + d
+		prev[id] = from
+		if dist[id] > bestDist {
+			bestDist = dist[id]
+			best = id
+		}
+	}
+	if best == "" {
+		return nil, 0
+	}
+	var path []string
+	for id := best; id != ""; id = prev[id] {
+		path = append(path, id)
+	}
+	// Reverse into dependency order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, bestDist
+}
+
+// CategoryCounts returns the number of nodes per category.
+func (g *Graph) CategoryCounts() map[string]int {
+	out := make(map[string]int)
+	for _, id := range g.order {
+		out[g.nodes[id].Category]++
+	}
+	return out
+}
+
+// Categories returns the distinct categories in first-seen order.
+func (g *Graph) Categories() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range g.order {
+		c := g.nodes[id].Category
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Reset returns every node to its initial runtime state so the same
+// graph can be executed again.
+func (g *Graph) Reset() {
+	g.mustFinal("Reset")
+	g.nComplete = 0
+	for _, id := range g.order {
+		g.remaining[id] = len(g.deps[id])
+		g.attempts[id] = 0
+		if g.remaining[id] == 0 {
+			g.state[id] = Ready
+		} else {
+			g.state[id] = Pending
+		}
+	}
+}

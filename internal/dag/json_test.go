@@ -1,0 +1,102 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hta/internal/resources"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var b strings.Builder
+	if err := g.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), g.Len())
+	}
+	for _, id := range g.IDs() {
+		orig, _ := g.Node(id)
+		got, ok := back.Node(id)
+		if !ok {
+			t.Fatalf("node %q missing", id)
+		}
+		if got.EstimatedDuration != orig.EstimatedDuration {
+			t.Errorf("%s estimate = %v, want %v", id, got.EstimatedDuration, orig.EstimatedDuration)
+		}
+		if len(got.Inputs) != len(orig.Inputs) || len(got.Outputs) != len(orig.Outputs) {
+			t.Errorf("%s files differ", id)
+		}
+	}
+	// Edges re-derived.
+	if deps := back.Dependencies("d"); len(deps) != 2 {
+		t.Errorf("deps(d) = %v", deps)
+	}
+	// Runtime state starts fresh.
+	if got := back.Ready(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Ready = %v", got)
+	}
+}
+
+func TestJSONResourcesAndLocal(t *testing.T) {
+	g := NewGraph()
+	g.Add(Node{
+		ID:        "x",
+		Command:   "do thing",
+		Category:  "cat",
+		Resources: resources.New(2, 4096, 100),
+		Local:     true,
+	})
+	g.Finalize()
+	var b strings.Builder
+	g.WriteJSON(&b)
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := back.Node("x")
+	if n.Resources != resources.New(2, 4096, 100) {
+		t.Errorf("resources = %v", n.Resources)
+	}
+	if !n.Local || n.Command != "do thing" || n.Category != "cat" {
+		t.Errorf("node = %+v", n)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"garbage", "{"},
+		{"unknown field", `{"nodes":[{"id":"a","bogus":1}]}`},
+		{"duplicate id", `{"nodes":[{"id":"a"},{"id":"a"}]}`},
+		{"cycle", `{"nodes":[{"id":"a","inputs":["b.out"],"outputs":["a.out"]},{"id":"b","inputs":["a.out"],"outputs":["b.out"]}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(c.src)); err == nil {
+				t.Errorf("ReadJSON(%q) should fail", c.src)
+			}
+		})
+	}
+}
+
+func TestJSONFractionalEstimate(t *testing.T) {
+	g := NewGraph()
+	g.Add(Node{ID: "x", EstimatedDuration: 1500 * time.Millisecond})
+	g.Finalize()
+	var b strings.Builder
+	g.WriteJSON(&b)
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := back.Node("x")
+	if n.EstimatedDuration != 1500*time.Millisecond {
+		t.Errorf("estimate = %v", n.EstimatedDuration)
+	}
+}

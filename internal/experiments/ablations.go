@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/core"
+	"hta/internal/hpa"
+	"hta/internal/resources"
+	"hta/internal/workload"
+)
+
+// AblationFixedCycleReport (A1) isolates the initialization-time
+// feedback: full HTA plans each cycle with the live-measured
+// provisioning latency; the ablated variant assumes a fixed (too
+// short) cycle, so it keeps re-planning before requested resources
+// arrive.
+type AblationFixedCycleReport struct {
+	Full      SummaryRow
+	FixedFast SummaryRow // assumes 30 s provisioning (optimistic)
+	FixedSlow SummaryRow // assumes 600 s provisioning (pessimistic)
+	Runs      map[string]*RunResult
+}
+
+// AblationFixedCycle runs A1 on the multistage workflow.
+func AblationFixedCycle(seed int64) (*AblationFixedCycleReport, error) {
+	rep := &AblationFixedCycleReport{Runs: make(map[string]*RunResult)}
+	run := func(name string, cfg core.Config) (SummaryRow, error) {
+		p := workload.DefaultMultistage()
+		p.Seed = seed
+		g, spec, err := p.Build()
+		if err != nil {
+			return SummaryRow{}, err
+		}
+		res, err := RunHTA(name, Workload{Graph: g, Spec: spec}, HTAOptions{
+			Kube:    fig10Kube(seed),
+			HTA:     cfg,
+			Timeout: fig10Timeout,
+		})
+		if err != nil {
+			return SummaryRow{}, err
+		}
+		rep.Runs[name] = res
+		return summaryRow(name, res), nil
+	}
+	var err error
+	if rep.Full, err = run("HTA (measured init time)", core.Config{MaxWorkers: 20}); err != nil {
+		return nil, err
+	}
+	rep.FixedFast, err = run("HTA (fixed 30s cycle)", core.Config{
+		MaxWorkers:          20,
+		DisableInitFeedback: true,
+		InitTimeFallback:    30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.FixedSlow, err = run("HTA (fixed 600s cycle)", core.Config{
+		MaxWorkers:          20,
+		DisableInitFeedback: true,
+		InitTimeFallback:    600 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// String renders the comparison.
+func (r *AblationFixedCycleReport) String() string {
+	return summaryTable("Ablation A1 — initialization-time feedback (multistage BLAST)",
+		[]SummaryRow{r.Full, r.FixedFast, r.FixedSlow})
+}
+
+// AblationNoCategoriesReport (A2) isolates category-based resource
+// estimation: without it, every unknown task runs exclusively on a
+// whole node-sized worker for the entire run.
+type AblationNoCategoriesReport struct {
+	Full     SummaryRow
+	Disabled SummaryRow
+	FullUtil float64
+	DisUtil  float64
+	Runs     map[string]*RunResult
+}
+
+// AblationNoCategories runs A2 on a flat BLAST bag with unknown
+// requirements.
+func AblationNoCategories(seed int64) (*AblationNoCategoriesReport, error) {
+	rep := &AblationNoCategoriesReport{Runs: make(map[string]*RunResult)}
+	run := func(name string, cfg core.Config) (SummaryRow, float64, error) {
+		p := workload.DefaultBlastFlat(120)
+		p.Seed = seed
+		p.Declared = false
+		wl, err := Flat(p.Specs())
+		if err != nil {
+			return SummaryRow{}, 0, err
+		}
+		res, err := RunHTA(name, wl, HTAOptions{
+			Kube:    fig10Kube(seed),
+			HTA:     cfg,
+			Timeout: fig10Timeout,
+		})
+		if err != nil {
+			return SummaryRow{}, 0, err
+		}
+		rep.Runs[name] = res
+		return summaryRow(name, res), res.MeanCPUUtil, nil
+	}
+	var err error
+	if rep.Full, rep.FullUtil, err = run("HTA (category estimation)", core.Config{MaxWorkers: 20}); err != nil {
+		return nil, err
+	}
+	rep.Disabled, rep.DisUtil, err = run("HTA (no estimation)", core.Config{
+		MaxWorkers:       20,
+		DisableEstimator: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// String renders the comparison.
+func (r *AblationNoCategoriesReport) String() string {
+	var b strings.Builder
+	b.WriteString(summaryTable("Ablation A2 — category resource estimation (flat BLAST, unknown reqs)",
+		[]SummaryRow{r.Full, r.Disabled}))
+	fmt.Fprintf(&b, "CPU utilization: with estimation %.1f%%, without %.1f%%\n",
+		r.FullUtil*100, r.DisUtil*100)
+	return b.String()
+}
+
+// AblationHPAStabilizationReport (A3) sweeps the HPA scale-down
+// stabilization window on the multistage workflow — the knob the
+// paper identifies as impossible to tune without re-running the
+// workload.
+type AblationHPAStabilizationReport struct {
+	Rows []SummaryRow
+	Runs map[string]*RunResult
+}
+
+// AblationHPAStabilization runs A3.
+func AblationHPAStabilization(seed int64) (*AblationHPAStabilizationReport, error) {
+	rep := &AblationHPAStabilizationReport{Runs: make(map[string]*RunResult)}
+	podRes := resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
+	for _, window := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute} {
+		p := workload.DefaultMultistage()
+		p.Seed = seed
+		p.Declared = true
+		g, spec, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("HPA-20%% (stab %v)", window)
+		res, err := RunHPA(name, Workload{Graph: g, Spec: spec}, HPAOptions{
+			Kube:            fig10Kube(seed),
+			PodResources:    podRes,
+			InitialReplicas: 3,
+			HPA: hpa.Config{
+				TargetCPUUtilization:   0.20,
+				MinReplicas:            1,
+				MaxReplicas:            60,
+				ScaleDownStabilization: window,
+			},
+			Timeout: fig10Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs[name] = res
+		rep.Rows = append(rep.Rows, summaryRow(name, res))
+	}
+	return rep, nil
+}
+
+// String renders the sweep.
+func (r *AblationHPAStabilizationReport) String() string {
+	return summaryTable("Ablation A3 — HPA scale-down stabilization window (multistage BLAST)", r.Rows)
+}

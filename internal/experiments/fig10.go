@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/core"
+	"hta/internal/hpa"
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/workload"
+)
+
+// SummaryRow is one autoscaler's outcome on a workload — the rows of
+// the paper's Fig. 10c and Fig. 11c tables.
+type SummaryRow struct {
+	Autoscaler string
+	Runtime    time.Duration
+	Waste      float64 // accumulated core·s
+	Shortage   float64 // accumulated core·s
+}
+
+// Fig10Report reproduces Fig. 10: the multistage BLAST workflow
+// (stages of 200/34/164 tasks) under HPA-20 %, HPA-50 % and HTA on a
+// cluster capped at 20 nodes (60 cores). Paper table: runtimes
+// 2656/2480/3060 s; accumulated waste 51324/39353/9146 core·s;
+// accumulated shortage 34813/66611/40680 core·s.
+type Fig10Report struct {
+	Rows        []SummaryRow
+	Runs        map[string]*RunResult
+	StageCounts [3]int
+}
+
+var multistageCategories = []string{"stage1", "stage2", "stage3"}
+
+const fig10Timeout = 12 * time.Hour
+
+func fig10Kube(seed int64) kubesim.Config {
+	return kubesim.Config{
+		InitialNodes:   3,
+		MinNodes:       1,
+		MaxNodes:       20,
+		ScaleDownDelay: 10 * time.Minute,
+		Seed:           seed,
+	}
+}
+
+// Fig10 runs the three autoscalers over the multistage workflow.
+func Fig10(seed int64) (*Fig10Report, error) {
+	rep := &Fig10Report{Runs: make(map[string]*RunResult)}
+	p := workload.DefaultMultistage()
+	p.Seed = seed
+	rep.StageCounts = p.StageCounts
+
+	// HPA runs declare task requirements (the comparison isolates the
+	// autoscaler, not the estimator); pods are one-core with enough
+	// memory for one alignment.
+	podRes := resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
+	for _, target := range []float64{0.20, 0.50} {
+		pd := p
+		pd.Declared = true
+		g, spec, err := pd.Build()
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("HPA(%d%% CPU)", int(target*100))
+		res, err := RunHPA(name, Workload{Graph: g, Spec: spec}, HPAOptions{
+			Kube:            fig10Kube(seed),
+			PodResources:    podRes,
+			InitialReplicas: 3,
+			HPA: hpa.Config{
+				TargetCPUUtilization: target,
+				MinReplicas:          1,
+				MaxReplicas:          60, // 20 nodes × 3 pods
+			},
+			Timeout:    fig10Timeout,
+			Categories: multistageCategories,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs[name] = res
+		rep.Rows = append(rep.Rows, summaryRow(name, res))
+	}
+
+	g, spec, err := p.Build() // undeclared: HTA measures categories
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunHTA("HTA", Workload{Graph: g, Spec: spec}, HTAOptions{
+		Kube:       fig10Kube(seed),
+		HTA:        core.Config{MaxWorkers: 20},
+		Timeout:    fig10Timeout,
+		Categories: multistageCategories,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs["HTA"] = res
+	rep.Rows = append(rep.Rows, summaryRow("HTA", res))
+	return rep, nil
+}
+
+func summaryRow(name string, res *RunResult) SummaryRow {
+	return SummaryRow{
+		Autoscaler: name,
+		Runtime:    res.Runtime,
+		Waste:      res.AccumulatedWaste(),
+		Shortage:   res.AccumulatedShortage(),
+	}
+}
+
+func summaryTable(title string, rows []SummaryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %10s %18s %18s\n", "Autoscaler", "Runtime", "Accum. Waste", "Accum. Shortage")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-14s %9.0fs %12.0f core-s %12.0f core-s\n",
+			row.Autoscaler, row.Runtime.Seconds(), row.Waste, row.Shortage)
+	}
+	return b.String()
+}
+
+// String renders the stage profile, the supply/demand series and the
+// summary table.
+func (r *Fig10Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10a — stage profile (tasks per stage: %d/%d/%d)\n",
+		r.StageCounts[0], r.StageCounts[1], r.StageCounts[2])
+	if hta := r.Runs["HTA"]; hta != nil && hta.CategoryOutstanding != nil {
+		for _, cat := range multistageCategories {
+			if s := hta.CategoryOutstanding[cat]; s != nil {
+				fmt.Fprintf(&b, "\n%s outstanding tasks (HTA run):\n%s", cat, s.ASCII(hta.End, 8, 40))
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nFig. 10b — resource supply (RS) and in-use (RIU), cores:\n")
+	for _, name := range []string{"HPA(20% CPU)", "HPA(50% CPU)", "HTA"} {
+		run := r.Runs[name]
+		if run == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s supply:\n%s", name, run.Account.Supply.ASCII(run.End, 10, 40))
+		fmt.Fprintf(&b, "%s in-use:\n%s", name, run.Account.InUse.ASCII(run.End, 10, 40))
+	}
+	fmt.Fprintf(&b, "\n%s", summaryTable("Fig. 10c — Blast workflow performance summary", r.Rows))
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/workload"
+)
+
+// Fig4Report reproduces Fig. 4: worker-pod sizing for 100 BLAST jobs
+// with a 1.4 GB cacheable shared input on 5 three-core nodes.
+// Paper results: (a) fine-grained 15×1-core pods: 411 s, 278 MB/s,
+// 87 % CPU; (b) coarse 5 node-sized pods with unknown requirements:
+// 632 s, 452 MB/s, 32 % CPU; (c) coarse with known requirements:
+// 330 s, 466 MB/s, 86 % CPU.
+type Fig4Report struct {
+	Rows []Fig4Row
+	Runs map[string]*RunResult
+}
+
+// Fig4Row is one configuration's outcome.
+type Fig4Row struct {
+	Config       string
+	Runtime      time.Duration
+	AvgBandwidth float64 // MB/s
+	MeanCPUUtil  float64
+}
+
+// Fig4 runs the three configurations.
+func Fig4(seed int64) (*Fig4Report, error) {
+	rep := &Fig4Report{Runs: make(map[string]*RunResult)}
+	nodeSized := resources.New(3, 12288, 100000)
+	small := resources.New(1, 4096, 50000)
+
+	configs := []struct {
+		name     string
+		workers  int
+		capacity resources.Vector
+		declared bool
+	}{
+		{"(a) fine-grained 15x1c", 15, small, false},
+		{"(b) coarse 5x3c unknown", 5, nodeSized, false},
+		{"(c) coarse 5x3c known", 5, nodeSized, true},
+	}
+	for _, cfg := range configs {
+		p := workload.DefaultBlastFlat(100)
+		p.Seed = seed
+		p.Declared = cfg.declared
+		wl, err := Flat(p.Specs())
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunStatic(cfg.name, wl, StaticOptions{
+			Workers:         cfg.workers,
+			WorkerResources: cfg.capacity,
+			LinkMBps:        workload.MasterEgressMBps,
+			Contention:      workload.StreamContention,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs[cfg.name] = res
+		rep.Rows = append(rep.Rows, Fig4Row{
+			Config:       cfg.name,
+			Runtime:      res.Runtime,
+			AvgBandwidth: res.AvgBandwidthMBps,
+			MeanCPUUtil:  res.MeanCPUUtil,
+		})
+	}
+	return rep, nil
+}
+
+// String renders the paper-style table.
+func (r *Fig4Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — worker-pod sizing (100 BLAST jobs, 1.4GB shared input, 5 nodes)\n")
+	fmt.Fprintf(&b, "%-26s %10s %14s %10s\n", "Config", "Runtime", "AvgBandwidth", "CPU-Util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-26s %9.0fs %11.1fMB/s %9.1f%%\n",
+			row.Config, row.Runtime.Seconds(), row.AvgBandwidth, row.MeanCPUUtil*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,468 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, built on the simulated stack: Fig. 2 (HPA
+// target-CPU sweep), Fig. 4 (worker-pod sizing), Fig. 6
+// (resource-initialization latency), Fig. 10 (multistage BLAST
+// supply/demand and summary table), Fig. 11 (I/O-bound workload), and
+// the ablations called out in DESIGN.md. Each runner returns a report
+// struct that prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hta/internal/bind"
+	"hta/internal/core"
+	"hta/internal/dag"
+	"hta/internal/flow"
+	"hta/internal/hpa"
+	"hta/internal/kubesim"
+	"hta/internal/metrics"
+	"hta/internal/netsim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// SimStart is the virtual epoch of every experiment.
+var SimStart = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// SampleInterval is the metrics sampling period.
+const SampleInterval = 5 * time.Second
+
+// Workload is a DAG plus its task-spec mapping.
+type Workload struct {
+	Graph *dag.Graph
+	Spec  flow.SpecFunc
+}
+
+// Flat wraps a bag of independent tasks as a Workload.
+func Flat(specs []wq.TaskSpec) (Workload, error) {
+	g, fn, err := flow.FromSpecs(specs)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Graph: g, Spec: fn}, nil
+}
+
+// RunResult captures one scenario execution.
+type RunResult struct {
+	Name    string
+	Runtime time.Duration
+	Start   time.Time
+	End     time.Time
+
+	Account     *metrics.Account
+	Workers     *metrics.Series // connected workers
+	IdleWorkers *metrics.Series
+	Desired     *metrics.Series // autoscaler's desired worker count
+	Ideal       *metrics.Series // workers an omniscient autoscaler would hold
+	Nodes       *metrics.Series // ready cluster nodes
+
+	AvgBandwidthMBps float64
+	MeanCPUUtil      float64 // time-weighted busy-CPU / capacity
+	InitSamples      []time.Duration
+	Completed        int
+	// Requeues counts dispatch attempts beyond each task's first —
+	// work lost to killed workers.
+	Requeues int
+
+	// CategoryOutstanding tracks waiting+running tasks per category
+	// over time (Fig. 10a's stage profile), when requested.
+	CategoryOutstanding map[string]*metrics.Series
+}
+
+// AccumulatedWaste returns ∫RW dt over the runtime in core·s.
+func (r *RunResult) AccumulatedWaste() float64 { return r.Account.AccumulatedWaste(r.End) }
+
+// AccumulatedShortage returns ∫RSH dt over the runtime in core·s.
+func (r *RunResult) AccumulatedShortage() float64 { return r.Account.AccumulatedShortage(r.End) }
+
+// sampler periodically records the supply/demand state of a run.
+type sampler struct {
+	acct      *metrics.Account
+	workers   *metrics.Series
+	idle      *metrics.Series
+	desired   *metrics.Series
+	ideal     *metrics.Series
+	nodes     *metrics.Series
+	busyCPU   *metrics.Series
+	capCPU    *metrics.Series
+	maxIdeal  int
+	master    *wq.Master
+	cluster   *kubesim.Cluster // may be nil (static runs)
+	estimator wq.Estimator     // may be nil
+	heldFn    func() int       // may be nil
+	desiredFn func() int       // may be nil
+	byCat     map[string]*metrics.Series
+	// quotaCores bounds the reported shortage: RSH is the supply
+	// deficit the cluster could still close, min(queue demand,
+	// quota − supply). 0 = unbounded.
+	quotaCores float64
+}
+
+func newSampler(master *wq.Master, cluster *kubesim.Cluster, maxIdeal int) *sampler {
+	return &sampler{
+		acct:     metrics.NewAccount(),
+		workers:  metrics.NewSeries("workers"),
+		idle:     metrics.NewSeries("idle"),
+		desired:  metrics.NewSeries("desired"),
+		ideal:    metrics.NewSeries("ideal"),
+		nodes:    metrics.NewSeries("nodes"),
+		busyCPU:  metrics.NewSeries("busy-cpu"),
+		capCPU:   metrics.NewSeries("cap-cpu"),
+		maxIdeal: maxIdeal,
+		master:   master,
+		cluster:  cluster,
+	}
+}
+
+// trackCategories enables per-category outstanding-task series.
+func (sm *sampler) trackCategories(cats []string) {
+	sm.byCat = make(map[string]*metrics.Series, len(cats))
+	for _, c := range cats {
+		sm.byCat[c] = metrics.NewSeries(c)
+	}
+}
+
+func (sm *sampler) sample(now time.Time) {
+	s := sm.master.Stats()
+	supply := s.Capacity.CoresValue()
+	inUse := s.InUse.CoresValue()
+	shortage := shortageCores(sm.master.WaitingTasks(), sm.estimator)
+	if sm.heldFn != nil {
+		shortage += float64(sm.heldFn())
+	}
+	if sm.quotaCores > 0 {
+		if gap := sm.quotaCores - supply; shortage > gap {
+			shortage = gap
+		}
+		if shortage < 0 {
+			shortage = 0
+		}
+	}
+	sm.acct.Sample(now, supply, inUse, shortage)
+	sm.workers.Add(now, float64(s.Workers))
+	sm.idle.Add(now, float64(s.IdleWorkers))
+	if sm.desiredFn != nil {
+		sm.desired.Add(now, float64(sm.desiredFn()))
+	}
+	outstanding := s.Waiting + s.Running
+	if sm.heldFn != nil {
+		outstanding += sm.heldFn()
+	}
+	ideal := outstanding
+	if sm.maxIdeal > 0 && ideal > sm.maxIdeal {
+		ideal = sm.maxIdeal
+	}
+	sm.ideal.Add(now, float64(ideal))
+	if sm.cluster != nil {
+		sm.nodes.Add(now, float64(sm.cluster.ReadyNodes()))
+	}
+	var busy int64
+	for _, id := range sm.master.Workers() {
+		busy += sm.master.WorkerUsage(id).MilliCPU
+	}
+	sm.busyCPU.Add(now, float64(busy)/1000)
+	sm.capCPU.Add(now, supply)
+	if sm.byCat != nil {
+		counts := make(map[string]int, len(sm.byCat))
+		for _, t := range sm.master.WaitingTasks() {
+			counts[t.Category]++
+		}
+		for _, t := range sm.master.RunningTasks() {
+			counts[t.Category]++
+		}
+		for cat, series := range sm.byCat {
+			series.Add(now, float64(counts[cat]))
+		}
+	}
+}
+
+func (sm *sampler) finish(r *RunResult) {
+	r.Account = sm.acct
+	r.Workers = sm.workers
+	r.IdleWorkers = sm.idle
+	r.Desired = sm.desired
+	r.Ideal = sm.ideal
+	r.Nodes = sm.nodes
+	capInt := sm.capCPU.IntegralUntil(r.End)
+	if capInt > 0 {
+		r.MeanCPUUtil = sm.busyCPU.IntegralUntil(r.End) / capInt
+	}
+	if sm.byCat != nil {
+		r.CategoryOutstanding = sm.byCat
+	}
+}
+
+// shortageCores estimates the cores desired by the waiting queue: the
+// declared requirement, the category estimate, or one processor slot
+// as the floor.
+func shortageCores(waiting []wq.Task, est wq.Estimator) float64 {
+	var milli int64
+	for _, t := range waiting {
+		switch {
+		case !t.Resources.IsZero():
+			milli += t.Resources.MilliCPU
+		default:
+			if est != nil {
+				if v, ok := est.EstimateResources(t.Category); ok && v.MilliCPU > 0 {
+					milli += v.MilliCPU
+					continue
+				}
+			}
+			milli += 1000
+		}
+	}
+	return float64(milli) / 1000
+}
+
+// newLink builds the master egress link, or nil when mbps is zero.
+func newLink(eng *simclock.Engine, mbps, contention, perTransfer float64) *netsim.Link {
+	if mbps <= 0 {
+		return nil
+	}
+	l := netsim.NewLink(eng, mbps, perTransfer)
+	if contention > 0 && contention < 1 {
+		l.SetContention(contention)
+	}
+	return l
+}
+
+// ErrTimeout reports a scenario that did not finish within its
+// simulated deadline.
+type ErrTimeout struct {
+	Name     string
+	Deadline time.Duration
+	Stats    wq.Stats
+}
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("experiments: %s did not finish within %v (stats %+v)", e.Name, e.Deadline, e.Stats)
+}
+
+// countRequeues subscribes to the master and accumulates re-dispatch
+// counts into res.
+func countRequeues(master *wq.Master, res *RunResult) {
+	master.OnComplete(func(r wq.Result) {
+		if r.Task.Attempts > 1 {
+			res.Requeues += r.Task.Attempts - 1
+		}
+	})
+}
+
+// --- HTA scenario ---
+
+// HTAOptions configures an HTA run.
+type HTAOptions struct {
+	Kube        kubesim.Config
+	HTA         core.Config
+	LinkMBps    float64
+	Contention  float64
+	PerTransfer float64
+	Timeout     time.Duration // simulated; default 24 h
+	// Categories, when set, enables per-category outstanding series.
+	Categories []string
+	// Policy selects the master's dispatch policy (default FirstFit).
+	Policy wq.Policy
+}
+
+// RunHTA executes the workload through the full HTA stack.
+func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	eng := simclock.NewEngine(SimStart)
+	if opt.Kube.Seed == 0 {
+		opt.Kube.Seed = 1
+	}
+	cluster := kubesim.NewCluster(eng, opt.Kube)
+	defer cluster.Stop()
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	master := wq.NewMaster(eng, link)
+	master.SetPolicy(opt.Policy)
+	a := core.New(eng, cluster, master, opt.HTA)
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+
+	sm := newSampler(master, cluster, a.WorkerPodCount())
+	sm.estimator = a.Monitor()
+	sm.heldFn = a.HeldTasks
+	sm.desiredFn = a.WorkerPodCount
+	sm.maxIdeal = opt.Kube.MaxNodes
+	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
+	if len(opt.Categories) > 0 {
+		sm.trackCategories(opt.Categories)
+	}
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+
+	res := &RunResult{Name: name, Start: eng.Now()}
+	countRequeues(master, res)
+	runner := flow.NewRunner(wl.Graph, a, wl.Spec)
+	finished := false
+	runner.OnAllDone(func() {
+		res.End = eng.Now()
+		res.Runtime = eng.Elapsed()
+		a.Shutdown(func() { finished = true })
+	})
+	sm.sample(eng.Now())
+	runner.Start()
+	deadline := SimStart.Add(opt.Timeout)
+	eng.RunWhile(func() bool { return !finished && eng.Now().Before(deadline) })
+	if !finished {
+		return nil, &ErrTimeout{Name: name, Deadline: opt.Timeout, Stats: master.Stats()}
+	}
+	if err := runner.Err(); err != nil {
+		return nil, err
+	}
+	res.Completed = master.CompletedCount()
+	res.InitSamples = a.Tracker().Samples()
+	sm.finish(res)
+	if link != nil {
+		res.AvgBandwidthMBps = link.Stats().AvgBandwidth
+	}
+	return res, nil
+}
+
+// --- HPA scenario ---
+
+// HPAOptions configures a baseline run scaled by the Horizontal Pod
+// Autoscaler over a WorkerSet of fixed-size worker pods.
+type HPAOptions struct {
+	Kube            kubesim.Config
+	HPA             hpa.Config
+	PodResources    resources.Vector
+	InitialReplicas int
+	LinkMBps        float64
+	Contention      float64
+	PerTransfer     float64
+	Timeout         time.Duration
+	Categories      []string
+}
+
+// RunHPA executes the workload on an HPA-scaled worker fleet.
+func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	if opt.PodResources.IsZero() {
+		opt.PodResources = resources.New(1, 4096, 10000)
+	}
+	if opt.InitialReplicas == 0 {
+		opt.InitialReplicas = 3
+	}
+	eng := simclock.NewEngine(SimStart)
+	if opt.Kube.Seed == 0 {
+		opt.Kube.Seed = 1
+	}
+	cluster := kubesim.NewCluster(eng, opt.Kube)
+	defer cluster.Stop()
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	master := wq.NewMaster(eng, link)
+	bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+
+	template := kubesim.PodSpec{
+		Image:     "wq-worker",
+		Resources: opt.PodResources,
+		Labels:    map[string]string{"app": "wq-worker"},
+	}
+	ws := kubesim.NewWorkerSet(cluster, "wq-workers", template, opt.InitialReplicas)
+	defer ws.Stop()
+	h := hpa.New(cluster, ws, opt.HPA)
+	defer h.Stop()
+
+	sm := newSampler(master, cluster, opt.HPA.MaxReplicas)
+	sm.desiredFn = func() int { return h.LastDesired }
+	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
+	if len(opt.Categories) > 0 {
+		sm.trackCategories(opt.Categories)
+	}
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+
+	res := &RunResult{Name: name, Start: eng.Now()}
+	countRequeues(master, res)
+	runner := flow.NewRunner(wl.Graph, master, wl.Spec)
+	finished := false
+	runner.OnAllDone(func() {
+		res.End = eng.Now()
+		res.Runtime = eng.Elapsed()
+		finished = true
+	})
+	sm.sample(eng.Now())
+	runner.Start()
+	deadline := SimStart.Add(opt.Timeout)
+	eng.RunWhile(func() bool { return !finished && eng.Now().Before(deadline) })
+	if !finished {
+		return nil, &ErrTimeout{Name: name, Deadline: opt.Timeout, Stats: master.Stats()}
+	}
+	if err := runner.Err(); err != nil {
+		return nil, err
+	}
+	res.Completed = master.CompletedCount()
+	sm.finish(res)
+	if link != nil {
+		res.AvgBandwidthMBps = link.Stats().AvgBandwidth
+	}
+	return res, nil
+}
+
+// --- static scenario ---
+
+// StaticOptions configures a fixed worker fleet (no autoscaler, no
+// cluster simulation) — the worker-sizing study of Fig. 4 and the
+// ideal baseline of Fig. 2.
+type StaticOptions struct {
+	Workers         int
+	WorkerResources resources.Vector
+	LinkMBps        float64
+	Contention      float64
+	PerTransfer     float64
+	Timeout         time.Duration
+}
+
+// RunStatic executes the workload on a fixed fleet.
+func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	eng := simclock.NewEngine(SimStart)
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	master := wq.NewMaster(eng, link)
+	for i := 0; i < opt.Workers; i++ {
+		if err := master.AddWorker(fmt.Sprintf("w%d", i+1), opt.WorkerResources); err != nil {
+			return nil, err
+		}
+	}
+	sm := newSampler(master, nil, opt.Workers)
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+
+	res := &RunResult{Name: name, Start: eng.Now()}
+	countRequeues(master, res)
+	runner := flow.NewRunner(wl.Graph, master, wl.Spec)
+	finished := false
+	runner.OnAllDone(func() {
+		res.End = eng.Now()
+		res.Runtime = eng.Elapsed()
+		finished = true
+	})
+	sm.sample(eng.Now())
+	runner.Start()
+	deadline := SimStart.Add(opt.Timeout)
+	eng.RunWhile(func() bool { return !finished && eng.Now().Before(deadline) })
+	if !finished {
+		return nil, &ErrTimeout{Name: name, Deadline: opt.Timeout, Stats: master.Stats()}
+	}
+	if err := runner.Err(); err != nil {
+		return nil, err
+	}
+	res.Completed = master.CompletedCount()
+	sm.finish(res)
+	if link != nil {
+		res.AvgBandwidthMBps = link.Stats().AvgBandwidth
+	}
+	return res, nil
+}

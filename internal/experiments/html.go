@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hta/internal/report"
+)
+
+// PageAdder is implemented by reports that can render themselves into
+// an HTML report page.
+type PageAdder interface {
+	AddToPage(p *report.Page)
+}
+
+func fmtSeconds(d time.Duration) string { return fmt.Sprintf("%.0f s", d.Seconds()) }
+func fmtCoreS(v float64) string         { return fmt.Sprintf("%.0f core·s", v) }
+
+func addSupplyCharts(s *report.Section, runs map[string]*RunResult, names ...string) {
+	for _, name := range names {
+		run := runs[name]
+		if run == nil {
+			continue
+		}
+		s.AddChart(name+" — supply vs in-use (cores)", "cores", run.End,
+			run.Account.Supply, run.Account.InUse, run.Account.Shortage)
+	}
+}
+
+// AddToPage renders Fig. 2.
+func (r *Fig2Report) AddToPage(p *report.Page) {
+	s := p.AddSection("Fig. 2 — HPA target-CPU sweep",
+		"200 BLAST jobs with known requirements on a cluster capped at 15 nodes, under the Horizontal Pod Autoscaler at three target CPU loads, against an ideal fixed fleet.")
+	s.AddRow("Config", "Runtime", "Max workers", "Mean CPU util")
+	for _, row := range r.Rows {
+		s.AddRow(row.Config, fmtSeconds(row.Runtime),
+			fmt.Sprintf("%.0f", row.MaxWorkers), fmt.Sprintf("%.1f%%", row.MeanCPUUtil*100))
+	}
+	s.AddRow("Ideal", fmtSeconds(r.Ideal.Runtime), "45", fmt.Sprintf("%.1f%%", r.Ideal.MeanCPUUtil*100))
+	for _, row := range r.Rows {
+		run := r.Runs[row.Config]
+		s.AddChart(row.Config+" — workers", "workers", run.End, run.Workers, run.Desired, run.Ideal)
+	}
+}
+
+// AddToPage renders Fig. 4.
+func (r *Fig4Report) AddToPage(p *report.Page) {
+	s := p.AddSection("Fig. 4 — worker-pod sizing",
+		"100 BLAST jobs sharing a 1.4 GB cacheable input on 5 three-core nodes: fine-grained one-core workers vs node-sized workers with unknown and known task requirements.")
+	s.AddRow("Config", "Runtime", "Avg bandwidth", "Mean CPU util")
+	for _, row := range r.Rows {
+		s.AddRow(row.Config, fmtSeconds(row.Runtime),
+			fmt.Sprintf("%.1f MB/s", row.AvgBandwidth), fmt.Sprintf("%.1f%%", row.MeanCPUUtil*100))
+	}
+	addSupplyCharts(s, r.Runs, "(a) fine-grained 15x1c", "(b) coarse 5x3c unknown", "(c) coarse 5x3c known")
+}
+
+// AddToPage renders Fig. 6.
+func (r *Fig6Report) AddToPage(p *report.Page) {
+	s := p.AddSection("Fig. 6 — resource-initialization latency",
+		fmt.Sprintf("Ten cold-start probes; mean %.1f s, std %.1f s (paper: 157.4 s / 4.2 s).", r.MeanSec, r.StdSec))
+	s.AddRow("Probe", "Initialization time")
+	for i, d := range r.Samples {
+		s.AddRow(fmt.Sprintf("run %d", i+1), fmtSeconds(d))
+	}
+}
+
+func addSummarySection(p *report.Page, title, preamble string, rows []SummaryRow, runs map[string]*RunResult, names ...string) {
+	s := p.AddSection(title, preamble)
+	s.AddRow("Autoscaler", "Runtime", "Accum. waste", "Accum. shortage")
+	for _, row := range rows {
+		s.AddRow(row.Autoscaler, fmtSeconds(row.Runtime), fmtCoreS(row.Waste), fmtCoreS(row.Shortage))
+	}
+	addSupplyCharts(s, runs, names...)
+}
+
+// AddToPage renders Fig. 10.
+func (r *Fig10Report) AddToPage(p *report.Page) {
+	addSummarySection(p, "Fig. 10 — multistage BLAST workflow",
+		"Three barrier-separated stages of 200/34/164 tasks on a 20-node (60-core) cluster. HPA pins the fleet at its peak; HTA follows the stage structure.",
+		r.Rows, r.Runs, "HPA(20% CPU)", "HPA(50% CPU)", "HTA")
+	if hta := r.Runs["HTA"]; hta != nil && hta.CategoryOutstanding != nil {
+		s := p.Sections[len(p.Sections)-1]
+		series := sortedCategorySeries(hta)
+		if len(series) > 0 {
+			s.AddChart("Fig. 10a — outstanding tasks per stage (HTA run)", "tasks", hta.End, series...)
+		}
+	}
+}
+
+// AddToPage renders Fig. 11.
+func (r *Fig11Report) AddToPage(p *report.Page) {
+	addSummarySection(p, "Fig. 11 — I/O-bound workload",
+		"200 dd-style tasks at ≈15% CPU. The CPU-threshold autoscaler never scales; HTA counts the processors tasks occupy and scales to quota.",
+		r.Rows, r.Runs, "HPA(20% CPU)", "HTA")
+}
+
+// AddToPage renders the S2 stream.
+func (r *StreamReport) AddToPage(p *report.Page) {
+	addSummarySection(p, "Stream S2 — diurnal arrival stream",
+		fmt.Sprintf("%d tasks arriving over two hours at a sinusoidal 2-18 tasks/min rate. HTA tracks the wave; HPA holds the peak.", r.Tasks),
+		r.Rows, r.Runs, "HPA(20% CPU)", "HTA")
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hta/internal/report"
+)
+
+// TestRenderersAndExports exercises every report's String, CSV and
+// HTML paths on real (small-seed) runs.
+func TestRenderersAndExports(t *testing.T) {
+	dir := t.TempDir()
+	page := report.NewPage("test")
+
+	fig2, err := Fig2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig2.String(); !strings.Contains(out, "Config-99") || !strings.Contains(out, "Ideal") {
+		t.Errorf("fig2 render:\n%s", out)
+	}
+	if err := fig2.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	fig2.AddToPage(page)
+
+	fig4, err := Fig4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig4.String(); !strings.Contains(out, "coarse 5x3c known") {
+		t.Errorf("fig4 render:\n%s", out)
+	}
+	if err := fig4.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	fig4.AddToPage(page)
+
+	fig6, err := Fig6(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig6.String(); !strings.Contains(out, "mean") {
+		t.Errorf("fig6 render:\n%s", out)
+	}
+	fig6.AddToPage(page)
+
+	fig10, err := Fig10(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig10.String(); !strings.Contains(out, "Fig. 10c") || !strings.Contains(out, "stage2") {
+		t.Errorf("fig10 render:\n%s", out)
+	}
+	if err := fig10.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	fig10.AddToPage(page)
+
+	fig11, err := Fig11(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig11.String(); !strings.Contains(out, "Fig. 11c") {
+		t.Errorf("fig11 render:\n%s", out)
+	}
+	if err := fig11.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	fig11.AddToPage(page)
+
+	stream, err := Stream(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := stream.String(); !strings.Contains(out, "Stream summary") {
+		t.Errorf("stream render:\n%s", out)
+	}
+	stream.AddToPage(page)
+
+	// CSV files exist and carry the header.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("csv files = %d, want several", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "elapsed_s,") {
+		t.Errorf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+
+	// The HTML page renders with every section.
+	var b strings.Builder
+	if err := page.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	for _, want := range []string{"Fig. 2", "Fig. 4", "Fig. 6", "Fig. 10", "Fig. 11", "Stream S2", "<svg"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestAblationRenderers(t *testing.T) {
+	a1, err := AblationFixedCycle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a1.String(); !strings.Contains(out, "fixed 600s") {
+		t.Errorf("a1 render:\n%s", out)
+	}
+	a2, err := AblationNoCategories(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a2.String(); !strings.Contains(out, "CPU utilization") {
+		t.Errorf("a2 render:\n%s", out)
+	}
+	a3, err := AblationHPAStabilization(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a3.String(); !strings.Contains(out, "stab") {
+		t.Errorf("a3 render:\n%s", out)
+	}
+	a4, err := AblationQueueScaler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a4.String(); !strings.Contains(out, "interrupted") {
+		t.Errorf("a4 render:\n%s", out)
+	}
+	a5, err := AblationDispatchPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a5.String(); !strings.Contains(out, "worst-fit") {
+		t.Errorf("a5 render:\n%s", out)
+	}
+	s1, err := SweepInitLatency(2, 60e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s1.String(); !strings.Contains(out, "Provision") {
+		t.Errorf("s1 render:\n%s", out)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/bind"
+	"hta/internal/core"
+	"hta/internal/hpa"
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/workload"
+	"hta/internal/wq"
+)
+
+// StreamReport (S2) runs an open-loop diurnal arrival stream — tasks
+// arriving over two hours with a sinusoidal rate — under HTA and
+// HPA-20%. Batch workflows end; a stream never stops demanding, so
+// this scenario exercises both directions of scaling repeatedly: the
+// autoscaler must grow into each wave crest and release capacity in
+// each trough.
+type StreamReport struct {
+	Rows  []SummaryRow
+	Runs  map[string]*RunResult
+	Tasks int
+}
+
+// submitter abstracts HTA vs raw-master submission for timed arrivals.
+type submitter interface {
+	Submit(spec wq.TaskSpec) int
+}
+
+// runStreamCommon drives timed submissions and waits for all
+// completions.
+func runStreamCommon(name string, eng *simclock.Engine, master *wq.Master,
+	sub submitter, tasks []workload.TimedTask, sm *sampler, timeout time.Duration) (*RunResult, error) {
+
+	res := &RunResult{Name: name, Start: eng.Now()}
+	countRequeues(master, res)
+	completed := 0
+	master.OnComplete(func(wq.Result) { completed++ })
+	for _, tt := range tasks {
+		spec := tt.Spec
+		eng.At(eng.Now().Add(tt.At), "stream-arrival", func() { sub.Submit(spec) })
+	}
+	sm.sample(eng.Now())
+	deadline := eng.Now().Add(timeout)
+	eng.RunWhile(func() bool { return completed < len(tasks) && eng.Now().Before(deadline) })
+	if completed < len(tasks) {
+		return nil, &ErrTimeout{Name: name, Deadline: timeout, Stats: master.Stats()}
+	}
+	res.End = eng.Now()
+	res.Runtime = eng.Elapsed()
+	res.Completed = master.CompletedCount()
+	sm.finish(res)
+	return res, nil
+}
+
+// RunHTAStream executes a timed arrival stream through HTA.
+func RunHTAStream(name string, tasks []workload.TimedTask, opt HTAOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	eng := simclock.NewEngine(SimStart)
+	if opt.Kube.Seed == 0 {
+		opt.Kube.Seed = 1
+	}
+	cluster := kubesim.NewCluster(eng, opt.Kube)
+	defer cluster.Stop()
+	master := wq.NewMaster(eng, nil)
+	a := core.New(eng, cluster, master, opt.HTA)
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	sm := newSampler(master, cluster, opt.Kube.MaxNodes)
+	sm.estimator = a.Monitor()
+	sm.heldFn = a.HeldTasks
+	sm.desiredFn = a.WorkerPodCount
+	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+	return runStreamCommon(name, eng, master, a, tasks, sm, opt.Timeout)
+}
+
+// RunHPAStream executes a timed arrival stream on an HPA-scaled fleet.
+func RunHPAStream(name string, tasks []workload.TimedTask, opt HPAOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	if opt.PodResources.IsZero() {
+		opt.PodResources = resources.New(1, 4096, 10000)
+	}
+	if opt.InitialReplicas == 0 {
+		opt.InitialReplicas = 3
+	}
+	eng := simclock.NewEngine(SimStart)
+	if opt.Kube.Seed == 0 {
+		opt.Kube.Seed = 1
+	}
+	cluster := kubesim.NewCluster(eng, opt.Kube)
+	defer cluster.Stop()
+	master := wq.NewMaster(eng, nil)
+	bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	ws := kubesim.NewWorkerSet(cluster, "wq-workers", kubesim.PodSpec{
+		Image:     "wq-worker",
+		Resources: opt.PodResources,
+		Labels:    map[string]string{"app": "wq-worker"},
+	}, opt.InitialReplicas)
+	defer ws.Stop()
+	h := hpa.New(cluster, ws, opt.HPA)
+	defer h.Stop()
+	sm := newSampler(master, cluster, opt.HPA.MaxReplicas)
+	sm.desiredFn = func() int { return h.LastDesired }
+	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+	return runStreamCommon(name, eng, master, master, tasks, sm, opt.Timeout)
+}
+
+// Stream runs S2.
+func Stream(seed int64) (*StreamReport, error) {
+	rep := &StreamReport{Runs: make(map[string]*RunResult)}
+	kube := kubesim.Config{
+		InitialNodes:   3,
+		MinNodes:       1,
+		MaxNodes:       20,
+		ScaleDownDelay: 10 * time.Minute,
+		Seed:           seed,
+	}
+
+	ps := workload.DefaultStream()
+	ps.Seed = seed
+	ps.Declared = true
+	tasks := ps.Tasks()
+	rep.Tasks = len(tasks)
+	hpaRes, err := RunHPAStream("HPA(20% CPU)", tasks, HPAOptions{
+		Kube: kube,
+		HPA: hpa.Config{
+			TargetCPUUtilization: 0.20,
+			MinReplicas:          3,
+			MaxReplicas:          60,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs[hpaRes.Name] = hpaRes
+	rep.Rows = append(rep.Rows, summaryRow(hpaRes.Name, hpaRes))
+
+	pu := workload.DefaultStream()
+	pu.Seed = seed // undeclared: HTA measures the category
+	htaRes, err := RunHTAStream("HTA", pu.Tasks(), HTAOptions{
+		Kube: kube,
+		HTA:  core.Config{MaxWorkers: 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs["HTA"] = htaRes
+	rep.Rows = append(rep.Rows, summaryRow("HTA", htaRes))
+	return rep, nil
+}
+
+// String renders supply series plus the summary table.
+func (r *StreamReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stream S2 — diurnal arrival stream (%d tasks over 2h, rate 2-18/min)\n", r.Tasks)
+	for _, name := range []string{"HPA(20% CPU)", "HTA"} {
+		run := r.Runs[name]
+		if run == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s supply (cores):\n%s", name, run.Account.Supply.ASCII(run.End, 12, 40))
+	}
+	fmt.Fprintf(&b, "\n%s", summaryTable("Stream summary", r.Rows))
+	return b.String()
+}

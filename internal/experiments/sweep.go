@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/core"
+	"hta/internal/hpa"
+	"hta/internal/resources"
+	"hta/internal/workload"
+)
+
+// SweepInitLatencyReport (S1) sweeps the cloud's node-provisioning
+// latency and runs the multistage workflow under HPA-20% and HTA at
+// each point. The init time is HTA's third signal: as provisioning
+// gets slower, a scaler that plans around the measured latency keeps
+// its efficiency edge, while both scalers' runtimes stretch with the
+// cloud. (On a hypothetical instant cloud the signal is worthless —
+// the sweep quantifies when it starts paying.)
+type SweepInitLatencyReport struct {
+	Rows []SweepRow
+}
+
+// SweepRow is one (latency, autoscaler) outcome.
+type SweepRow struct {
+	ProvisionMean time.Duration
+	Autoscaler    string
+	Runtime       time.Duration
+	Waste         float64
+	Shortage      float64
+}
+
+// SweepInitLatency runs S1 over the given provisioning means
+// (defaults: 30 s, 140 s, 400 s).
+func SweepInitLatency(seed int64, means ...time.Duration) (*SweepInitLatencyReport, error) {
+	if len(means) == 0 {
+		means = []time.Duration{30 * time.Second, 140 * time.Second, 400 * time.Second}
+	}
+	rep := &SweepInitLatencyReport{}
+	podRes := resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
+	for _, mean := range means {
+		kube := fig10Kube(seed)
+		kube.ProvisionMean = mean
+		kube.ProvisionStdDev = time.Duration(float64(mean) * 0.03)
+		kube.ProvisionMin = mean / 4
+
+		pd := workload.DefaultMultistage()
+		pd.Seed = seed
+		pd.Declared = true
+		g, spec, err := pd.Build()
+		if err != nil {
+			return nil, err
+		}
+		hpaRes, err := RunHPA("HPA", Workload{Graph: g, Spec: spec}, HPAOptions{
+			Kube:            kube,
+			PodResources:    podRes,
+			InitialReplicas: 3,
+			HPA: hpa.Config{
+				TargetCPUUtilization: 0.20,
+				MaxReplicas:          60,
+			},
+			Timeout: fig10Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, SweepRow{
+			ProvisionMean: mean, Autoscaler: "HPA-20%",
+			Runtime: hpaRes.Runtime, Waste: hpaRes.AccumulatedWaste(), Shortage: hpaRes.AccumulatedShortage(),
+		})
+
+		p := workload.DefaultMultistage()
+		p.Seed = seed
+		g2, spec2, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		htaRes, err := RunHTA("HTA", Workload{Graph: g2, Spec: spec2}, HTAOptions{
+			Kube:    kube,
+			HTA:     core.Config{MaxWorkers: 20},
+			Timeout: fig10Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, SweepRow{
+			ProvisionMean: mean, Autoscaler: "HTA",
+			Runtime: htaRes.Runtime, Waste: htaRes.AccumulatedWaste(), Shortage: htaRes.AccumulatedShortage(),
+		})
+	}
+	return rep, nil
+}
+
+// String renders the sweep table.
+func (r *SweepInitLatencyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep S1 — node-provisioning latency (multistage BLAST)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %10s %16s %16s\n", "Provision", "Autoscaler", "Runtime", "Waste", "Shortage")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %-10s %9.0fs %11.0f core-s %11.0f core-s\n",
+			row.ProvisionMean, row.Autoscaler, row.Runtime.Seconds(), row.Waste, row.Shortage)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+// Package flow is the workflow-manager side of the stack: it walks a
+// dag.Graph, submits ready tasks to a job scheduler (directly to a
+// Work Queue master, or through the HTA middleware), and releases
+// newly ready tasks as their dependencies complete — what Makeflow
+// does once it has parsed a workflow description.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"hta/internal/dag"
+	"hta/internal/wq"
+)
+
+// Scheduler is the submission interface a runner drives. Both
+// *wq.Master and *core.Autoscaler satisfy it.
+type Scheduler interface {
+	// Submit enqueues a task and returns its ID (0 when the
+	// scheduler defers the task internally).
+	Submit(spec wq.TaskSpec) int
+	// OnComplete subscribes to task completions.
+	OnComplete(fn func(wq.Result))
+}
+
+// SpecFunc converts a DAG node into a task spec. The runner sets the
+// spec's Tag to the node ID regardless of what the function returns
+// there.
+type SpecFunc func(n dag.Node) wq.TaskSpec
+
+// Runner executes one graph on one scheduler. It serializes its own
+// state internally, so completions may arrive from any goroutine —
+// the TCP master delivers them from per-connection readers, the
+// simulated master from the event loop.
+type Runner struct {
+	mu     sync.Mutex
+	g      *dag.Graph
+	sched  Scheduler
+	spec   SpecFunc
+	onDone []func()
+	done   bool
+	failed error
+}
+
+// NewRunner prepares a runner; Start submits the initial frontier.
+func NewRunner(g *dag.Graph, sched Scheduler, spec SpecFunc) *Runner {
+	r := &Runner{g: g, sched: sched, spec: spec}
+	sched.OnComplete(r.onComplete)
+	return r
+}
+
+// OnAllDone subscribes to workflow completion. The callback runs on
+// whichever goroutine delivers the final completion.
+func (r *Runner) OnAllDone(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onDone = append(r.onDone, fn)
+}
+
+// Done reports whether every node completed.
+func (r *Runner) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// Err returns the first internal consistency error, if any.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// Start submits the graph's ready frontier.
+func (r *Runner) Start() {
+	r.mu.Lock()
+	fire := r.submitReady()
+	r.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+// submitReady drains the ready frontier; the caller holds r.mu. It
+// returns the completion callbacks to fire (outside the lock) when
+// this call finished the workflow.
+func (r *Runner) submitReady() []func() {
+	for {
+		progressed := false
+		for _, id := range r.g.Ready() {
+			n, _ := r.g.Node(id)
+			if err := r.g.Start(id); err != nil {
+				r.fail(err)
+				return nil
+			}
+			if n.Local {
+				// LOCAL rules run at the workflow manager itself
+				// (instantaneous bookkeeping steps like renames);
+				// they never reach the scheduler.
+				if _, err := r.g.Complete(id); err != nil {
+					r.fail(err)
+					return nil
+				}
+				progressed = true
+				continue
+			}
+			spec := r.spec(n)
+			spec.Tag = id
+			r.sched.Submit(spec)
+		}
+		if !progressed {
+			break
+		}
+	}
+	if r.g.Done() && !r.done {
+		r.done = true
+		fire := make([]func(), len(r.onDone))
+		copy(fire, r.onDone)
+		return fire
+	}
+	return nil
+}
+
+func (r *Runner) onComplete(res wq.Result) {
+	r.mu.Lock()
+	id := res.Task.Tag
+	if r.g.State(id) != dag.Running {
+		r.mu.Unlock()
+		return // not ours (shared master) or already handled
+	}
+	if _, err := r.g.Complete(id); err != nil {
+		r.fail(err)
+		r.mu.Unlock()
+		return
+	}
+	fire := r.submitReady()
+	r.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+func (r *Runner) fail(err error) {
+	if r.failed == nil {
+		r.failed = fmt.Errorf("flow: %w", err)
+	}
+}
+
+// FromSpecs builds a trivial graph (no dependencies) from a list of
+// task specs — the flat bag-of-tasks shape of the paper's Fig. 2,
+// Fig. 4 and I/O-bound workloads — and returns it with its SpecFunc.
+func FromSpecs(specs []wq.TaskSpec) (*dag.Graph, SpecFunc, error) {
+	g := dag.NewGraph()
+	byID := make(map[string]wq.TaskSpec, len(specs))
+	for i, spec := range specs {
+		id := fmt.Sprintf("task%d", i)
+		byID[id] = spec
+		if err := g.Add(dag.Node{ID: id, Category: spec.Category}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	return g, func(n dag.Node) wq.TaskSpec { return byID[n.ID] }, nil
+}

@@ -1,0 +1,185 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"hta/internal/dag"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func spec(d time.Duration) wq.TaskSpec {
+	return wq.TaskSpec{
+		Resources: resources.New(1, 1024, 10),
+		Profile:   wq.Profile{ExecDuration: d, UsedCPUMilli: 900},
+	}
+}
+
+func TestRunnerExecutesDiamond(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("w1", resources.New(3, 12288, 1000))
+
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "a", Outputs: []string{"a.out"}})
+	g.Add(dag.Node{ID: "b", Inputs: []string{"a.out"}, Outputs: []string{"b.out"}})
+	g.Add(dag.Node{ID: "c", Inputs: []string{"a.out"}, Outputs: []string{"c.out"}})
+	g.Add(dag.Node{ID: "d", Inputs: []string{"b.out", "c.out"}})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec { return spec(10 * time.Second) })
+	doneAt := time.Duration(0)
+	r.OnAllDone(func() { doneAt = eng.Elapsed() })
+	r.Start()
+	eng.Run()
+	if !r.Done() {
+		t.Fatal("runner not done")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	// a (10s) → b,c parallel (10s) → d (10s) = 30s.
+	if doneAt != 30*time.Second {
+		t.Errorf("done at %v, want 30s", doneAt)
+	}
+	if m.CompletedCount() != 4 {
+		t.Errorf("completed = %d", m.CompletedCount())
+	}
+}
+
+func TestRunnerSetsTagToNodeID(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("w1", resources.New(3, 12288, 1000))
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "only"})
+	g.Finalize()
+	var gotTag string
+	m.OnComplete(func(r wq.Result) { gotTag = r.Task.Tag })
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec {
+		s := spec(time.Second)
+		s.Tag = "should-be-overwritten"
+		return s
+	})
+	r.Start()
+	eng.Run()
+	if gotTag != "only" {
+		t.Errorf("tag = %q, want node ID", gotTag)
+	}
+}
+
+func TestRunnerIgnoresForeignCompletions(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("w1", resources.New(3, 12288, 1000))
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "mine"})
+	g.Finalize()
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec { return spec(5 * time.Second) })
+	r.Start()
+	// A foreign task (submitted outside the runner) completes first.
+	foreign := spec(time.Second)
+	foreign.Tag = "foreign"
+	m.Submit(foreign)
+	eng.Run()
+	if !r.Done() || r.Err() != nil {
+		t.Fatalf("done=%v err=%v", r.Done(), r.Err())
+	}
+}
+
+func TestFromSpecs(t *testing.T) {
+	specs := []wq.TaskSpec{spec(time.Second), spec(2 * time.Second), spec(3 * time.Second)}
+	specs[1].Category = "special"
+	g, fn, err := FromSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := len(g.Ready()); got != 3 {
+		t.Errorf("ready = %d, want all (no deps)", got)
+	}
+	n, _ := g.Node("task1")
+	if n.Category != "special" {
+		t.Errorf("category = %q", n.Category)
+	}
+	if got := fn(n); got.Profile.ExecDuration != 2*time.Second {
+		t.Errorf("spec mapping wrong: %v", got.Profile.ExecDuration)
+	}
+}
+
+func TestFromSpecsRunsFlat(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("w1", resources.New(3, 12288, 1000))
+	g, fn, _ := FromSpecs([]wq.TaskSpec{spec(10 * time.Second), spec(10 * time.Second), spec(10 * time.Second)})
+	r := NewRunner(g, m, fn)
+	r.Start()
+	eng.Run()
+	if !r.Done() {
+		t.Fatal("not done")
+	}
+	if eng.Elapsed() != 10*time.Second {
+		t.Errorf("elapsed = %v, want 10s (3 parallel)", eng.Elapsed())
+	}
+}
+
+func TestLocalNodesRunAtManager(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("w1", resources.New(3, 12288, 1000))
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "gen", Outputs: []string{"a"}})
+	g.Add(dag.Node{ID: "rename", Local: true, Inputs: []string{"a"}, Outputs: []string{"b"}})
+	g.Add(dag.Node{ID: "use", Inputs: []string{"b"}})
+	g.Finalize()
+	submitted := make(map[string]bool)
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec {
+		submitted[n.ID] = true
+		return spec(10 * time.Second)
+	})
+	done := false
+	r.OnAllDone(func() { done = true })
+	r.Start()
+	eng.Run()
+	if !done || r.Err() != nil {
+		t.Fatalf("done=%v err=%v", done, r.Err())
+	}
+	if submitted["rename"] {
+		t.Error("LOCAL node was submitted to the scheduler")
+	}
+	if m.CompletedCount() != 2 {
+		t.Errorf("scheduler completed %d, want 2 (gen, use)", m.CompletedCount())
+	}
+	// gen (10s) → rename (instant) → use (10s).
+	if eng.Elapsed() != 20*time.Second {
+		t.Errorf("elapsed = %v, want 20s", eng.Elapsed())
+	}
+}
+
+func TestAllLocalWorkflowCompletesWithoutWorkers(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil) // no workers at all
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "a", Local: true, Outputs: []string{"a.out"}})
+	g.Add(dag.Node{ID: "b", Local: true, Inputs: []string{"a.out"}})
+	g.Finalize()
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec { return spec(time.Second) })
+	done := false
+	r.OnAllDone(func() { done = true })
+	r.Start()
+	eng.Run()
+	if !done {
+		t.Fatal("all-local workflow did not complete")
+	}
+	if eng.Elapsed() != 0 {
+		t.Errorf("elapsed = %v, want instant", eng.Elapsed())
+	}
+}

@@ -1,0 +1,180 @@
+package hpa
+
+import (
+	"testing"
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// harness wires a cluster, a worker set whose pods all report the
+// usage fraction held in *util (relative to a 1-core request), and an
+// HPA.
+type harness struct {
+	eng  *simclock.Engine
+	c    *kubesim.Cluster
+	ws   *kubesim.WorkerSet
+	h    *Controller
+	util *float64
+}
+
+func newHarness(t *testing.T, cfg Config, initialReplicas int) *harness {
+	t.Helper()
+	eng := simclock.NewEngine(t0)
+	c := kubesim.NewCluster(eng, kubesim.Config{
+		InitialNodes: 25, MaxNodes: 30, Seed: 1,
+	})
+	util := new(float64)
+	template := kubesim.PodSpec{
+		Image:     "wq-worker",
+		Resources: resources.New(1, 1024, 100),
+		Usage: func() resources.Vector {
+			return resources.Vector{MilliCPU: int64(*util * 1000)}
+		},
+	}
+	ws := kubesim.NewWorkerSet(c, "workers", template, initialReplicas)
+	h := New(c, ws, cfg)
+	t.Cleanup(func() { h.Stop(); ws.Stop(); c.Stop() })
+	return &harness{eng: eng, c: c, ws: ws, h: h, util: util}
+}
+
+func TestScaleUpOnHighUtilization(t *testing.T) {
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.3, MaxReplicas: 20}, 1)
+	*hs.util = 0.9
+	hs.eng.RunFor(60 * time.Second)
+	// ratio = 0.9/0.3 = 3 → 1 pod becomes 3; pending pods then damp
+	// further growth until they run, after which it grows again.
+	if got := hs.ws.Replicas(); got < 3 {
+		t.Errorf("replicas = %d, want >= 3", got)
+	}
+	hs.eng.RunFor(10 * time.Minute)
+	if got := hs.ws.Replicas(); got != 20 {
+		t.Errorf("replicas = %d, want to reach max 20", got)
+	}
+	if hs.h.Syncs() == 0 {
+		t.Error("no syncs recorded")
+	}
+}
+
+func TestToleranceSuppressesResize(t *testing.T) {
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.5}, 4)
+	*hs.util = 0.52 // ratio 1.04, inside ±0.1
+	hs.eng.RunFor(5 * time.Minute)
+	if got := hs.ws.Replicas(); got != 4 {
+		t.Errorf("replicas = %d, want unchanged 4", got)
+	}
+}
+
+func TestHighTargetNeverScalesUp(t *testing.T) {
+	// The paper's Config-99: jobs use ~87% CPU, target 99% — the
+	// ratio stays below 1+tolerance and the cluster never grows.
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.99, MaxReplicas: 15}, 1)
+	*hs.util = 0.87
+	hs.eng.RunFor(20 * time.Minute)
+	if got := hs.ws.Replicas(); got != 1 {
+		t.Errorf("replicas = %d, want 1 (never scales)", got)
+	}
+}
+
+func TestScaleDownWaitsForStabilization(t *testing.T) {
+	hs := newHarness(t, Config{
+		TargetCPUUtilization:   0.5,
+		ScaleDownStabilization: 5 * time.Minute,
+	}, 6)
+	*hs.util = 0.5
+	hs.eng.RunFor(time.Minute)
+	if got := hs.ws.Replicas(); got != 6 {
+		t.Fatalf("replicas = %d before drop", got)
+	}
+	// Load vanishes.
+	*hs.util = 0.0
+	hs.eng.RunFor(2 * time.Minute)
+	if got := hs.ws.Replicas(); got != 6 {
+		t.Errorf("replicas = %d during stabilization window, want 6", got)
+	}
+	hs.eng.RunFor(6 * time.Minute)
+	if got := hs.ws.Replicas(); got != 1 {
+		t.Errorf("replicas = %d after window, want floor 1", got)
+	}
+}
+
+func TestPendingPodsDampScaleUp(t *testing.T) {
+	// Cluster with a single 3-core node: only 3 one-core workers can
+	// run; the rest stay Pending with zero usage and hold the
+	// average down.
+	eng := simclock.NewEngine(t0)
+	c := kubesim.NewCluster(eng, kubesim.Config{InitialNodes: 1, MaxNodes: 1, Seed: 1})
+	util := 0.95
+	template := kubesim.PodSpec{
+		Image:     "wq-worker",
+		Resources: resources.New(1, 1024, 100),
+		Usage: func() resources.Vector {
+			return resources.Vector{MilliCPU: int64(util * 1000)}
+		},
+	}
+	ws := kubesim.NewWorkerSet(c, "workers", template, 1)
+	h := New(c, ws, Config{TargetCPUUtilization: 0.1, MaxReplicas: 50})
+	defer func() { h.Stop(); ws.Stop(); c.Stop() }()
+	eng.RunFor(10 * time.Minute)
+	// Unbounded growth would hit 50; the conservative missing-metrics
+	// rule caps the overshoot well below that: with 3 running pods at
+	// 95%, requests R satisfy 2850/R ≥ 10% ⇒ R ≤ ~29 replicas.
+	got := ws.Replicas()
+	if got > 30 {
+		t.Errorf("replicas = %d, want damped (≤30)", got)
+	}
+	if got < 10 {
+		t.Errorf("replicas = %d, want clear scale-up pressure (≥10)", got)
+	}
+}
+
+func TestZeroLivePodsReconcilesToFloor(t *testing.T) {
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.5, MinReplicas: 2}, 0)
+	hs.eng.RunFor(time.Minute)
+	if got := hs.ws.Replicas(); got != 2 {
+		t.Errorf("replicas = %d, want MinReplicas 2", got)
+	}
+}
+
+func TestMaxReplicasClamp(t *testing.T) {
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.1, MaxReplicas: 5}, 2)
+	*hs.util = 1.0
+	hs.eng.RunFor(10 * time.Minute)
+	if got := hs.ws.Replicas(); got != 5 {
+		t.Errorf("replicas = %d, want clamp at 5", got)
+	}
+}
+
+func TestLastDesiredExposed(t *testing.T) {
+	hs := newHarness(t, Config{TargetCPUUtilization: 0.3}, 1)
+	*hs.util = 0.9
+	hs.eng.RunFor(30 * time.Second)
+	if hs.h.LastDesired < 3 {
+		t.Errorf("LastDesired = %d, want ≥3", hs.h.LastDesired)
+	}
+	if hs.h.LastUtilization < 0.5 {
+		t.Errorf("LastUtilization = %v", hs.h.LastUtilization)
+	}
+}
+
+func TestInvalidTargetPanics(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	c := kubesim.NewCluster(eng, kubesim.Config{Seed: 1})
+	defer c.Stop()
+	ws := kubesim.NewWorkerSet(c, "w", kubesim.PodSpec{Image: "i", Resources: resources.Cores(1)}, 0)
+	defer ws.Stop()
+	for _, target := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("target %v: expected panic", target)
+				}
+			}()
+			New(c, ws, Config{TargetCPUUtilization: target})
+		}()
+	}
+}

@@ -1,0 +1,45 @@
+package kubesim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hta/internal/simclock"
+)
+
+// BenchmarkSchedulerSweep measures one scheduler pass over a cluster
+// with 100 nodes and 300 pods.
+func BenchmarkSchedulerSweep(b *testing.B) {
+	eng := simclock.NewEngine(t0)
+	c := NewCluster(eng, Config{InitialNodes: 100, MaxNodes: 100, Seed: 1})
+	defer c.Stop()
+	for i := 0; i < 300; i++ {
+		c.CreatePod(smallPod(fmt.Sprintf("p%d", i)))
+	}
+	eng.RunFor(time.Minute) // bind + start everything
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.scheduleOnce()
+	}
+}
+
+// BenchmarkClusterLifecycle measures a complete scale-up/down cycle:
+// 20 node-sized pods on a 3-node cluster growing to quota.
+func BenchmarkClusterLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := simclock.NewEngine(t0)
+		c := NewCluster(eng, Config{InitialNodes: 3, MaxNodes: 20, Seed: int64(i + 1)})
+		for j := 0; j < 20; j++ {
+			spec := smallPod(fmt.Sprintf("p%d", j))
+			spec.Resources = c.Config().NodeAllocatable
+			c.CreatePod(spec)
+		}
+		eng.RunFor(10 * time.Minute)
+		if got := c.ReadyNodes(); got != 20 {
+			b.Fatalf("nodes = %d", got)
+		}
+		c.Stop()
+	}
+}

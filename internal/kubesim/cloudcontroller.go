@@ -1,0 +1,186 @@
+package kubesim
+
+import (
+	"fmt"
+	"time"
+
+	"hta/internal/resources"
+)
+
+// addNode registers a ready node with the API server.
+func (c *Cluster) addNode() *Node {
+	c.nodeSeq++
+	now := c.eng.Now()
+	n := &Node{
+		Name:        fmt.Sprintf("node-%d", c.nodeSeq),
+		Allocatable: c.cfg.NodeAllocatable,
+		Ready:       true,
+		CreatedAt:   now,
+		ReadyAt:     now,
+		Images:      make(map[string]bool),
+		EmptySince:  now,
+	}
+	c.nodes[n.Name] = n
+	c.recordEvent("node/"+n.Name, ReasonNodeReady, "node is ready")
+	c.notifyNode(Added, n)
+	return n
+}
+
+func (c *Cluster) removeNode(n *Node) {
+	delete(c.nodes, n.Name)
+	c.recordEvent("node/"+n.Name, ReasonNodeRemoved, "empty node removed")
+	c.notifyNode(Deleted, n)
+}
+
+// cloudControllerOnce is the cloud-controller-manager / cluster-
+// autoscaler loop: reserve machines for unschedulable pods (batched
+// per loop iteration, so same-batch nodes share provisioning latency,
+// matching the paper's observation in §IV-B) and release nodes that
+// have been empty longer than ScaleDownDelay.
+func (c *Cluster) cloudControllerOnce() {
+	c.scaleUpForPending()
+	c.scaleDownEmpty()
+}
+
+func (c *Cluster) scaleUpForPending() {
+	var unsched []*Pod
+	for _, p := range c.pods {
+		if p.Phase == PodPending && p.NodeName == "" && p.UnschedulableSeen {
+			// A node of the standard shape must be able to host the
+			// pod at all, or provisioning would never help.
+			if p.Resources.Fits(c.cfg.NodeAllocatable) {
+				unsched = append(unsched, p)
+			}
+		}
+	}
+	if len(unsched) == 0 {
+		return
+	}
+	// Nodes already being reserved will absorb part of the pending
+	// demand; only provision the remainder.
+	needed := c.nodesNeededFor(unsched) - c.provisioning
+	room := c.cfg.MaxNodes - len(c.nodes) - c.provisioning
+	if needed > room {
+		needed = room
+	}
+	if needed <= 0 {
+		return
+	}
+	// One latency sample per batch: machines reserved together in the
+	// same zone become ready at nearly the same time.
+	base := c.rng.TruncNormal(
+		c.cfg.ProvisionMean.Seconds(),
+		c.cfg.ProvisionStdDev.Seconds(),
+		c.cfg.ProvisionMin.Seconds(),
+		c.cfg.ProvisionMean.Seconds()+10*c.cfg.ProvisionStdDev.Seconds(),
+	)
+	c.provisioning += needed
+	c.recordEvent("cluster", ReasonScaleUp,
+		fmt.Sprintf("reserving %d nodes (pending unschedulable pods: %d)", needed, len(unsched)))
+	for i := 0; i < needed; i++ {
+		jitter := c.rng.Normal(0, 0.5)
+		if jitter < 0 {
+			jitter = -jitter
+		}
+		d := time.Duration((base + jitter) * float64(time.Second))
+		c.eng.After(d, "node-provision", func() {
+			c.provisioning--
+			c.addNode()
+		})
+	}
+}
+
+// nodesNeededFor first-fit packs the pending pods onto the free
+// space of existing ready nodes (capacity the scheduler has not yet
+// used, e.g. a node that just came up) and then onto hypothetical
+// empty nodes of the configured shape, returning only the count of
+// new nodes required.
+func (c *Cluster) nodesNeededFor(pods []*Pod) int {
+	var existing []resources.Vector
+	for _, n := range c.sortedNodes() {
+		if !n.Ready {
+			continue
+		}
+		free := n.Allocatable
+		for _, q := range c.pods {
+			if q.NodeName == n.Name && !q.Terminal() {
+				free = free.Sub(q.Resources)
+			}
+		}
+		existing = append(existing, free)
+	}
+	var bins []resources.Vector // free space per hypothetical new node
+	for _, p := range pods {
+		placedExisting := false
+		for i := range existing {
+			if p.Resources.Fits(existing[i]) {
+				existing[i] = existing[i].Sub(p.Resources)
+				placedExisting = true
+				break
+			}
+		}
+		if placedExisting {
+			continue
+		}
+		placed := false
+		for i := range bins {
+			if p.Resources.Fits(bins[i]) {
+				bins[i] = bins[i].Sub(p.Resources)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, c.cfg.NodeAllocatable.Sub(p.Resources))
+		}
+	}
+	return len(bins)
+}
+
+func (c *Cluster) scaleDownEmpty() {
+	now := c.eng.Now()
+	for _, n := range c.sortedNodes() {
+		if len(c.nodes)+c.provisioning <= c.cfg.MinNodes {
+			return
+		}
+		if !n.Ready || n.EmptySince.IsZero() {
+			continue
+		}
+		if now.Sub(n.EmptySince) < c.cfg.ScaleDownDelay {
+			continue
+		}
+		if !c.nodeIsEmpty(n) {
+			// Stale stamp; clear it.
+			n.EmptySince = time.Time{}
+			continue
+		}
+		c.recordEvent("cluster", ReasonScaleDown, "removing empty node "+n.Name)
+		c.removeNode(n)
+	}
+}
+
+// FailNode simulates an abrupt node loss (hardware failure, preempted
+// spot instance): the node disappears from the fleet and every pod
+// bound to it is killed, which informers observe as Deleted events
+// with reason Killing. The cloud controller will re-provision on the
+// next cycle if the dead pods' owners recreate them.
+func (c *Cluster) FailNode(name string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("kubesim: node %q not found", name)
+	}
+	var victims []string
+	for _, p := range c.ListPods(nil) {
+		if p.NodeName == name && !p.Terminal() {
+			victims = append(victims, p.Name)
+		}
+	}
+	for _, v := range victims {
+		if err := c.DeletePod(v); err != nil {
+			return err
+		}
+	}
+	c.recordEvent("node/"+name, "NodeFailure", fmt.Sprintf("node lost with %d pods", len(victims)))
+	c.removeNode(n)
+	return nil
+}

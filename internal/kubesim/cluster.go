@@ -1,0 +1,477 @@
+package kubesim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+// Config parameterizes the simulated cluster. Zero values take the
+// defaults documented on each field, which are calibrated to the
+// paper's GKE testbed (n1-standard-4 nodes with ~3 allocatable cores,
+// provisioning latency ≈ N(157.4 s, 4.2 s) including image pull).
+type Config struct {
+	// InitialNodes is the number of nodes present at start
+	// (default 3, the paper's minimum GKE cluster).
+	InitialNodes int
+	// MinNodes is the floor the cloud controller never scales below
+	// (default 1).
+	MinNodes int
+	// MaxNodes is the resource quota (default 20, the paper's cap).
+	MaxNodes int
+	// NodeAllocatable is the per-node allocatable resource vector
+	// (default 3 cores, 12 GB RAM, 100 GB disk — an n1-standard-4
+	// after system reservations, matching the paper's "20 nodes, 60
+	// cores").
+	NodeAllocatable resources.Vector
+	// ProvisionMean/ProvisionStdDev describe machine-reservation
+	// latency (defaults 140 s and 4 s; with the control-plane loops,
+	// image pull and container start this yields the ≈157 s
+	// end-to-end initialization of Fig. 6).
+	ProvisionMean   time.Duration
+	ProvisionStdDev time.Duration
+	// ProvisionMin bounds the truncated-normal sample from below
+	// (default 30 s).
+	ProvisionMin time.Duration
+	// ImageSizesMB maps image names to sizes; unknown images use
+	// DefaultImageSizeMB.
+	ImageSizesMB map[string]float64
+	// DefaultImageSizeMB is used for unlisted images (default 700).
+	DefaultImageSizeMB float64
+	// ImagePullMBps is the node's registry bandwidth (default 100).
+	ImagePullMBps float64
+	// ContainerStartDelay is the time from image-present to Running
+	// (default 1 s).
+	ContainerStartDelay time.Duration
+	// SchedulerInterval is the binding loop period (default 1 s).
+	SchedulerInterval time.Duration
+	// AutoscalerInterval is the cloud-controller loop period
+	// (default 10 s); scale-ups are batched at this granularity.
+	AutoscalerInterval time.Duration
+	// ScaleDownDelay is how long a node must stay empty before the
+	// cloud controller removes it (default 10 min, GKE's default).
+	ScaleDownDelay time.Duration
+	// Seed drives all stochastic latencies.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialNodes == 0 {
+		c.InitialNodes = 3
+	}
+	if c.MinNodes == 0 {
+		c.MinNodes = 1
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 20
+	}
+	if c.NodeAllocatable.IsZero() {
+		c.NodeAllocatable = resources.New(3, 12288, 100000)
+	}
+	if c.ProvisionMean == 0 {
+		c.ProvisionMean = 140 * time.Second
+	}
+	if c.ProvisionStdDev == 0 {
+		c.ProvisionStdDev = 4 * time.Second
+	}
+	if c.ProvisionMin == 0 {
+		c.ProvisionMin = 30 * time.Second
+	}
+	if c.DefaultImageSizeMB == 0 {
+		c.DefaultImageSizeMB = 700
+	}
+	if c.ImagePullMBps == 0 {
+		c.ImagePullMBps = 100
+	}
+	if c.ContainerStartDelay == 0 {
+		c.ContainerStartDelay = time.Second
+	}
+	if c.SchedulerInterval == 0 {
+		c.SchedulerInterval = time.Second
+	}
+	if c.AutoscalerInterval == 0 {
+		c.AutoscalerInterval = 10 * time.Second
+	}
+	if c.ScaleDownDelay == 0 {
+		c.ScaleDownDelay = 10 * time.Minute
+	}
+	return c
+}
+
+// Cluster is the simulated control plane plus node fleet. All methods
+// must be called from the owning goroutine (engine callbacks or the
+// code driving the engine); the simulation is single-threaded.
+type Cluster struct {
+	eng *simclock.Engine
+	cfg Config
+	rng *simclock.RNG
+
+	pods         map[string]*Pod
+	nodes        map[string]*Node
+	services     map[string]*Service
+	statefulsets map[string]*StatefulSet
+
+	uid     int64
+	nodeSeq int
+
+	events       []Event
+	podHandlers  []func(PodWatchEvent)
+	nodeHandlers []func(NodeWatchEvent)
+
+	tickers      []*simclock.Ticker
+	provisioning int                 // node count currently being reserved
+	pulls        map[string][]func() // node/image -> waiters
+	stopped      bool
+}
+
+// NewCluster builds a cluster with cfg.InitialNodes ready nodes and
+// starts the scheduler and cloud-controller loops on eng.
+func NewCluster(eng *simclock.Engine, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		eng:          eng,
+		cfg:          cfg,
+		rng:          simclock.NewRNG(cfg.Seed),
+		pods:         make(map[string]*Pod),
+		nodes:        make(map[string]*Node),
+		services:     make(map[string]*Service),
+		statefulsets: make(map[string]*StatefulSet),
+		pulls:        make(map[string][]func()),
+	}
+	for i := 0; i < cfg.InitialNodes; i++ {
+		c.addNode()
+	}
+	c.tickers = append(c.tickers,
+		eng.Every(cfg.SchedulerInterval, "kube-scheduler", c.scheduleOnce),
+		eng.Every(cfg.AutoscalerInterval, "cloud-controller", c.cloudControllerOnce),
+	)
+	return c
+}
+
+// Stop cancels all control loops; the cluster becomes inert so the
+// discrete-event engine can drain.
+func (c *Cluster) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Clock returns the cluster's simulation clock.
+func (c *Cluster) Clock() simclock.Clock { return c.eng }
+
+// Engine returns the underlying discrete-event engine.
+func (c *Cluster) Engine() *simclock.Engine { return c.eng }
+
+// --- event plumbing ---
+
+func (c *Cluster) recordEvent(object, reason, message string) {
+	c.events = append(c.events, Event{
+		Time:    c.eng.Now(),
+		Object:  object,
+		Reason:  reason,
+		Message: message,
+	})
+}
+
+// Events returns the full control-plane event log.
+func (c *Cluster) Events() []Event { return append([]Event(nil), c.events...) }
+
+// EventsFor returns the events whose object matches exactly (e.g.
+// "pod/wq-worker-3") — the per-object view kubectl describe shows.
+func (c *Cluster) EventsFor(object string) []Event {
+	var out []Event
+	for _, ev := range c.events {
+		if ev.Object == object {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// OnPod registers an informer-style handler for pod watch events.
+func (c *Cluster) OnPod(h func(PodWatchEvent)) { c.podHandlers = append(c.podHandlers, h) }
+
+// OnNode registers an informer-style handler for node watch events.
+func (c *Cluster) OnNode(h func(NodeWatchEvent)) { c.nodeHandlers = append(c.nodeHandlers, h) }
+
+func (c *Cluster) notifyPod(t WatchEventType, p *Pod, reason string) {
+	ev := PodWatchEvent{Type: t, Pod: p.DeepCopy(), Reason: reason}
+	for _, h := range c.podHandlers {
+		h(ev)
+	}
+}
+
+func (c *Cluster) notifyNode(t WatchEventType, n *Node) {
+	ev := NodeWatchEvent{Type: t, Node: n.DeepCopy()}
+	for _, h := range c.nodeHandlers {
+		h(ev)
+	}
+}
+
+// --- pod API ---
+
+// CreatePod submits a pod to the API server. The pod starts Pending
+// and is bound by the scheduler loop.
+func (c *Cluster) CreatePod(spec PodSpec) (Pod, error) {
+	if spec.Name == "" {
+		return Pod{}, fmt.Errorf("kubesim: pod with empty name")
+	}
+	if _, dup := c.pods[spec.Name]; dup {
+		return Pod{}, fmt.Errorf("kubesim: pod %q already exists", spec.Name)
+	}
+	if !spec.Resources.IsNonNegative() {
+		return Pod{}, fmt.Errorf("kubesim: pod %q has negative resource requests %v", spec.Name, spec.Resources)
+	}
+	c.uid++
+	labels := make(map[string]string, len(spec.Labels))
+	for k, v := range spec.Labels {
+		labels[k] = v
+	}
+	p := &Pod{
+		Name:      spec.Name,
+		UID:       c.uid,
+		Image:     spec.Image,
+		Resources: spec.Resources,
+		Labels:    labels,
+		Phase:     PodPending,
+		CreatedAt: c.eng.Now(),
+		usage:     spec.Usage,
+	}
+	c.pods[spec.Name] = p
+	c.notifyPod(Added, p, "")
+	return p.DeepCopy(), nil
+}
+
+// DeletePod removes a pod. A running pod is killed (its node is freed
+// immediately); informers see a Deleted event with reason Killing.
+func (c *Cluster) DeletePod(name string) error {
+	p, ok := c.pods[name]
+	if !ok {
+		return fmt.Errorf("kubesim: pod %q not found", name)
+	}
+	reason := ""
+	if p.Phase == PodRunning || (p.Phase == PodPending && p.NodeName != "") {
+		reason = ReasonKilling
+		c.recordEvent("pod/"+name, ReasonKilling, "stopping container")
+	}
+	c.unbind(p)
+	delete(c.pods, name)
+	c.notifyPod(Deleted, p, reason)
+	return nil
+}
+
+// MarkPodSucceeded transitions a running pod to Succeeded — the
+// graceful exit of a drained worker. The node is freed.
+func (c *Cluster) MarkPodSucceeded(name string) error {
+	p, ok := c.pods[name]
+	if !ok {
+		return fmt.Errorf("kubesim: pod %q not found", name)
+	}
+	if p.Phase != PodRunning {
+		return fmt.Errorf("kubesim: pod %q is %s, not Running", name, p.Phase)
+	}
+	p.Phase = PodSucceeded
+	p.FinishedAt = c.eng.Now()
+	c.freeNodeOf(p)
+	c.recordEvent("pod/"+name, ReasonCompleted, "container exited 0")
+	c.notifyPod(Modified, p, ReasonCompleted)
+	return nil
+}
+
+// GetPod returns a copy of the named pod.
+func (c *Cluster) GetPod(name string) (Pod, bool) {
+	p, ok := c.pods[name]
+	if !ok {
+		return Pod{}, false
+	}
+	return p.DeepCopy(), true
+}
+
+// ListPods returns copies of all pods matching the selector (nil
+// selects everything), sorted by creation then name.
+func (c *Cluster) ListPods(selector map[string]string) []Pod {
+	var out []Pod
+	for _, p := range c.pods {
+		if p.MatchesSelector(selector) {
+			out = append(out, p.DeepCopy())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	return out
+}
+
+// --- node accessors ---
+
+// Nodes returns copies of all nodes sorted by name sequence.
+func (c *Cluster) Nodes() []Node {
+	var out []Node
+	for _, n := range c.nodes {
+		out = append(out, n.DeepCopy())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].CreatedAt.Before(out[j].CreatedAt) || (out[i].CreatedAt.Equal(out[j].CreatedAt) && out[i].Name < out[j].Name)
+	})
+	return out
+}
+
+// ReadyNodes returns the number of ready nodes.
+func (c *Cluster) ReadyNodes() int {
+	n := 0
+	for _, node := range c.nodes {
+		if node.Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeCount returns ready plus provisioning node count.
+func (c *Cluster) NodeCount() int { return len(c.nodes) + c.provisioning }
+
+// TotalAllocatable returns the summed allocatable of ready nodes.
+func (c *Cluster) TotalAllocatable() resources.Vector {
+	var v resources.Vector
+	for _, n := range c.nodes {
+		if n.Ready {
+			v = v.Add(n.Allocatable)
+		}
+	}
+	return v
+}
+
+// --- services & statefulsets ---
+
+// CreateService stores a service object.
+func (c *Cluster) CreateService(s Service) error {
+	if s.Name == "" {
+		return fmt.Errorf("kubesim: service with empty name")
+	}
+	if _, dup := c.services[s.Name]; dup {
+		return fmt.Errorf("kubesim: service %q already exists", s.Name)
+	}
+	cp := s
+	c.services[s.Name] = &cp
+	return nil
+}
+
+// GetService returns the named service.
+func (c *Cluster) GetService(name string) (Service, bool) {
+	s, ok := c.services[name]
+	if !ok {
+		return Service{}, false
+	}
+	return *s, true
+}
+
+// CreateStatefulSet stores the set and creates its pods with sticky
+// identities name-0 .. name-(replicas-1). If a member pod is later
+// deleted, the controller recreates it with the same identity.
+func (c *Cluster) CreateStatefulSet(ss StatefulSet) error {
+	if ss.Name == "" {
+		return fmt.Errorf("kubesim: statefulset with empty name")
+	}
+	if _, dup := c.statefulsets[ss.Name]; dup {
+		return fmt.Errorf("kubesim: statefulset %q already exists", ss.Name)
+	}
+	cp := ss
+	c.statefulsets[ss.Name] = &cp
+	c.reconcileStatefulSet(&cp)
+	return nil
+}
+
+// DeleteStatefulSet removes the set and all its member pods.
+func (c *Cluster) DeleteStatefulSet(name string) error {
+	ss, ok := c.statefulsets[name]
+	if !ok {
+		return fmt.Errorf("kubesim: statefulset %q not found", name)
+	}
+	delete(c.statefulsets, name)
+	for i := 0; i < ss.Replicas; i++ {
+		podName := fmt.Sprintf("%s-%d", ss.Name, i)
+		if _, ok := c.pods[podName]; ok {
+			if err := c.DeletePod(podName); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) reconcileStatefulSet(ss *StatefulSet) {
+	for i := 0; i < ss.Replicas; i++ {
+		podName := fmt.Sprintf("%s-%d", ss.Name, i)
+		if _, ok := c.pods[podName]; ok {
+			continue
+		}
+		spec := ss.Template
+		spec.Name = podName
+		labels := make(map[string]string, len(ss.Template.Labels)+1)
+		for k, v := range ss.Template.Labels {
+			labels[k] = v
+		}
+		labels["statefulset"] = ss.Name
+		spec.Labels = labels
+		// Creation cannot fail: name is free and template was
+		// accepted at CreateStatefulSet time.
+		if _, err := c.CreatePod(spec); err != nil {
+			c.recordEvent("statefulset/"+ss.Name, "FailedCreate", err.Error())
+		}
+	}
+}
+
+// --- metrics ---
+
+// PodUsage returns the pod's instantaneous usage, or zero if it has
+// no reporter or is not running.
+func (c *Cluster) PodUsage(name string) resources.Vector {
+	p, ok := c.pods[name]
+	if !ok || p.Phase != PodRunning || p.usage == nil {
+		return resources.Zero
+	}
+	return p.usage()
+}
+
+// AvgCPUUtilization returns the mean CPU utilization (used/requested)
+// across running pods matching the selector, and the number of pods
+// considered. Pods without usage reporters count as zero usage, as a
+// metrics server would report an idle container.
+func (c *Cluster) AvgCPUUtilization(selector map[string]string) (float64, int) {
+	var usedMilli, reqMilli int64
+	n := 0
+	for _, p := range c.pods {
+		if !p.MatchesSelector(selector) || p.Phase != PodRunning {
+			continue
+		}
+		n++
+		reqMilli += p.Resources.MilliCPU
+		if p.usage != nil {
+			usedMilli += p.usage().MilliCPU
+		}
+	}
+	if reqMilli == 0 {
+		return 0, n
+	}
+	return float64(usedMilli) / float64(reqMilli), n
+}
+
+// UsedCPUCores returns the instantaneous CPU consumption summed over
+// all running pods, in cores.
+func (c *Cluster) UsedCPUCores() float64 {
+	var used int64
+	for _, p := range c.pods {
+		if p.Phase == PodRunning && p.usage != nil {
+			used += p.usage().MilliCPU
+		}
+	}
+	return float64(used) / 1000
+}

@@ -1,0 +1,67 @@
+package kubesim
+
+import "time"
+
+// kubeletStart drives a freshly bound pod through the node-local part
+// of its lifecycle: pull the container image if the node does not
+// have it ("No Container Image" in the paper's worker-pod lifecycle),
+// then start the container after a short delay.
+func (c *Cluster) kubeletStart(p *Pod, n *Node) {
+	if n.Images[p.Image] {
+		c.containerStart(p, n)
+		return
+	}
+	p.PulledImage = true
+	key := n.Name + "\x00" + p.Image
+	if _, inflight := c.pulls[key]; inflight {
+		c.pulls[key] = append(c.pulls[key], func() { c.containerStart(p, n) })
+		return
+	}
+	c.pulls[key] = []func(){func() { c.containerStart(p, n) }}
+	c.recordEvent("pod/"+p.Name, ReasonPulling, "pulling image "+p.Image)
+	c.notifyPod(Modified, p, ReasonPulling)
+
+	d := c.pullDuration(p.Image)
+	c.eng.After(d, "kubelet-image-pull", func() {
+		waiters := c.pulls[key]
+		delete(c.pulls, key)
+		if _, alive := c.nodes[n.Name]; !alive {
+			return
+		}
+		n.Images[p.Image] = true
+		c.recordEvent("node/"+n.Name, ReasonPulled, "pulled image "+p.Image)
+		if cur, ok := c.pods[p.Name]; ok && cur == p && !p.Terminal() {
+			c.notifyPod(Modified, p, ReasonPulled)
+		}
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+func (c *Cluster) pullDuration(image string) time.Duration {
+	size := c.cfg.DefaultImageSizeMB
+	if s, ok := c.cfg.ImageSizesMB[image]; ok {
+		size = s
+	}
+	secs := c.rng.Jitter(size/c.cfg.ImagePullMBps, 0.05)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// containerStart transitions the pod to Running after the container
+// start delay, provided it is still bound and alive.
+func (c *Cluster) containerStart(p *Pod, n *Node) {
+	c.eng.After(c.cfg.ContainerStartDelay, "kubelet-container-start", func() {
+		cur, ok := c.pods[p.Name]
+		if !ok || cur != p || p.Terminal() || p.NodeName != n.Name {
+			return
+		}
+		if _, alive := c.nodes[n.Name]; !alive {
+			return
+		}
+		p.Phase = PodRunning
+		p.RunningAt = c.eng.Now()
+		c.recordEvent("pod/"+p.Name, ReasonStarted, "container started on "+n.Name)
+		c.notifyPod(Modified, p, ReasonStarted)
+	})
+}

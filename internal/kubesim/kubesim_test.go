@@ -1,0 +1,591 @@
+package kubesim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestCluster(t *testing.T, cfg Config) (*simclock.Engine, *Cluster) {
+	t.Helper()
+	eng := simclock.NewEngine(t0)
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c := NewCluster(eng, cfg)
+	t.Cleanup(c.Stop)
+	return eng, c
+}
+
+func smallPod(name string) PodSpec {
+	return PodSpec{
+		Name:      name,
+		Image:     "wq-worker",
+		Resources: resources.New(1, 1024, 100),
+		Labels:    map[string]string{"app": "worker"},
+	}
+}
+
+func TestInitialNodes(t *testing.T) {
+	_, c := newTestCluster(t, Config{InitialNodes: 3})
+	if got := c.ReadyNodes(); got != 3 {
+		t.Fatalf("ReadyNodes = %d, want 3", got)
+	}
+	if got := c.TotalAllocatable(); got != resources.New(9, 36864, 300000) {
+		t.Errorf("TotalAllocatable = %v", got)
+	}
+}
+
+func TestPodScheduleAndRun(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	if _, err := c.CreatePod(smallPod("w1")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(30 * time.Second)
+	p, ok := c.GetPod("w1")
+	if !ok {
+		t.Fatal("pod vanished")
+	}
+	if p.Phase != PodRunning {
+		t.Fatalf("phase = %s, want Running", p.Phase)
+	}
+	if p.NodeName == "" || p.ScheduledAt.IsZero() || p.RunningAt.IsZero() {
+		t.Errorf("lifecycle fields not set: %+v", p)
+	}
+	if !p.PulledImage {
+		t.Error("first pod on node should have pulled the image")
+	}
+	if p.UnschedulableSeen {
+		t.Error("pod fit immediately; no FailedScheduling expected")
+	}
+	// Startup = schedule (≤1s) + pull (700MB @ 100MB/s ≈ 7s ± 5%) + start 1s.
+	startup := p.RunningAt.Sub(p.CreatedAt)
+	if startup < 7*time.Second || startup > 12*time.Second {
+		t.Errorf("startup took %v, want ≈8-9s", startup)
+	}
+}
+
+func TestImageCachedSecondPod(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(30 * time.Second)
+	c.CreatePod(smallPod("w2"))
+	eng.RunFor(10 * time.Second)
+	p, _ := c.GetPod("w2")
+	if p.Phase != PodRunning {
+		t.Fatalf("w2 phase = %s", p.Phase)
+	}
+	if p.PulledImage {
+		t.Error("second pod on node should reuse cached image")
+	}
+	// Startup bounded by schedule interval + start delay.
+	if startup := p.RunningAt.Sub(p.CreatedAt); startup > 3*time.Second {
+		t.Errorf("cached startup = %v, want ≤3s", startup)
+	}
+}
+
+func TestConcurrentPullsDeduplicated(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	c.CreatePod(smallPod("w2"))
+	eng.RunFor(30 * time.Second)
+	pulls := 0
+	for _, ev := range c.Events() {
+		if ev.Reason == ReasonPulling {
+			pulls++
+		}
+	}
+	if pulls != 1 {
+		t.Errorf("Pulling events = %d, want 1 (deduplicated)", pulls)
+	}
+	for _, name := range []string{"w1", "w2"} {
+		if p, _ := c.GetPod(name); p.Phase != PodRunning {
+			t.Errorf("%s phase = %s", name, p.Phase)
+		}
+	}
+}
+
+func TestUnschedulableTriggersScaleUp(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 5})
+	// Node-sized pods; the single node takes one, the second must wait
+	// for provisioning.
+	spec := smallPod("big1")
+	spec.Resources = c.Config().NodeAllocatable
+	c.CreatePod(spec)
+	spec.Name = "big2"
+	c.CreatePod(spec)
+	eng.RunFor(400 * time.Second)
+
+	p2, _ := c.GetPod("big2")
+	if p2.Phase != PodRunning {
+		t.Fatalf("big2 phase = %s", p2.Phase)
+	}
+	if !p2.UnschedulableSeen {
+		t.Error("big2 should have seen FailedScheduling")
+	}
+	if c.ReadyNodes() != 2 {
+		t.Errorf("ReadyNodes = %d, want 2", c.ReadyNodes())
+	}
+	// Initialization time ≈ autoscaler delay (≤10s) + provisioning
+	// (~150s) + pull (~7s) + start (1s): the paper's ≈157s regime.
+	init := p2.RunningAt.Sub(p2.CreatedAt)
+	if init < 120*time.Second || init > 200*time.Second {
+		t.Errorf("init time = %v, want ≈160s", init)
+	}
+	var sawFailed, sawScaleUp bool
+	for _, ev := range c.Events() {
+		if ev.Reason == ReasonFailedScheduling && ev.Object == "pod/big2" {
+			sawFailed = true
+		}
+		if ev.Reason == ReasonScaleUp {
+			sawScaleUp = true
+		}
+	}
+	if !sawFailed || !sawScaleUp {
+		t.Errorf("events missing: FailedScheduling=%v ScaleUp=%v", sawFailed, sawScaleUp)
+	}
+}
+
+func TestMaxNodesQuota(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 3})
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		spec := smallPod(n)
+		spec.Resources = c.Config().NodeAllocatable
+		c.CreatePod(spec)
+	}
+	eng.RunFor(20 * time.Minute)
+	if got := c.ReadyNodes(); got != 3 {
+		t.Errorf("ReadyNodes = %d, want quota 3", got)
+	}
+	running := 0
+	for _, p := range c.ListPods(nil) {
+		if p.Phase == PodRunning {
+			running++
+		}
+	}
+	if running != 3 {
+		t.Errorf("running pods = %d, want 3", running)
+	}
+}
+
+func TestScaleDownRemovesEmptyNodes(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 4, MinNodes: 1, ScaleDownDelay: 2 * time.Minute})
+	spec := smallPod("big")
+	spec.Resources = c.Config().NodeAllocatable
+	c.CreatePod(spec)
+	spec.Name = "big2"
+	c.CreatePod(spec)
+	eng.RunFor(300 * time.Second)
+	if c.ReadyNodes() != 2 {
+		t.Fatalf("ReadyNodes = %d, want 2 after scale-up", c.ReadyNodes())
+	}
+	// Free both nodes; after the delay the cluster shrinks to MinNodes.
+	c.DeletePod("big")
+	c.DeletePod("big2")
+	eng.RunFor(5 * time.Minute)
+	if got := c.ReadyNodes(); got != 1 {
+		t.Errorf("ReadyNodes = %d, want MinNodes 1", got)
+	}
+}
+
+func TestNodeNotRemovedWhileOccupied(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 2, MinNodes: 1, ScaleDownDelay: time.Minute})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(10 * time.Minute)
+	p, _ := c.GetPod("w1")
+	if p.Phase != PodRunning {
+		t.Fatalf("w1 phase = %s", p.Phase)
+	}
+	// The empty node was removed, the occupied one kept.
+	if got := c.ReadyNodes(); got != 1 {
+		t.Errorf("ReadyNodes = %d, want 1", got)
+	}
+	if _, ok := c.GetPod("w1"); !ok {
+		t.Error("pod evicted")
+	}
+}
+
+func TestDeletePodFreesNodeImmediately(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	spec := smallPod("big")
+	spec.Resources = c.Config().NodeAllocatable
+	c.CreatePod(spec)
+	eng.RunFor(30 * time.Second)
+	c.DeletePod("big")
+	spec.Name = "big2"
+	c.CreatePod(spec)
+	eng.RunFor(30 * time.Second)
+	p, _ := c.GetPod("big2")
+	if p.Phase != PodRunning {
+		t.Errorf("big2 phase = %s, want Running on freed node", p.Phase)
+	}
+	if p.UnschedulableSeen {
+		t.Error("big2 should have been schedulable immediately")
+	}
+}
+
+func TestMarkPodSucceeded(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(30 * time.Second)
+	if err := c.MarkPodSucceeded("w1"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.GetPod("w1")
+	if p.Phase != PodSucceeded || p.FinishedAt.IsZero() {
+		t.Errorf("pod = %+v", p)
+	}
+	if err := c.MarkPodSucceeded("w1"); err == nil {
+		t.Error("double MarkPodSucceeded should fail")
+	}
+	if err := c.MarkPodSucceeded("nope"); err == nil {
+		t.Error("unknown pod should fail")
+	}
+}
+
+func TestCreatePodValidation(t *testing.T) {
+	_, c := newTestCluster(t, Config{})
+	if _, err := c.CreatePod(PodSpec{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	c.CreatePod(smallPod("dup"))
+	if _, err := c.CreatePod(smallPod("dup")); err == nil {
+		t.Error("duplicate should fail")
+	}
+	bad := smallPod("neg")
+	bad.Resources = resources.Vector{MilliCPU: -1}
+	if _, err := c.CreatePod(bad); err == nil {
+		t.Error("negative resources should fail")
+	}
+	if err := c.DeletePod("nope"); err == nil {
+		t.Error("deleting unknown pod should fail")
+	}
+}
+
+func TestPodWatchEventSequence(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	var reasons []string
+	c.OnPod(func(ev PodWatchEvent) {
+		if ev.Pod.Name != "w1" {
+			return
+		}
+		key := string(ev.Type)
+		if ev.Reason != "" {
+			key += "/" + ev.Reason
+		}
+		reasons = append(reasons, key)
+	})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(30 * time.Second)
+	c.DeletePod("w1")
+	want := []string{"ADDED", "MODIFIED/Scheduled", "MODIFIED/Pulling", "MODIFIED/Pulled", "MODIFIED/Started", "DELETED/Killing"}
+	if strings.Join(reasons, ",") != strings.Join(want, ",") {
+		t.Errorf("event sequence = %v, want %v", reasons, want)
+	}
+}
+
+func TestStatefulSetStickyIdentity(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 2})
+	err := c.CreateStatefulSet(StatefulSet{
+		Name:     "wq-master",
+		Replicas: 1,
+		Template: PodSpec{Image: "wq-master", Resources: resources.New(1, 2048, 1000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(30 * time.Second)
+	p, ok := c.GetPod("wq-master-0")
+	if !ok || p.Phase != PodRunning {
+		t.Fatalf("master pod = %+v ok=%v", p, ok)
+	}
+	if p.Labels["statefulset"] != "wq-master" {
+		t.Errorf("labels = %v", p.Labels)
+	}
+	// Kill it; the controller recreates the same identity.
+	c.DeletePod("wq-master-0")
+	eng.RunFor(30 * time.Second)
+	p, ok = c.GetPod("wq-master-0")
+	if !ok || p.Phase != PodRunning {
+		t.Errorf("master not recreated: %+v ok=%v", p, ok)
+	}
+	if err := c.DeleteStatefulSet("wq-master"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetPod("wq-master-0"); ok {
+		t.Error("member pod not deleted with the set")
+	}
+	if err := c.DeleteStatefulSet("wq-master"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestServiceStore(t *testing.T) {
+	_, c := newTestCluster(t, Config{})
+	if err := c.CreateService(Service{Name: "master", Selector: map[string]string{"app": "master"}, Port: 9123}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateService(Service{Name: "master"}); err == nil {
+		t.Error("duplicate service should fail")
+	}
+	if _, ok := c.GetService("master"); !ok {
+		t.Error("service not stored")
+	}
+	if err := c.CreateService(Service{}); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestUsageMetrics(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 2})
+	spec := smallPod("w1")
+	spec.Resources = resources.New(2, 1024, 100)
+	spec.Usage = func() resources.Vector { return resources.New(1, 512, 0) }
+	c.CreatePod(spec)
+	eng.RunFor(30 * time.Second)
+	util, n := c.AvgCPUUtilization(map[string]string{"app": "worker"})
+	if n != 1 {
+		t.Fatalf("pods considered = %d", n)
+	}
+	if util < 0.49 || util > 0.51 {
+		t.Errorf("utilization = %v, want 0.5", util)
+	}
+	if got := c.UsedCPUCores(); got != 1 {
+		t.Errorf("UsedCPUCores = %v", got)
+	}
+	if got := c.PodUsage("w1"); got != resources.New(1, 512, 0) {
+		t.Errorf("PodUsage = %v", got)
+	}
+}
+
+func TestSetPodUsage(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(30 * time.Second)
+	if err := c.SetPodUsage("w1", func() resources.Vector { return resources.Cores(0.9) }); err != nil {
+		t.Fatal(err)
+	}
+	util, _ := c.AvgCPUUtilization(map[string]string{"app": "worker"})
+	if util < 0.89 || util > 0.91 {
+		t.Errorf("utilization = %v, want 0.9", util)
+	}
+	if err := c.SetPodUsage("nope", nil); err == nil {
+		t.Error("unknown pod should fail")
+	}
+}
+
+func TestWorkerSetScalesUpAndDown(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 5})
+	ws := NewWorkerSet(c, "workers", smallPod(""), 3)
+	defer ws.Stop()
+	eng.RunFor(30 * time.Second)
+	if got := len(ws.LivePods()); got != 3 {
+		t.Fatalf("live pods = %d, want 3", got)
+	}
+	ws.SetReplicas(5)
+	eng.RunFor(30 * time.Second)
+	if got := len(ws.LivePods()); got != 5 {
+		t.Fatalf("live pods = %d, want 5", got)
+	}
+	ws.SetReplicas(2)
+	eng.RunFor(time.Second)
+	if got := len(ws.LivePods()); got != 2 {
+		t.Fatalf("live pods = %d after scale-down, want 2", got)
+	}
+	if ws.Replicas() != 2 {
+		t.Errorf("Replicas = %d", ws.Replicas())
+	}
+}
+
+func TestWorkerSetDeletionPrefersPending(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 1})
+	spec := smallPod("")
+	spec.Resources = c.Config().NodeAllocatable // one per node; only 1 can run
+	ws := NewWorkerSet(c, "workers", spec, 2)
+	defer ws.Stop()
+	eng.RunFor(30 * time.Second)
+	pods := ws.LivePods()
+	if len(pods) != 2 {
+		t.Fatalf("live = %d", len(pods))
+	}
+	var runningName string
+	for _, p := range pods {
+		if p.Phase == PodRunning {
+			runningName = p.Name
+		}
+	}
+	if runningName == "" {
+		t.Fatal("no running pod")
+	}
+	ws.SetReplicas(1)
+	eng.RunFor(time.Second)
+	left := ws.LivePods()
+	if len(left) != 1 || left[0].Name != runningName {
+		t.Errorf("survivor = %v, want running pod %s", left, runningName)
+	}
+}
+
+func TestWorkerSetGarbageCollectsSucceeded(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 3})
+	ws := NewWorkerSet(c, "workers", smallPod(""), 2)
+	defer ws.Stop()
+	eng.RunFor(30 * time.Second)
+	pods := ws.LivePods()
+	c.MarkPodSucceeded(pods[0].Name)
+	eng.RunFor(10 * time.Second)
+	// GC removed the succeeded pod and the set replaced it.
+	if _, ok := c.GetPod(pods[0].Name); ok {
+		t.Error("succeeded pod not garbage-collected")
+	}
+	if got := len(ws.LivePods()); got != 2 {
+		t.Errorf("live = %d, want 2", got)
+	}
+}
+
+func TestNegativeReplicasClamped(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	ws := NewWorkerSet(c, "workers", smallPod(""), 1)
+	defer ws.Stop()
+	eng.RunFor(20 * time.Second)
+	ws.SetReplicas(-5)
+	eng.RunFor(time.Second)
+	if got := len(ws.LivePods()); got != 0 {
+		t.Errorf("live = %d, want 0", got)
+	}
+}
+
+func TestProvisioningLatencyDistribution(t *testing.T) {
+	// Ten probe rounds: create an unsatisfiable pod, measure creation
+	// → Running; the distribution must center near the configured
+	// provisioning mean (Fig. 6's experiment).
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 30, Seed: 7})
+	type probe struct {
+		name string
+		dur  time.Duration
+	}
+	var probes []probe
+	node := c.Config().NodeAllocatable
+	for i := 0; i < 10; i++ {
+		name := "probe" + string(rune('a'+i))
+		spec := PodSpec{Name: name, Image: "wq-worker", Resources: node}
+		c.CreatePod(spec)
+		eng.RunFor(6 * time.Minute)
+		p, _ := c.GetPod(name)
+		if p.Phase != PodRunning {
+			t.Fatalf("probe %s phase = %s", name, p.Phase)
+		}
+		if i == 0 {
+			// First probe fits the initial empty node: not an init
+			// measurement.
+			continue
+		}
+		probes = append(probes, probe{name, p.RunningAt.Sub(p.CreatedAt)})
+	}
+	var sum time.Duration
+	for _, pr := range probes {
+		if pr.dur < 100*time.Second || pr.dur > 220*time.Second {
+			t.Errorf("probe %s init = %v, out of plausible range", pr.name, pr.dur)
+		}
+		sum += pr.dur
+	}
+	mean := sum / time.Duration(len(probes))
+	if mean < 140*time.Second || mean > 185*time.Second {
+		t.Errorf("mean init = %v, want ≈160s", mean)
+	}
+}
+
+func TestStopQuiescesEngine(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	eng.RunFor(30 * time.Second)
+	c.Stop()
+	eng.Run() // must terminate: no live tickers remain
+	if p, _ := c.GetPod("w1"); p.Phase != PodRunning {
+		t.Errorf("pod disturbed by Stop: %s", p.Phase)
+	}
+}
+
+func TestFailNodeKillsPodsAndRemovesNode(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 2, MaxNodes: 4})
+	c.CreatePod(smallPod("w1"))
+	c.CreatePod(smallPod("w2"))
+	eng.RunFor(30 * time.Second)
+	p1, _ := c.GetPod("w1")
+	if p1.Phase != PodRunning {
+		t.Fatalf("w1 = %s", p1.Phase)
+	}
+	var deleted []string
+	c.OnPod(func(ev PodWatchEvent) {
+		if ev.Type == Deleted {
+			deleted = append(deleted, ev.Pod.Name)
+		}
+	})
+	if err := c.FailNode(p1.NodeName); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetPod("w1"); ok {
+		t.Error("pod on failed node still exists")
+	}
+	found := false
+	for _, n := range c.Nodes() {
+		if n.Name == p1.NodeName {
+			found = true
+		}
+	}
+	if found {
+		t.Error("failed node still in fleet")
+	}
+	if len(deleted) == 0 {
+		t.Error("no Deleted events observed")
+	}
+	if err := c.FailNode("ghost"); err == nil {
+		t.Error("failing unknown node should error")
+	}
+}
+
+func TestFailNodeTriggersReprovision(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1, MaxNodes: 3})
+	spec := smallPod("big")
+	spec.Resources = c.Config().NodeAllocatable
+	c.CreatePod(spec)
+	eng.RunFor(30 * time.Second)
+	p, _ := c.GetPod("big")
+	node := p.NodeName
+	c.FailNode(node)
+	// The owner recreates the pod (here: the test); the cloud
+	// controller provisions a fresh node for it.
+	spec.Name = "big2"
+	c.CreatePod(spec)
+	eng.RunFor(5 * time.Minute)
+	p2, _ := c.GetPod("big2")
+	if p2.Phase != PodRunning {
+		t.Fatalf("replacement pod = %s", p2.Phase)
+	}
+	if p2.NodeName == node {
+		t.Error("replacement landed on the failed node")
+	}
+}
+
+func TestEventsFor(t *testing.T) {
+	eng, c := newTestCluster(t, Config{InitialNodes: 1})
+	c.CreatePod(smallPod("w1"))
+	c.CreatePod(smallPod("w2"))
+	eng.RunFor(30 * time.Second)
+	evs := c.EventsFor("pod/w1")
+	if len(evs) == 0 {
+		t.Fatal("no events for pod/w1")
+	}
+	for _, ev := range evs {
+		if ev.Object != "pod/w1" {
+			t.Errorf("foreign event %v", ev)
+		}
+	}
+	if got := c.EventsFor("pod/ghost"); got != nil {
+		t.Errorf("ghost events = %v", got)
+	}
+}

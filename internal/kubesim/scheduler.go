@@ -1,0 +1,115 @@
+package kubesim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// nodeIsEmpty reports whether no live pod is bound to the node.
+func (c *Cluster) nodeIsEmpty(n *Node) bool {
+	for _, p := range c.pods {
+		if p.NodeName == n.Name && !p.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// freeNodeOf updates the hosting node's emptiness stamp after a pod
+// stopped consuming it.
+func (c *Cluster) freeNodeOf(p *Pod) {
+	if p.NodeName == "" {
+		return
+	}
+	n, ok := c.nodes[p.NodeName]
+	if !ok {
+		return
+	}
+	if c.nodeIsEmpty(n) {
+		n.EmptySince = c.eng.Now()
+	}
+}
+
+// unbind terminates a pod (if live) and updates node accounting. The
+// caller is responsible for store removal and notifications.
+func (c *Cluster) unbind(p *Pod) {
+	if !p.Terminal() {
+		p.Phase = PodFailed
+		p.FinishedAt = c.eng.Now()
+	}
+	c.freeNodeOf(p)
+}
+
+// scheduleOnce is the kube-scheduler sync loop: bind pending pods to
+// ready nodes with sufficient free resources, first-fit in node-age
+// order; emit FailedScheduling for pods that cannot be placed. The
+// controller-manager's StatefulSet reconciliation piggybacks on the
+// same loop.
+func (c *Cluster) scheduleOnce() {
+	for _, ss := range c.statefulsets {
+		c.reconcileStatefulSet(ss)
+	}
+
+	var pending []*Pod
+	for _, p := range c.pods {
+		if p.Phase == PodPending && p.NodeName == "" {
+			pending = append(pending, p)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].UID < pending[j].UID })
+
+	nodes := c.sortedNodes()
+	for _, p := range pending {
+		placed := false
+		for _, n := range nodes {
+			if !n.Ready {
+				continue
+			}
+			if c.fitsOnNode(p, n) {
+				c.bind(p, n)
+				placed = true
+				break
+			}
+		}
+		if !placed && !p.UnschedulableSeen {
+			p.UnschedulableSeen = true
+			c.recordEvent("pod/"+p.Name, ReasonFailedScheduling,
+				fmt.Sprintf("0/%d nodes are available: Insufficient resources (request %v)", len(nodes), p.Resources))
+			c.notifyPod(Modified, p, ReasonFailedScheduling)
+		}
+	}
+}
+
+func (c *Cluster) sortedNodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func (c *Cluster) fitsOnNode(p *Pod, n *Node) bool {
+	free := n.Allocatable
+	for _, q := range c.pods {
+		if q.NodeName == n.Name && !q.Terminal() {
+			free = free.Sub(q.Resources)
+		}
+	}
+	return p.Resources.Fits(free)
+}
+
+func (c *Cluster) bind(p *Pod, n *Node) {
+	p.NodeName = n.Name
+	p.ScheduledAt = c.eng.Now()
+	n.EmptySince = time.Time{}
+	c.recordEvent("pod/"+p.Name, ReasonScheduled, "bound to "+n.Name)
+	c.notifyPod(Modified, p, ReasonScheduled)
+	c.kubeletStart(p, n)
+}

@@ -1,0 +1,29 @@
+package makeflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// BenchmarkParseLargeWorkflow measures parsing a 2000-rule workflow
+// with variables and categories.
+func BenchmarkParseLargeWorkflow(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("DB=nt.db\nCATEGORY=align\nCORES=1\nMEMORY=4096\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "out.%d: query.%d $(DB)\n\tblastall -d $(DB) -i query.%d -o out.%d\n", i, i, i, i)
+	}
+	src := sb.String()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ParseString(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graph.Len() != 2000 {
+			b.Fatal("wrong rule count")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package makeflow_test
+
+import (
+	"fmt"
+
+	"hta/internal/makeflow"
+)
+
+func ExampleParseString() {
+	res, err := makeflow.ParseString(`
+CATEGORY=align
+CORES=1
+MEMORY=4096
+
+out.0: query.0 nt.db
+	blastall -i query.0 -o out.0
+out.1: query.1 nt.db
+	blastall -i query.1 -o out.1
+
+CATEGORY=reduce
+CORES=2
+result: out.0 out.1
+	cat out.0 out.1 > result
+`)
+	if err != nil {
+		panic(err)
+	}
+	g := res.Graph
+	fmt.Println("rules:", g.Len())
+	fmt.Println("ready:", len(g.Ready()))
+	fmt.Println("align resources:", res.CategoryResources["align"])
+	// Output:
+	// rules: 3
+	// ready: 2
+	// align resources: 1.000c 4096MB 0MB-disk
+}

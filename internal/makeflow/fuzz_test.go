@@ -1,0 +1,42 @@
+package makeflow
+
+import "testing"
+
+// FuzzParse exercises the parser with arbitrary input: it must never
+// panic, and any accepted workflow must produce a well-formed,
+// acyclic graph.
+func FuzzParse(f *testing.F) {
+	f.Add(blastExample)
+	f.Add("out: in\n\tcmd $(X)\n")
+	f.Add("X=1\nexport X\nout: in a b \\\n c\n\tLOCAL run $$X\n")
+	f.Add("CATEGORY=c\nCORES=0.5\nMEMORY=10\nDISK=2\n")
+	f.Add(": \n\t\n")
+	f.Add("a:\n\tx\nb: a\n\ty\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		g := res.Graph
+		// Accepted graphs must be executable to completion.
+		steps := 0
+		for !g.Done() {
+			ready := g.Ready()
+			if len(ready) == 0 {
+				t.Fatalf("accepted workflow deadlocks: %q", src)
+			}
+			for _, id := range ready {
+				if err := g.Start(id); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := g.Complete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			steps++
+			if steps > g.Len()+1 {
+				t.Fatalf("no progress executing accepted workflow: %q", src)
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import "time"
+
+// Account tracks the four quantities of the paper's resource
+// relationship (Fig. 5) as aligned step series, all in cores:
+//
+//	RS  (supply)   — cores provided by connected workers
+//	RIU (in-use)   — cores allocated to running tasks
+//	RSH (shortage) — cores desired by waiting tasks
+//	RW  (waste)    — supply minus in-use
+type Account struct {
+	Supply   *Series
+	InUse    *Series
+	Shortage *Series
+	Waste    *Series
+}
+
+// NewAccount returns an empty account.
+func NewAccount() *Account {
+	return &Account{
+		Supply:   NewSeries("RS"),
+		InUse:    NewSeries("RIU"),
+		Shortage: NewSeries("RSH"),
+		Waste:    NewSeries("RW"),
+	}
+}
+
+// Sample records one observation; waste is derived as
+// max(0, supply−inUse).
+func (a *Account) Sample(t time.Time, supply, inUse, shortage float64) {
+	a.Supply.Add(t, supply)
+	a.InUse.Add(t, inUse)
+	a.Shortage.Add(t, shortage)
+	w := supply - inUse
+	if w < 0 {
+		w = 0
+	}
+	a.Waste.Add(t, w)
+}
+
+// AccumulatedWaste integrates RW over the run, in core·seconds.
+func (a *Account) AccumulatedWaste(end time.Time) float64 {
+	return a.Waste.IntegralUntil(end)
+}
+
+// AccumulatedShortage integrates RSH over the run, in core·seconds.
+func (a *Account) AccumulatedShortage(end time.Time) float64 {
+	return a.Shortage.IntegralUntil(end)
+}

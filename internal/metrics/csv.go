@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteCSV writes the series as two columns — elapsed seconds since
+// start and value — one row per sample.
+func (s *Series) WriteCSV(w io.Writer, start time.Time) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"elapsed_s", s.Name}); err != nil {
+		return err
+	}
+	for i := range s.times {
+		row := []string{
+			fmt.Sprintf("%.1f", s.times[i].Sub(start).Seconds()),
+			fmt.Sprintf("%g", s.values[i]),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVColumns writes multiple series as aligned columns sampled
+// at the union of all their timestamps: elapsed seconds first, then
+// one column per series holding its step-function value at that time.
+// It is the format the paper-style supply/demand plots (Fig. 10b,
+// Fig. 11b) are drawn from.
+func WriteCSVColumns(w io.Writer, start time.Time, series ...*Series) error {
+	stamps := make(map[time.Time]bool)
+	for _, s := range series {
+		for _, t := range s.times {
+			stamps[t] = true
+		}
+	}
+	times := make([]time.Time, 0, len(stamps))
+	for t := range stamps {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "elapsed_s")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = fmt.Sprintf("%.1f", t.Sub(start).Seconds())
+		for i, s := range series {
+			row[i+1] = fmt.Sprintf("%g", s.ValueAt(t))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,18 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"hta/internal/metrics"
+)
+
+func ExampleSeries_IntegralUntil() {
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	supply := metrics.NewSeries("supply")
+	supply.Add(start, 9)                       // 9 cores for 100 s
+	supply.Add(start.Add(100*time.Second), 60) // then 60 cores
+	coreSeconds := supply.IntegralUntil(start.Add(200 * time.Second))
+	fmt.Printf("%.0f core-seconds\n", coreSeconds)
+	// Output: 6900 core-seconds
+}

@@ -1,0 +1,163 @@
+// Package monitor implements the resource monitor of the paper's
+// §IV-A: it aggregates the measured resource consumption and
+// execution time of completed tasks per category and predicts the
+// requirements of waiting tasks of the same category — the feedback
+// input of the HTA controller. HTC stages consist of copies of the
+// same program over equally sized data, so the first completed task
+// of a category is a good predictor for the rest.
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/wq"
+)
+
+// Config tunes estimation.
+type Config struct {
+	// Margin inflates resource estimates by the given fraction
+	// (0.1 = 10 % headroom). Default 0, the paper's behaviour of
+	// applying measured consumption directly.
+	Margin float64
+	// MinCPUMilli floors the CPU estimate; a task always occupies at
+	// least this many millicores of a worker (default 1000 — one
+	// processor slot, what Work Queue's monitor reports for a
+	// single-process task regardless of how busy it keeps the core).
+	MinCPUMilli int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCPUMilli == 0 {
+		c.MinCPUMilli = 1000
+	}
+	return c
+}
+
+// CategoryStats summarizes completed tasks of one category.
+type CategoryStats struct {
+	Category string
+	Count    int
+	// MaxUsage is the component-wise maximum measured consumption.
+	MaxUsage resources.Vector
+	// MeanExec and MaxExec summarize measured wall times.
+	MeanExec time.Duration
+	MaxExec  time.Duration
+}
+
+// Monitor aggregates task measurements. It is safe for concurrent
+// use so the TCP runtime can share it with the simulation.
+type Monitor struct {
+	mu   sync.Mutex
+	cfg  Config
+	cats map[string]*catAgg
+}
+
+type catAgg struct {
+	count     int
+	maxUsage  resources.Vector
+	totalExec time.Duration
+	maxExec   time.Duration
+}
+
+// New returns an empty monitor.
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), cats: make(map[string]*catAgg)}
+}
+
+// Observe records a completed task's measurements.
+func (m *Monitor) Observe(t wq.Task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.cats[t.Category]
+	if !ok {
+		agg = &catAgg{}
+		m.cats[t.Category] = agg
+	}
+	agg.count++
+	agg.maxUsage = agg.maxUsage.Max(t.Measured)
+	agg.totalExec += t.ExecWall
+	if t.ExecWall > agg.maxExec {
+		agg.maxExec = t.ExecWall
+	}
+}
+
+// Known reports whether the category has at least one measurement.
+func (m *Monitor) Known(category string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cats[category] != nil
+}
+
+// Stats returns the category summary.
+func (m *Monitor) Stats(category string) (CategoryStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.cats[category]
+	if !ok {
+		return CategoryStats{}, false
+	}
+	return CategoryStats{
+		Category: category,
+		Count:    agg.count,
+		MaxUsage: agg.maxUsage,
+		MeanExec: agg.totalExec / time.Duration(agg.count),
+		MaxExec:  agg.maxExec,
+	}, true
+}
+
+// Categories returns the measured categories, sorted.
+func (m *Monitor) Categories() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.cats))
+	for c := range m.cats {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EstimateResources implements wq.Estimator: the component-wise
+// maximum consumption seen for the category, CPU rounded up to whole
+// processor slots, inflated by the configured margin.
+func (m *Monitor) EstimateResources(category string) (resources.Vector, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.cats[category]
+	if !ok {
+		return resources.Zero, false
+	}
+	v := agg.maxUsage
+	if m.cfg.Margin > 0 {
+		v = resources.Vector{
+			MilliCPU: v.MilliCPU + int64(float64(v.MilliCPU)*m.cfg.Margin),
+			MemoryMB: v.MemoryMB + int64(float64(v.MemoryMB)*m.cfg.Margin),
+			DiskMB:   v.DiskMB + int64(float64(v.DiskMB)*m.cfg.Margin),
+		}
+	}
+	// Round CPU up to whole processor slots: a running process
+	// occupies a core even when it does not saturate it.
+	if v.MilliCPU < m.cfg.MinCPUMilli {
+		v.MilliCPU = m.cfg.MinCPUMilli
+	} else if rem := v.MilliCPU % 1000; rem != 0 {
+		v.MilliCPU += 1000 - rem
+	}
+	return v, true
+}
+
+// EstimateExecTime implements wq.Estimator: the mean measured wall
+// time for the category.
+func (m *Monitor) EstimateExecTime(category string) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.cats[category]
+	if !ok {
+		return 0, false
+	}
+	return agg.totalExec / time.Duration(agg.count), true
+}
+
+var _ wq.Estimator = (*Monitor)(nil)

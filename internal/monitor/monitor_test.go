@@ -1,0 +1,189 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/wq"
+)
+
+func completed(cat string, usage resources.Vector, wall time.Duration) wq.Task {
+	return wq.Task{
+		TaskSpec: wq.TaskSpec{Category: cat},
+		Measured: usage,
+		ExecWall: wall,
+	}
+}
+
+func TestUnknownCategory(t *testing.T) {
+	m := New(Config{})
+	if m.Known("x") {
+		t.Error("Known on empty monitor")
+	}
+	if _, ok := m.EstimateResources("x"); ok {
+		t.Error("estimate without observation")
+	}
+	if _, ok := m.EstimateExecTime("x"); ok {
+		t.Error("exec estimate without observation")
+	}
+	if _, ok := m.Stats("x"); ok {
+		t.Error("stats without observation")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	m := New(Config{})
+	m.Observe(completed("align", resources.Vector{MilliCPU: 870, MemoryMB: 3800, DiskMB: 1500}, 80*time.Second))
+	if !m.Known("align") {
+		t.Fatal("category not known after observation")
+	}
+	v, ok := m.EstimateResources("align")
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// 870 millicores rounds up to one whole processor slot.
+	if v.MilliCPU != 1000 {
+		t.Errorf("cpu estimate = %d, want 1000", v.MilliCPU)
+	}
+	if v.MemoryMB != 3800 || v.DiskMB != 1500 {
+		t.Errorf("estimate = %v", v)
+	}
+	d, ok := m.EstimateExecTime("align")
+	if !ok || d != 80*time.Second {
+		t.Errorf("exec estimate = %v ok=%v", d, ok)
+	}
+}
+
+func TestMaxAcrossObservations(t *testing.T) {
+	m := New(Config{})
+	m.Observe(completed("c", resources.Vector{MilliCPU: 500, MemoryMB: 1000}, 10*time.Second))
+	m.Observe(completed("c", resources.Vector{MilliCPU: 2400, MemoryMB: 800}, 30*time.Second))
+	v, _ := m.EstimateResources("c")
+	// max(500, 2400) = 2400 → rounds to 3000; memory max 1000.
+	if v.MilliCPU != 3000 || v.MemoryMB != 1000 {
+		t.Errorf("estimate = %v", v)
+	}
+	d, _ := m.EstimateExecTime("c")
+	if d != 20*time.Second {
+		t.Errorf("mean exec = %v, want 20s", d)
+	}
+	st, _ := m.Stats("c")
+	if st.Count != 2 || st.MaxExec != 30*time.Second {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWholeCoreNotRounded(t *testing.T) {
+	m := New(Config{})
+	m.Observe(completed("c", resources.Vector{MilliCPU: 2000, MemoryMB: 1}, time.Second))
+	v, _ := m.EstimateResources("c")
+	if v.MilliCPU != 2000 {
+		t.Errorf("exact 2 cores became %d", v.MilliCPU)
+	}
+}
+
+func TestIOBoundTaskOccupiesFullSlot(t *testing.T) {
+	// A dd-style task uses ~150 millicores of CPU but still occupies
+	// a processor; the estimator must not let 6 of them share a core.
+	m := New(Config{})
+	m.Observe(completed("io", resources.Vector{MilliCPU: 150, MemoryMB: 256, DiskMB: 4000}, 60*time.Second))
+	v, _ := m.EstimateResources("io")
+	if v.MilliCPU != 1000 {
+		t.Errorf("cpu estimate = %d, want full slot 1000", v.MilliCPU)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	m := New(Config{Margin: 0.1})
+	m.Observe(completed("c", resources.Vector{MilliCPU: 2000, MemoryMB: 1000, DiskMB: 100}, time.Second))
+	v, _ := m.EstimateResources("c")
+	// 2000×1.1 = 2200 → rounds to 3000; memory 1100; disk 110.
+	if v.MilliCPU != 3000 || v.MemoryMB != 1100 || v.DiskMB != 110 {
+		t.Errorf("estimate = %v", v)
+	}
+}
+
+func TestCategoriesSorted(t *testing.T) {
+	m := New(Config{})
+	for _, c := range []string{"zeta", "alpha", "mid"} {
+		m.Observe(completed(c, resources.Cores(1), time.Second))
+	}
+	got := m.Categories()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Categories = %v", got)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	m := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Observe(completed(fmt.Sprintf("cat%d", i%2), resources.Cores(1), time.Second))
+			}
+		}(i)
+	}
+	wg.Wait()
+	st0, _ := m.Stats("cat0")
+	st1, _ := m.Stats("cat1")
+	if st0.Count+st1.Count != 800 {
+		t.Errorf("counts = %d + %d, want 800", st0.Count, st1.Count)
+	}
+}
+
+// Property: the estimate always covers every observed usage (after
+// slot rounding), and mean exec lies within [min, max].
+func TestPropertyEstimateCovers(t *testing.T) {
+	f := func(cpus []uint16, mems []uint16) bool {
+		if len(cpus) == 0 {
+			return true
+		}
+		m := New(Config{})
+		var minD, maxD time.Duration
+		for i, c := range cpus {
+			mem := int64(0)
+			if i < len(mems) {
+				mem = int64(mems[i])
+			}
+			d := time.Duration(c%300+1) * time.Second
+			if i == 0 || d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+			m.Observe(completed("p", resources.Vector{MilliCPU: int64(c), MemoryMB: mem}, d))
+		}
+		est, ok := m.EstimateResources("p")
+		if !ok {
+			return false
+		}
+		for i, c := range cpus {
+			mem := int64(0)
+			if i < len(mems) {
+				mem = int64(mems[i])
+			}
+			if est.MilliCPU < int64(c) || est.MemoryMB < mem {
+				return false
+			}
+		}
+		if est.MilliCPU%1000 != 0 {
+			return false
+		}
+		mean, _ := m.EstimateExecTime("p")
+		return mean >= minD && mean <= maxD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"testing"
+
+	"hta/internal/simclock"
+)
+
+// BenchmarkConcurrentTransfers measures the progressive-filling
+// simulation with a steady churn of overlapping transfers.
+func BenchmarkConcurrentTransfers(b *testing.B) {
+	e := simclock.NewEngine(t0)
+	l := NewLink(e, 1000, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Start(float64(i%100)+1, nil)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkContendedTransfers includes the contention model.
+func BenchmarkContendedTransfers(b *testing.B) {
+	e := simclock.NewEngine(t0)
+	l := NewLink(e, 1000, 50)
+	l.SetContention(0.96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Start(float64(i%100)+1, nil)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,305 @@
+// Package netsim models the data-transfer behaviour of a
+// master-worker HTC deployment: a shared egress link at the master
+// whose bandwidth is divided max-min fairly among concurrent
+// transfers, optionally limited per transfer by the receiver's NIC.
+//
+// This reproduces the trade-off of the paper's §III-A/§IV-A: a
+// fine-grained configuration with many workers moves more copies of
+// the shared input across the same egress link, lowering per-transfer
+// bandwidth and stretching the workload, while a coarse-grained
+// configuration with few node-sized workers transfers fewer copies at
+// higher per-transfer rates.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hta/internal/simclock"
+)
+
+// Link is a shared egress link simulated on a discrete-event engine.
+// All methods must be called from engine callbacks (single-threaded).
+type Link struct {
+	eng         *simclock.Engine
+	capacity    float64 // MB/s
+	perTransfer float64 // MB/s cap per transfer; 0 = unlimited
+	contention  float64 // per-extra-stream efficiency factor; 1 = none
+
+	transfers map[int]*Transfer
+	nextID    int
+	timer     *simclock.Timer
+	last      time.Time
+
+	// statistics
+	deliveredMB float64
+	busy        time.Duration
+	started     int
+	completed   int
+}
+
+// Transfer is one in-flight data movement.
+type Transfer struct {
+	link      *Link
+	id        int
+	remaining float64 // MB
+	size      float64
+	rate      float64 // MB/s, current allocation
+	begun     time.Time
+	done      func()
+	canceled  bool
+}
+
+const completionEpsilonMB = 1e-9
+
+// NewLink creates a link with the given capacity in MB/s and an
+// optional per-transfer rate cap (0 disables the cap).
+func NewLink(eng *simclock.Engine, capacityMBps, perTransferMBps float64) *Link {
+	if capacityMBps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive link capacity %v", capacityMBps))
+	}
+	if perTransferMBps < 0 {
+		panic(fmt.Sprintf("netsim: negative per-transfer cap %v", perTransferMBps))
+	}
+	return &Link{
+		eng:         eng,
+		capacity:    capacityMBps,
+		perTransfer: perTransferMBps,
+		contention:  1,
+		transfers:   make(map[int]*Transfer),
+		last:        eng.Now(),
+	}
+}
+
+// SetContention sets the per-extra-stream efficiency factor in
+// (0, 1]: with n concurrent transfers the aggregate effective
+// capacity is capacity × factor^(n−1), modelling the TCP contention
+// and protocol overhead that makes many parallel streams deliver
+// less total bandwidth than a few — the effect behind the paper's
+// Fig. 4 fine- vs coarse-grained bandwidth gap. 1 disables the
+// model.
+func (l *Link) SetContention(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: contention factor %v outside (0, 1]", factor))
+	}
+	l.advance()
+	l.contention = factor
+	l.reschedule()
+}
+
+// effectiveCapacity returns the aggregate capacity available to n
+// concurrent transfers.
+func (l *Link) effectiveCapacity(n int) float64 {
+	if l.contention == 1 || n <= 1 {
+		return l.capacity
+	}
+	return l.capacity * math.Pow(l.contention, float64(n-1))
+}
+
+// Capacity returns the link capacity in MB/s.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Active returns the number of in-flight transfers.
+func (l *Link) Active() int { return len(l.transfers) }
+
+// Start begins a transfer of sizeMB and calls done (if non-nil) when
+// it completes. Zero-size transfers complete on the next event.
+func (l *Link) Start(sizeMB float64, done func()) *Transfer {
+	if sizeMB < 0 || math.IsNaN(sizeMB) || math.IsInf(sizeMB, 0) {
+		panic(fmt.Sprintf("netsim: invalid transfer size %v", sizeMB))
+	}
+	l.advance()
+	l.nextID++
+	tr := &Transfer{
+		link:      l,
+		id:        l.nextID,
+		remaining: sizeMB,
+		size:      sizeMB,
+		begun:     l.eng.Now(),
+		done:      done,
+	}
+	l.transfers[tr.id] = tr
+	l.started++
+	l.reschedule()
+	return tr
+}
+
+// Cancel aborts an in-flight transfer without invoking its callback.
+// It reports whether the transfer was still active.
+func (tr *Transfer) Cancel() bool {
+	if tr.canceled {
+		return false
+	}
+	if _, ok := tr.link.transfers[tr.id]; !ok {
+		return false
+	}
+	tr.link.advance()
+	tr.canceled = true
+	delete(tr.link.transfers, tr.id)
+	tr.link.reschedule()
+	return true
+}
+
+// Remaining returns the megabytes left to move.
+func (tr *Transfer) Remaining() float64 {
+	tr.link.advance()
+	tr.link.reschedule()
+	return tr.remaining
+}
+
+// Rate returns the transfer's current bandwidth allocation in MB/s.
+func (tr *Transfer) Rate() float64 { return tr.rate }
+
+// Size returns the total transfer size in MB.
+func (tr *Transfer) Size() float64 { return tr.size }
+
+// allocate computes the max-min fair rate for every active transfer:
+// each transfer is entitled to an equal share of the remaining
+// capacity, transfers capped below their share keep their cap and the
+// freed capacity is redistributed among the rest.
+func (l *Link) allocate() {
+	n := len(l.transfers)
+	if n == 0 {
+		return
+	}
+	cap := l.effectiveCapacity(n)
+	if l.perTransfer == 0 {
+		share := cap / float64(n)
+		for _, tr := range l.transfers {
+			tr.rate = share
+		}
+		return
+	}
+	remainingCap := cap
+	unset := make([]*Transfer, 0, n)
+	for _, tr := range l.transfers {
+		unset = append(unset, tr)
+	}
+	for len(unset) > 0 {
+		share := remainingCap / float64(len(unset))
+		if l.perTransfer >= share {
+			// Nobody is capped below the equal share.
+			for _, tr := range unset {
+				tr.rate = share
+			}
+			return
+		}
+		// Every remaining transfer is capped (uniform cap), so they
+		// all take the cap.
+		for _, tr := range unset {
+			tr.rate = l.perTransfer
+		}
+		return
+	}
+}
+
+// advance applies progress for the time since the last update.
+func (l *Link) advance() {
+	now := l.eng.Now()
+	dt := now.Sub(l.last).Seconds()
+	l.last = now
+	if dt <= 0 || len(l.transfers) == 0 {
+		return
+	}
+	l.busy += time.Duration(dt * float64(time.Second))
+	for _, tr := range l.transfers {
+		moved := tr.rate * dt
+		if moved > tr.remaining {
+			moved = tr.remaining
+		}
+		tr.remaining -= moved
+		l.deliveredMB += moved
+	}
+}
+
+// reschedule recomputes rates and arms the timer for the next
+// completion.
+func (l *Link) reschedule() {
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timer = nil
+	}
+	// Complete anything already finished.
+	var finished []*Transfer
+	for _, tr := range l.transfers {
+		if tr.remaining <= completionEpsilonMB {
+			finished = append(finished, tr)
+		}
+	}
+	for _, tr := range finished {
+		delete(l.transfers, tr.id)
+		l.completed++
+	}
+	if len(finished) > 0 {
+		// Run callbacks after bookkeeping so callbacks can start new
+		// transfers; deterministic order by id.
+		for i := 0; i < len(finished); i++ {
+			for j := i + 1; j < len(finished); j++ {
+				if finished[j].id < finished[i].id {
+					finished[i], finished[j] = finished[j], finished[i]
+				}
+			}
+		}
+		for _, tr := range finished {
+			if tr.done != nil {
+				done := tr.done
+				l.eng.After(0, "netsim-transfer-done", done)
+			}
+		}
+	}
+	if len(l.transfers) == 0 {
+		return
+	}
+	l.allocate()
+	soonest := math.Inf(1)
+	for _, tr := range l.transfers {
+		if tr.rate <= 0 {
+			continue
+		}
+		eta := tr.remaining / tr.rate
+		if eta < soonest {
+			soonest = eta
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	// Round up to a whole nanosecond so the timer always makes
+	// progress; firing exactly at (or just after) completion leaves a
+	// remainder below the completion epsilon.
+	d := time.Duration(math.Ceil(soonest * float64(time.Second)))
+	if d <= 0 {
+		d = 1
+	}
+	l.timer = l.eng.After(d, "netsim-completion", func() {
+		l.timer = nil
+		l.advance()
+		l.reschedule()
+	})
+}
+
+// Stats is a snapshot of link accounting.
+type Stats struct {
+	DeliveredMB  float64       // total megabytes moved
+	BusyTime     time.Duration // time with >= 1 active transfer
+	Started      int
+	Completed    int
+	AvgBandwidth float64 // MB/s averaged over busy time
+}
+
+// Stats returns accumulated statistics up to the current time.
+func (l *Link) Stats() Stats {
+	l.advance()
+	l.reschedule()
+	s := Stats{
+		DeliveredMB: l.deliveredMB,
+		BusyTime:    l.busy,
+		Started:     l.started,
+		Completed:   l.completed,
+	}
+	if l.busy > 0 {
+		s.AvgBandwidth = l.deliveredMB / l.busy.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"hta/internal/metrics"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleSeries(name string, vals ...float64) *metrics.Series {
+	s := metrics.NewSeries(name)
+	for i, v := range vals {
+		s.Add(t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	return s
+}
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	supply := sampleSeries("supply", 9, 60, 60, 30)
+	inUse := sampleSeries("in-use", 3, 55, 58, 28)
+	svg := LineChart([]*metrics.Series{supply, inUse}, ChartOptions{
+		Title:  "Fig. 10b",
+		YLabel: "cores",
+		End:    t0.Add(5 * time.Minute),
+	})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	for _, want := range []string{"Fig. 10b", "cores", "supply", "in-use"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart(nil, ChartOptions{})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart should say so")
+	}
+	svg = LineChart([]*metrics.Series{metrics.NewSeries("e")}, ChartOptions{})
+	wellFormed(t, svg)
+}
+
+func TestLineChartEscapesLabels(t *testing.T) {
+	s := sampleSeries(`a<b&"c"`, 1, 2)
+	svg := LineChart([]*metrics.Series{s}, ChartOptions{Title: "x<y>", End: t0.Add(time.Hour)})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestLineChartZeroValues(t *testing.T) {
+	s := sampleSeries("flat", 0, 0, 0)
+	svg := LineChart([]*metrics.Series{s}, ChartOptions{End: t0.Add(time.Hour)})
+	wellFormed(t, svg)
+}
+
+func TestPageRender(t *testing.T) {
+	p := NewPage("Test & Report")
+	sec := p.AddSection("Fig. X", "Some <preamble>.")
+	sec.AddRow("Autoscaler", "Runtime")
+	sec.AddRow("HTA", "3556 s")
+	sec.AddChart("chart", "cores", t0.Add(time.Minute), sampleSeries("s", 1, 2))
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Test &amp; Report", "Fig. X",
+		"Some &lt;preamble&gt;.", "<th>Autoscaler</th>", "<td>3556 s</td>", "<svg",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 7: "7", 2.5: "2.5", 1500: "1.5k"}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package report renders experiment results as a self-contained HTML
+// page with inline SVG charts — the closest this repository gets to
+// the paper's figures. It depends only on the standard library.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hta/internal/metrics"
+)
+
+// ChartOptions style a line chart.
+type ChartOptions struct {
+	Title  string
+	YLabel string
+	Width  int // pixels (default 640)
+	Height int // pixels (default 280)
+	// End extends the final step of every series.
+	End time.Time
+}
+
+// chart palette: distinguishable line colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const (
+	marginLeft   = 56
+	marginRight  = 16
+	marginTop    = 28
+	marginBottom = 40
+)
+
+// LineChart renders step-function series as an SVG string. Series are
+// drawn as right-continuous steps, matching how the sampler records
+// supply/demand.
+func LineChart(series []*metrics.Series, opt ChartOptions) string {
+	if opt.Width == 0 {
+		opt.Width = 640
+	}
+	if opt.Height == 0 {
+		opt.Height = 280
+	}
+	var start time.Time
+	haveData := false
+	maxY := 0.0
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		t0, _ := s.At(0)
+		if !haveData || t0.Before(start) {
+			start = t0
+			haveData = true
+		}
+		if v := s.Max(); v > maxY {
+			maxY = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		opt.Width, opt.Height, opt.Width, opt.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, opt.Width, opt.Height)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`, marginLeft, escape(opt.Title))
+	}
+	if !haveData {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#888">no data</text></svg>`, opt.Width/2-24, opt.Height/2)
+		return b.String()
+	}
+	end := opt.End
+	if end.Before(start) || end.Equal(start) {
+		end = start.Add(time.Second)
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.05 // headroom
+
+	plotW := float64(opt.Width - marginLeft - marginRight)
+	plotH := float64(opt.Height - marginTop - marginBottom)
+	xOf := func(t time.Time) float64 {
+		return float64(marginLeft) + plotW*t.Sub(start).Seconds()/end.Sub(start).Seconds()
+	}
+	yOf := func(v float64) float64 {
+		return float64(marginTop) + plotH*(1-v/maxY)
+	}
+
+	// Axes and grid.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		marginLeft, opt.Height-marginBottom, opt.Width-marginRight, opt.Height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		marginLeft, marginTop, marginLeft, opt.Height-marginBottom)
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		y := yOf(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`,
+			marginLeft, y, opt.Width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" fill="#555">%s</text>`,
+			marginLeft-6, y+4, formatTick(v))
+	}
+	for i := 0; i <= 5; i++ {
+		t := start.Add(time.Duration(float64(end.Sub(start)) * float64(i) / 5))
+		x := xOf(t)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#555">%.0fs</text>`,
+			x, opt.Height-marginBottom+16, t.Sub(start).Seconds())
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="12" y="%d" transform="rotate(-90 12 %d)" text-anchor="middle" fill="#333">%s</text>`,
+			(marginTop+opt.Height-marginBottom)/2, (marginTop+opt.Height-marginBottom)/2, escape(opt.YLabel))
+	}
+
+	// Step polylines.
+	for si, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		var prevY float64
+		for i := 0; i < s.Len(); i++ {
+			ts, v := s.At(i)
+			x, y := xOf(ts), yOf(v)
+			if i == 0 {
+				fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+			} else {
+				fmt.Fprintf(&pts, " %.1f,%.1f %.1f,%.1f", x, prevY, x, y)
+			}
+			prevY = y
+		}
+		fmt.Fprintf(&pts, " %.1f,%.1f", xOf(end), prevY)
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, pts.String(), color)
+		// Legend entry.
+		lx := marginLeft + 8 + si*120
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="3" fill="%s"/>`, lx, marginTop-8, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#333">%s</text>`, lx+14, marginTop-4, escape(s.Name))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

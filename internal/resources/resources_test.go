@@ -1,0 +1,292 @@
+package resources
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVector makes quick generate bounded, well-behaved vectors.
+func genVector(r *rand.Rand, bound int64) Vector {
+	return Vector{
+		MilliCPU: r.Int63n(bound),
+		MemoryMB: r.Int63n(bound),
+		DiskMB:   r.Int63n(bound),
+	}
+}
+
+type boundedVec Vector
+
+func (boundedVec) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(boundedVec(genVector(r, 1<<20)))
+}
+
+func TestArithmetic(t *testing.T) {
+	a := New(2, 4096, 100)
+	b := New(0.5, 1024, 50)
+	if got := a.Add(b); got != New(2.5, 5120, 150) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(1.5, 3072, 50) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := b.Scale(3); got != New(1.5, 3072, 150) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := New(3, 12288, 100000)
+	if !New(1, 4096, 0).Fits(cap) {
+		t.Error("small should fit")
+	}
+	if New(4, 1, 1).Fits(cap) {
+		t.Error("cpu overflow should not fit")
+	}
+	if New(1, 20000, 1).Fits(cap) {
+		t.Error("memory overflow should not fit")
+	}
+	if !cap.Fits(cap) {
+		t.Error("exact fit should fit")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Zero.IsZero() || !Zero.IsNonNegative() || Zero.IsPositive() || Zero.AnyPositive() {
+		t.Error("Zero predicates wrong")
+	}
+	v := Vector{MilliCPU: -1, MemoryMB: 5}
+	if v.IsNonNegative() {
+		t.Error("negative cpu should not be non-negative")
+	}
+	if !v.AnyPositive() {
+		t.Error("AnyPositive should see memory")
+	}
+	if !v.ClampNonNegative().IsNonNegative() {
+		t.Error("clamp failed")
+	}
+	if v.ClampNonNegative().MemoryMB != 5 {
+		t.Error("clamp must not touch positive components")
+	}
+}
+
+func TestDivCeil(t *testing.T) {
+	unit := New(3, 12288, 100000)
+	cases := []struct {
+		demand Vector
+		want   int
+	}{
+		{Zero, 0},
+		{New(1, 1, 1), 1},
+		{New(3, 1, 1), 1},
+		{New(3.001, 1, 1), 2},
+		{New(60, 1, 1), 20},
+		{New(1, 13000, 1), 2},       // memory-bound
+		{Vector{MilliCPU: -500}, 0}, // negative demand needs nothing
+		{New(2, 24576, 150000), 2},  // max across dimensions
+	}
+	for _, c := range cases {
+		got, err := c.demand.DivCeil(unit)
+		if err != nil {
+			t.Fatalf("DivCeil(%v) error: %v", c.demand, err)
+		}
+		if got != c.want {
+			t.Errorf("DivCeil(%v) = %d, want %d", c.demand, got, c.want)
+		}
+	}
+	if _, err := New(1, 0, 0).DivCeil(Vector{MemoryMB: 10}); err == nil {
+		t.Error("DivCeil with zero-capacity dimension should error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Vector
+		ok   bool
+	}{
+		{"", Zero, true},
+		{"cores=2,memory=4096,disk=100", New(2, 4096, 100), true},
+		{"cpu=500m", Vector{MilliCPU: 500}, true},
+		{"cores=0.25", Vector{MilliCPU: 250}, true},
+		{" mem=8 , disk=9 ", Vector{MemoryMB: 8, DiskMB: 9}, true},
+		{"bogus=1", Zero, false},
+		{"cores", Zero, false},
+		{"cores=abc", Zero, false},
+		{"memory=1.5", Zero, false},
+		{"cpu=12xm", Zero, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.ok && err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("Parse(%q) should fail", c.in)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripValues(t *testing.T) {
+	v := New(1.5, 2048, 512)
+	if v.String() != "1.500c 2048MB 512MB-disk" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(New(3, 12288, 1000))
+	if err := p.Acquire(New(2, 4096, 100)); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if got := p.Available(); got != New(1, 8192, 900) {
+		t.Errorf("Available = %v", got)
+	}
+	err := p.Acquire(New(2, 1, 1))
+	if !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-acquire error = %v, want ErrInsufficient", err)
+	}
+	p.Release(New(2, 4096, 100))
+	if !p.Used().IsZero() {
+		t.Errorf("Used = %v after full release", p.Used())
+	}
+}
+
+func TestPoolAcquireNegative(t *testing.T) {
+	p := NewPool(New(3, 1, 1))
+	if err := p.Acquire(Vector{MilliCPU: -5}); err == nil {
+		t.Error("negative acquire should fail")
+	}
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(New(1, 1, 1)).Release(New(1, 0, 0))
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(Vector{MilliCPU: -1})
+}
+
+// Property: Add is commutative and associative; Sub inverts Add.
+func TestPropertyAddSub(t *testing.T) {
+	f := func(a, b, c boundedVec) bool {
+		va, vb, vc := Vector(a), Vector(b), Vector(c)
+		if va.Add(vb) != vb.Add(va) {
+			return false
+		}
+		if va.Add(vb).Add(vc) != va.Add(vb.Add(vc)) {
+			return false
+		}
+		return va.Add(vb).Sub(vb) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fits is reflexive and monotone under Add.
+func TestPropertyFitsMonotone(t *testing.T) {
+	f := func(a, b boundedVec) bool {
+		va, vb := Vector(a), Vector(b)
+		if !va.Fits(va) {
+			return false
+		}
+		// a fits a+b always (b non-negative by construction).
+		return va.Fits(va.Add(vb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DivCeil(unit) copies of unit always cover the demand.
+func TestPropertyDivCeilCovers(t *testing.T) {
+	f := func(a boundedVec, c1, c2, c3 uint16) bool {
+		demand := Vector(a)
+		unit := Vector{int64(c1) + 1, int64(c2) + 1, int64(c3) + 1}
+		n, err := demand.DivCeil(unit)
+		if err != nil {
+			return false
+		}
+		if !demand.Fits(unit.Scale(int64(n))) {
+			return false
+		}
+		// Minimality: n-1 copies must not cover (when n > 0).
+		if n > 0 && demand.Fits(unit.Scale(int64(n-1))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pool conservation — used + available == capacity after
+// any sequence of successful acquires/releases.
+func TestPropertyPoolConservation(t *testing.T) {
+	f := func(reqs []boundedVec) bool {
+		capacity := New(1000, 1<<21, 1<<21)
+		p := NewPool(capacity)
+		var held []Vector
+		for i, rq := range reqs {
+			v := Vector(rq)
+			if i%3 == 2 && len(held) > 0 {
+				p.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+				continue
+			}
+			if p.Acquire(v) == nil {
+				held = append(held, v)
+			}
+			if p.Used().Add(p.Available()) != capacity {
+				return false
+			}
+			if !p.Used().IsNonNegative() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(1, 100, 5), New(2, 50, 5)
+	if a.Max(b) != New(2, 100, 5) {
+		t.Errorf("Max = %v", a.Max(b))
+	}
+	if a.Min(b) != New(1, 50, 5) {
+		t.Errorf("Min = %v", a.Min(b))
+	}
+}
+
+func TestCoresHelpers(t *testing.T) {
+	if Cores(2.5).MilliCPU != 2500 {
+		t.Errorf("Cores(2.5) = %v", Cores(2.5))
+	}
+	if New(1.25, 0, 0).CoresValue() != 1.25 {
+		t.Errorf("CoresValue = %v", New(1.25, 0, 0).CoresValue())
+	}
+}

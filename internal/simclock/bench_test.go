@@ -1,0 +1,47 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineEventThroughput measures raw event scheduling and
+// dispatch: the floor under every simulated experiment.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(t0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Millisecond, "bench", func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkTimerStop measures cancellation cost.
+func BenchmarkTimerStop(b *testing.B) {
+	e := NewEngine(t0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := e.After(time.Hour, "bench", func() {})
+		t.Stop()
+		if i%4096 == 4095 {
+			e.Run() // drain canceled events
+		}
+	}
+}
+
+// BenchmarkTickerChurn measures periodic-controller overhead.
+func BenchmarkTickerChurn(b *testing.B) {
+	e := NewEngine(t0)
+	n := 0
+	tk := e.Every(time.Second, "bench", func() { n++ })
+	b.ResetTimer()
+	e.RunUntil(t0.Add(time.Duration(b.N) * time.Second))
+	b.StopTimer()
+	tk.Stop()
+	if n == 0 && b.N > 1 {
+		b.Fatal("ticker never fired")
+	}
+}

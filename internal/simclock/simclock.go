@@ -1,0 +1,270 @@
+// Package simclock provides a deterministic discrete-event simulation
+// engine: a virtual clock, an ordered event queue with stable
+// tie-breaking, cancellable timers and periodic tickers.
+//
+// Every simulated component in this repository (the Kubernetes
+// control plane, the Work Queue master, the autoscalers, the network
+// model) schedules callbacks on a single Engine, so a complete
+// multi-hour cluster run executes in milliseconds and is exactly
+// reproducible for a given seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock exposes the current time. Both the simulation Engine and
+// RealClock implement it, so components can run in either mode.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{}
+
+// Now returns the current wall-clock time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Time
+	seq      uint64 // tie-breaker: FIFO among equal times
+	fn       func()
+	name     string
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation engine.
+// It is not safe for concurrent use; all callbacks run on the
+// goroutine that calls Run/RunUntil/Step.
+type Engine struct {
+	now       time.Time
+	start     time.Time
+	events    eventHeap
+	seq       uint64
+	processed uint64
+}
+
+// NewEngine returns an Engine whose clock starts at start.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start, start: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Elapsed returns the virtual time elapsed since the engine started.
+func (e *Engine) Elapsed() time.Duration { return e.now.Sub(e.start) }
+
+// Pending returns the number of scheduled, non-canceled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	e  *Engine
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet
+// fired (and had not already been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	if t.ev.index == -1 {
+		// Already popped (fired or firing).
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// At schedules fn to run at time at. Times in the past are clamped to
+// the current time, preserving FIFO order among same-time events. The
+// name is used only for diagnostics.
+func (e *Engine) At(at time.Time, name string, fn func()) *Timer {
+	if fn == nil {
+		panic("simclock: nil event callback")
+	}
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.events, ev)
+	return &Timer{e: e, ev: ev}
+}
+
+// After schedules fn to run d from now. Negative durations are
+// clamped to zero.
+func (e *Engine) After(d time.Duration, name string, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Ticker runs a callback periodically until stopped.
+type Ticker struct {
+	e       *Engine
+	period  time.Duration
+	name    string
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+// Every schedules fn to run every period, with the first firing one
+// period from now. It panics if period is not positive.
+func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive ticker period %v", period))
+	}
+	t := &Ticker{e: e, period: period, name: name, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.e.After(t.period, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker; no further firings occur.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Reset changes the ticker period and restarts the wait from now.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive ticker period %v", period))
+	}
+	if t.stopped {
+		return
+	}
+	t.period = period
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.schedule()
+}
+
+// Step executes the single next event, advancing the clock to its
+// scheduled time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at.After(e.now) {
+			e.now = ev.at
+		}
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. Most simulations end
+// naturally when their workload completes and periodic controllers
+// have been stopped; use RunUntil to bound runaway simulations.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= deadline, then
+// advances the clock to deadline. Events after the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline time.Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// RunWhile executes events while cond returns true and events remain.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

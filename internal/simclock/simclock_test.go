@@ -1,0 +1,376 @@
+package simclock
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAtRunsInTimeOrder(t *testing.T) {
+	e := NewEngine(t0)
+	var got []int
+	e.At(t0.Add(3*time.Second), "c", func() { got = append(got, 3) })
+	e.At(t0.Add(1*time.Second), "a", func() { got = append(got, 1) })
+	e.At(t0.Add(2*time.Second), "b", func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Elapsed() != 3*time.Second {
+		t.Errorf("Elapsed = %v, want 3s", e.Elapsed())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(t0)
+	var got []int
+	at := t0.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(at, "x", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPastEventClampedToNow(t *testing.T) {
+	e := NewEngine(t0)
+	e.At(t0.Add(10*time.Second), "advance", func() {
+		fired := false
+		e.At(t0.Add(5*time.Second), "past", func() { fired = true })
+		// The past event must run at the current time, not rewind.
+		e.Step()
+		if !fired {
+			t.Error("past event did not fire")
+		}
+		if !e.Now().Equal(t0.Add(10 * time.Second)) {
+			t.Errorf("clock rewound to %v", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	e := NewEngine(t0)
+	fired := false
+	e.After(-time.Hour, "neg", func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if !e.Now().Equal(t0) {
+		t.Errorf("clock moved to %v", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(t0)
+	fired := false
+	tm := e.After(time.Second, "x", func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run", e.Pending())
+	}
+}
+
+func TestStopAfterFireReportsFalse(t *testing.T) {
+	e := NewEngine(t0)
+	tm := e.After(time.Second, "x", func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine(t0)
+	var times []time.Duration
+	tk := e.Every(10*time.Second, "tick", func() {
+		times = append(times, e.Elapsed())
+	})
+	e.RunFor(35 * time.Second)
+	tk.Stop()
+	e.Run()
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired %d times (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine(t0)
+	n := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, "tick", func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	e := NewEngine(t0)
+	var times []time.Duration
+	tk := e.Every(10*time.Second, "tick", func() {
+		times = append(times, e.Elapsed())
+	})
+	e.RunFor(10 * time.Second) // first firing at 10s
+	tk.Reset(5 * time.Second)  // next at 15s, 20s, ...
+	e.RunFor(11 * time.Second) // until t=21s
+	tk.Stop()
+	e.Run()
+	want := []time.Duration{10 * time.Second, 15 * time.Second, 20 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("firings %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine(t0)
+	fired := 0
+	e.After(time.Second, "a", func() { fired++ })
+	e.After(time.Hour, "b", func() { fired++ })
+	e.RunUntil(t0.Add(time.Minute))
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if !e.Now().Equal(t0.Add(time.Minute)) {
+		t.Errorf("Now = %v, want deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d after Run, want 2", fired)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := NewEngine(t0)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Second, "x", func() { n++ })
+	}
+	e.RunWhile(func() bool { return n < 4 })
+	if n != 4 {
+		t.Errorf("n = %d, want 4", n)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(t0)
+	var order []string
+	e.After(time.Second, "outer", func() {
+		order = append(order, "outer")
+		e.After(time.Second, "inner", func() { order = append(order, "inner") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Elapsed() != 2*time.Second {
+		t.Errorf("Elapsed = %v, want 2s", e.Elapsed())
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine(t0).After(time.Second, "nil", nil)
+}
+
+func TestNonPositiveTickerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero period")
+		}
+	}()
+	NewEngine(t0).Every(0, "bad", func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(t0)
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i)*time.Second, "x", func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Errorf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+// Property: for any set of offsets, events fire in non-decreasing
+// time order and the clock never moves backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine(t0)
+		var fireTimes []time.Time
+		for _, off := range offsets {
+			d := time.Duration(off) * time.Millisecond
+			e.After(d, "p", func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fireTimes, func(i, j int) bool {
+			return fireTimes[i].Before(fireTimes[j])
+		}) || isNonDecreasing(fireTimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isNonDecreasing(ts []time.Time) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Before(ts[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every scheduled event fires exactly once unless stopped.
+func TestPropertyExactlyOnce(t *testing.T) {
+	f := func(offsets []uint8, stopMask []bool) bool {
+		e := NewEngine(t0)
+		fired := make([]int, len(offsets))
+		timers := make([]*Timer, len(offsets))
+		for i, off := range offsets {
+			i := i
+			timers[i] = e.After(time.Duration(off)*time.Second, "p", func() { fired[i]++ })
+		}
+		stopped := make([]bool, len(offsets))
+		for i := range timers {
+			if i < len(stopMask) && stopMask[i] {
+				stopped[i] = timers[i].Stop()
+			}
+		}
+		e.Run()
+		for i := range fired {
+			want := 1
+			if stopped[i] {
+				want = 0
+			}
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := g.TruncNormal(157.4, 4.2, 100, 200)
+		if v < 100 || v > 200 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalMoments(t *testing.T) {
+	g := NewRNG(7)
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := g.TruncNormal(157.4, 4.2, 0, 1000)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean-157.4) > 0.5 {
+		t.Errorf("mean = %.2f, want ≈157.4", mean)
+	}
+	if math.Abs(std-4.2) > 0.5 {
+		t.Errorf("std = %.2f, want ≈4.2", std)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Jitter(100, 0.2)
+		if v < 80 || v > 120 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+	if g.Jitter(50, 0) != 50 {
+		t.Error("zero-fraction jitter must be identity")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = RealClock{}
+	before := time.Now()
+	now := c.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Errorf("RealClock.Now out of range")
+	}
+}

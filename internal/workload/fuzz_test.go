@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace ensures arbitrary CSV never panics the trace reader
+// and accepted traces produce sane specs.
+func FuzzReadTrace(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("category,exec_s\nx,1\n")
+	f.Add("exec_s,category,cores\n5,c,2\n")
+	f.Add("category,exec_s\n\"a,b\",3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		specs, err := ReadTrace(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			if s.Category == "" {
+				t.Fatal("accepted spec with empty category")
+			}
+			if s.Profile.ExecDuration < 0 {
+				t.Fatal("accepted negative duration")
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package workload
+
+import "time"
+
+// Calibration constants. Each value is chosen so the simulated
+// experiments land in the regime the paper reports; the paper figures
+// cited below are the calibration targets, not guaranteed outputs.
+const (
+	// BlastExecMean is the per-job execution time of a flat BLAST
+	// alignment. Fig. 2's ideal completion is 240 s for 200 jobs on
+	// 15 three-core nodes (45 slots): 200/45 waves × ≈53 s ≈ 236 s.
+	BlastExecMean = 53 * time.Second
+
+	// BlastCPUMilli is the busy CPU of an alignment job. Fig. 4a
+	// reports ≈87 % CPU on one-core workers.
+	BlastCPUMilli = 870
+
+	// BlastMemMB is the alignment's peak memory: ≈3.8 GB, so three
+	// jobs fit a 12 GB node (the paper packs 3 jobs per n1-standard-4
+	// in configuration (c)).
+	BlastMemMB = 3800
+
+	// BlastSharedDBMB is the cacheable shared input of Fig. 4:
+	// "a (cacheable) 1.4 GB shareable input".
+	BlastSharedDBMB = 1400
+
+	// BlastOutputMB is the per-job output: "600 KB output".
+	BlastOutputMB = 0.6
+
+	// MultistageExec is the per-task execution time of the Fig. 10
+	// workflow: 398 tasks × ≈300 s ÷ 60 cores ≈ 1990 s of pure
+	// compute, which with autoscaler ramps lands near the paper's
+	// 2480-3060 s runtimes.
+	MultistageExec = 300 * time.Second
+
+	// IOBoundExec is the dd task duration of Fig. 11. With the HPA
+	// pinned at 3 one-core workers (usage ≈15 % < the 20 % target,
+	// ratio 0.75 ⇒ ceil(3×0.75)=3), 200 tasks × 100 s ÷ 3 ≈ 6670 s —
+	// the paper's HPA-20% runtime.
+	IOBoundExec = 100 * time.Second
+
+	// IOBoundCPUMilli is the dd task's busy CPU: "CPU load is rarely
+	// over 20 %" — we use 15 %.
+	IOBoundCPUMilli = 150
+
+	// IOBoundMemMB and IOBoundDiskMB are modest: dd streams data.
+	IOBoundMemMB  = 256
+	IOBoundDiskMB = 4000
+
+	// MasterEgressMBps is the master's egress capacity and
+	// StreamContention the per-extra-stream efficiency factor: with
+	// 15 concurrent streams the aggregate is 600×0.96¹⁴ ≈ 340 MB/s
+	// and with 5 streams ≈ 510 MB/s, reproducing Fig. 4's
+	// 278 vs 452 MB/s average-bandwidth gap between fine- and
+	// coarse-grained configurations.
+	MasterEgressMBps  = 600.0
+	StreamContention  = 0.96
+	WorkerIngressMBps = 0.0 // no per-worker NIC cap by default
+)

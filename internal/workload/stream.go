@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// TimedTask is a task together with its arrival offset from the start
+// of the run — the open-loop submission model of a shared HTC
+// facility, as opposed to the paper's all-at-once batch workflows.
+type TimedTask struct {
+	At   time.Duration
+	Spec wq.TaskSpec
+}
+
+// StreamParams generates an inhomogeneous Poisson arrival stream
+// whose rate follows a sinusoid:
+//
+//	rate(t) = Base × (1 + Amplitude × sin(2πt/Period))
+//
+// — the diurnal load pattern an elastic facility sees.
+type StreamParams struct {
+	// Window is the submission window length.
+	Window time.Duration
+	// BasePerMin is the mean arrival rate in tasks per minute.
+	BasePerMin float64
+	// Amplitude in [0, 1) modulates the rate around the base.
+	Amplitude float64
+	// Period is the wavelength of the modulation.
+	Period time.Duration
+
+	Category string
+	Exec     time.Duration
+	Jitter   float64
+	CPUMilli int64
+	MemMB    int64
+	Declared bool
+	Seed     int64
+}
+
+// DefaultStream returns a two-hour diurnal stream whose concurrency
+// demand swings between ≈6 and ≈54 cores — inside a 20-node (60-core)
+// quota, so a well-informed autoscaler can track the whole wave.
+func DefaultStream() StreamParams {
+	return StreamParams{
+		Window:     2 * time.Hour,
+		BasePerMin: 10,
+		Amplitude:  0.8,
+		Period:     30 * time.Minute,
+		Category:   "stream",
+		Exec:       3 * time.Minute,
+		Jitter:     0.15,
+		CPUMilli:   870,
+		MemMB:      2048,
+		Seed:       1,
+	}
+}
+
+// Tasks generates the arrival stream (sorted by arrival time) via
+// Poisson thinning.
+func (p StreamParams) Tasks() []TimedTask {
+	if p.Window <= 0 || p.BasePerMin <= 0 {
+		return nil
+	}
+	if p.Amplitude < 0 || p.Amplitude >= 1 {
+		panic(fmt.Sprintf("workload: stream amplitude %v outside [0, 1)", p.Amplitude))
+	}
+	rng := simclock.NewRNG(p.Seed)
+	maxRate := p.BasePerMin * (1 + p.Amplitude) / 60 // per second
+	rate := func(t time.Duration) float64 {
+		mod := 1.0
+		if p.Period > 0 {
+			mod = 1 + p.Amplitude*math.Sin(2*math.Pi*t.Seconds()/p.Period.Seconds())
+		}
+		return p.BasePerMin * mod / 60
+	}
+	declared := resources.Zero
+	if p.Declared {
+		declared = resources.Vector{MilliCPU: 1000, MemoryMB: p.MemMB}
+	}
+	var out []TimedTask
+	t := time.Duration(0)
+	i := 0
+	for {
+		// Exponential inter-arrival at the envelope rate.
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		t += time.Duration(-math.Log(u) / maxRate * float64(time.Second))
+		if t >= p.Window {
+			break
+		}
+		// Thinning: accept with probability rate(t)/maxRate.
+		if rng.Float64() > rate(t)/maxRate {
+			continue
+		}
+		out = append(out, TimedTask{
+			At: t,
+			Spec: wq.TaskSpec{
+				Command:   fmt.Sprintf("stream-task %d", i),
+				Category:  p.Category,
+				Resources: declared,
+				Profile: wq.Profile{
+					ExecDuration: jitterDuration(rng, p.Exec, p.Jitter),
+					UsedCPUMilli: p.CPUMilli,
+					UsedMemoryMB: p.MemMB,
+				},
+			},
+		})
+		i++
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package wq
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+// BenchmarkDispatchThroughput measures submit → dispatch → complete
+// for a large bag of known-size tasks over a 10-worker fleet.
+func BenchmarkDispatchThroughput(b *testing.B) {
+	eng := simclock.NewEngine(t0)
+	m := NewMaster(eng, nil)
+	for i := 0; i < 10; i++ {
+		m.AddWorker(fmt.Sprintf("w%d", i), resources.New(4, 16384, 100000))
+	}
+	spec := knownTask("bench", 1, 30*time.Second)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Submit(spec)
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	b.StopTimer()
+	if m.CompletedCount() != b.N {
+		b.Fatalf("completed %d of %d", m.CompletedCount(), b.N)
+	}
+}
+
+// BenchmarkStatsSnapshot measures the introspection path the
+// autoscalers hit every cycle.
+func BenchmarkStatsSnapshot(b *testing.B) {
+	eng := simclock.NewEngine(t0)
+	m := NewMaster(eng, nil)
+	for i := 0; i < 20; i++ {
+		m.AddWorker(fmt.Sprintf("w%d", i), resources.New(4, 16384, 100000))
+	}
+	for i := 0; i < 500; i++ {
+		m.Submit(knownTask("bench", 1, time.Hour))
+	}
+	eng.RunFor(time.Second)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Stats()
+		_ = m.WaitingTasks()
+		_ = m.RunningTasks()
+	}
+}

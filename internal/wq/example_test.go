@@ -1,0 +1,34 @@
+package wq_test
+
+import (
+	"fmt"
+	"time"
+
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+func ExampleMaster() {
+	eng := simclock.NewEngine(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC))
+	master := wq.NewMaster(eng, nil)
+	master.AddWorker("worker-1", resources.New(3, 12288, 100000))
+
+	master.OnComplete(func(r wq.Result) {
+		fmt.Printf("task %d done on %s after %v\n", r.Task.ID, r.Task.WorkerID, r.Task.ExecWall)
+	})
+	for i := 0; i < 3; i++ {
+		master.Submit(wq.TaskSpec{
+			Category:  "align",
+			Resources: resources.New(1, 4096, 0),
+			Profile:   wq.Profile{ExecDuration: time.Minute, UsedCPUMilli: 870},
+		})
+	}
+	eng.Run() // virtual time: the three tasks run in parallel
+	fmt.Println("elapsed:", eng.Elapsed())
+	// Output:
+	// task 1 done on worker-1 after 1m0s
+	// task 2 done on worker-1 after 1m0s
+	// task 3 done on worker-1 after 1m0s
+	// elapsed: 1m0s
+}

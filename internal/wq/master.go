@@ -1,0 +1,629 @@
+package wq
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hta/internal/netsim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+// Policy selects which fitting worker receives a task.
+type Policy int
+
+// Dispatch policies.
+const (
+	// FirstFit takes the first worker (in join order) with room —
+	// Work Queue's default; cheap and keeps later workers drainable.
+	FirstFit Policy = iota
+	// BestFit takes the worker whose free capacity after placement
+	// is smallest, consolidating load onto few workers.
+	BestFit
+	// WorstFit takes the worker with the most free capacity,
+	// spreading load evenly.
+	WorstFit
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Master is the simulated Work Queue master. It owns the task queue,
+// the set of connected workers, and the dispatch policy. All methods
+// must be called from the simulation goroutine.
+type Master struct {
+	eng    *simclock.Engine
+	link   *netsim.Link // master egress; nil = transfers are free
+	policy Policy
+
+	nextID  int
+	tasks   map[int]*Task
+	waiting []int // FIFO queue of waiting task IDs
+
+	workers     map[string]*simWorker
+	workerOrder []string
+
+	estimator  Estimator
+	onComplete []func(Result)
+
+	dispatchPending bool
+	completeCount   int
+}
+
+// simWorker is the master-side state of a simulated worker.
+type simWorker struct {
+	id       string
+	pool     *resources.Pool
+	cache    map[string]bool     // shared files present
+	fetching map[string][]func() // shared files in flight -> waiters
+	fetches  map[string]*netsim.Transfer
+	running  map[int]*runningTask
+	draining bool
+	onDrain  func()
+	joinedAt time.Time
+}
+
+type runningTask struct {
+	task      *Task
+	worker    *simWorker
+	pending   int // outstanding input fetches
+	inTr      *netsim.Transfer
+	outTr     *netsim.Transfer
+	execTmr   *simclock.Timer
+	executing bool
+}
+
+// NewMaster creates a master on the given engine. link models the
+// master's egress bandwidth; pass nil to make data movement free.
+func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
+	return &Master{
+		eng:     eng,
+		link:    link,
+		tasks:   make(map[int]*Task),
+		workers: make(map[string]*simWorker),
+	}
+}
+
+// SetPolicy selects the dispatch policy (default FirstFit).
+func (m *Master) SetPolicy(p Policy) {
+	m.policy = p
+	m.scheduleDispatch()
+}
+
+// Policy returns the current dispatch policy.
+func (m *Master) Policy() Policy { return m.policy }
+
+// SetEstimator installs the resource estimator consulted for tasks
+// with unknown requirements.
+func (m *Master) SetEstimator(e Estimator) {
+	m.estimator = e
+	m.scheduleDispatch()
+}
+
+// OnComplete subscribes to task completions.
+func (m *Master) OnComplete(fn func(Result)) { m.onComplete = append(m.onComplete, fn) }
+
+// Submit enqueues a task and returns its ID.
+func (m *Master) Submit(spec TaskSpec) int {
+	m.nextID++
+	t := &Task{
+		ID:          m.nextID,
+		TaskSpec:    spec,
+		State:       TaskWaiting,
+		SubmittedAt: m.eng.Now(),
+	}
+	t.SharedInputs = append([]File(nil), spec.SharedInputs...)
+	m.tasks[t.ID] = t
+	m.waiting = append(m.waiting, t.ID)
+	m.scheduleDispatch()
+	return t.ID
+}
+
+// Task returns a copy of the task with the given ID.
+func (m *Master) Task(id int) (Task, bool) {
+	t, ok := m.tasks[id]
+	if !ok {
+		return Task{}, false
+	}
+	return *t, true
+}
+
+// AddWorker connects a worker with the given capacity.
+func (m *Master) AddWorker(id string, capacity resources.Vector) error {
+	if id == "" {
+		return fmt.Errorf("wq: worker with empty id")
+	}
+	if _, dup := m.workers[id]; dup {
+		return fmt.Errorf("wq: worker %q already connected", id)
+	}
+	if !capacity.AnyPositive() {
+		return fmt.Errorf("wq: worker %q with no capacity", id)
+	}
+	m.workers[id] = &simWorker{
+		id:       id,
+		pool:     resources.NewPool(capacity),
+		cache:    make(map[string]bool),
+		fetching: make(map[string][]func()),
+		fetches:  make(map[string]*netsim.Transfer),
+		running:  make(map[int]*runningTask),
+		joinedAt: m.eng.Now(),
+	}
+	m.workerOrder = append(m.workerOrder, id)
+	m.scheduleDispatch()
+	return nil
+}
+
+// DrainWorker stops dispatching to the worker and invokes onDrained
+// once its running tasks finish (immediately if it is idle). The
+// worker is removed from the roster when drained.
+func (m *Master) DrainWorker(id string, onDrained func()) error {
+	w, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("wq: worker %q not connected", id)
+	}
+	w.draining = true
+	w.onDrain = onDrained
+	if len(w.running) == 0 {
+		m.finishDrain(w)
+	}
+	return nil
+}
+
+// KillWorker abruptly disconnects a worker: its running tasks are
+// returned to the waiting queue (preserving submission order) and all
+// of its transfers are canceled. This is what a pod deletion does to
+// the worker inside it.
+func (m *Master) KillWorker(id string) error {
+	w, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("wq: worker %q not connected", id)
+	}
+	var requeued []int
+	for _, rt := range w.running {
+		rt.stop()
+		t := rt.task
+		t.State = TaskWaiting
+		t.Allocated = resources.Zero
+		t.Exclusive = false
+		requeued = append(requeued, t.ID)
+	}
+	for _, tr := range w.fetches {
+		tr.Cancel()
+	}
+	m.removeWorker(w)
+	// Requeue at the front in submission order: these are the oldest
+	// outstanding tasks.
+	sort.Ints(requeued)
+	m.waiting = append(requeued, m.waiting...)
+	m.scheduleDispatch()
+	return nil
+}
+
+func (rt *runningTask) stop() {
+	if rt.inTr != nil {
+		rt.inTr.Cancel()
+	}
+	if rt.outTr != nil {
+		rt.outTr.Cancel()
+	}
+	if rt.execTmr != nil {
+		rt.execTmr.Stop()
+	}
+	rt.executing = false
+}
+
+func (m *Master) removeWorker(w *simWorker) {
+	delete(m.workers, w.id)
+	for i, id := range m.workerOrder {
+		if id == w.id {
+			m.workerOrder = append(m.workerOrder[:i], m.workerOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+func (m *Master) finishDrain(w *simWorker) {
+	m.removeWorker(w)
+	if w.onDrain != nil {
+		cb := w.onDrain
+		w.onDrain = nil
+		m.eng.After(0, "wq-drained-"+w.id, cb)
+	}
+	m.scheduleDispatch()
+}
+
+// Workers returns the connected worker IDs in join order.
+func (m *Master) Workers() []string { return append([]string(nil), m.workerOrder...) }
+
+// WorkerCapacity returns a connected worker's capacity.
+func (m *Master) WorkerCapacity(id string) (resources.Vector, bool) {
+	w, ok := m.workers[id]
+	if !ok {
+		return resources.Zero, false
+	}
+	return w.pool.Capacity(), true
+}
+
+// WorkerUsage reports the instantaneous resource consumption of the
+// worker's executing tasks (transfer phases consume no CPU), clamped
+// to each task's allocation — the signal a metrics server scrapes
+// from the worker pod.
+func (m *Master) WorkerUsage(id string) resources.Vector {
+	w, ok := m.workers[id]
+	if !ok {
+		return resources.Zero
+	}
+	var u resources.Vector
+	for _, rt := range w.running {
+		if rt.executing {
+			u = u.Add(rt.task.Profile.Usage().Min(rt.task.Allocated))
+		}
+	}
+	return u
+}
+
+// WorkerBusy reports whether the worker has running tasks.
+func (m *Master) WorkerBusy(id string) bool {
+	w, ok := m.workers[id]
+	return ok && len(w.running) > 0
+}
+
+// --- dispatch ---
+
+// scheduleDispatch coalesces dispatch passes into a single
+// zero-delay event.
+func (m *Master) scheduleDispatch() {
+	if m.dispatchPending {
+		return
+	}
+	m.dispatchPending = true
+	m.eng.After(0, "wq-dispatch", func() {
+		m.dispatchPending = false
+		m.dispatchOnce()
+	})
+}
+
+// resolveResources determines the allocation for a task: declared
+// size, an estimator prediction for its category, or unknown.
+func (m *Master) resolveResources(t *Task) (resources.Vector, bool) {
+	if !t.Resources.IsZero() {
+		return t.Resources, true
+	}
+	if m.estimator != nil {
+		if v, ok := m.estimator.EstimateResources(t.Category); ok && !v.IsZero() {
+			return v, true
+		}
+	}
+	return resources.Zero, false
+}
+
+// dispatchOnce scans the waiting queue — highest priority first,
+// submission order within a priority — and places every task that
+// fits somewhere (later tasks may backfill around a blocked
+// head-of-line task, as Work Queue does).
+func (m *Master) dispatchOnce() {
+	if len(m.waiting) == 0 || len(m.workers) == 0 {
+		return
+	}
+	order := append([]int(nil), m.waiting...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return m.tasks[order[i]].Priority > m.tasks[order[j]].Priority
+	})
+	placed := make(map[int]bool)
+	for _, id := range order {
+		t := m.tasks[id]
+		res, known := m.resolveResources(t)
+		var ok bool
+		if known {
+			ok = m.placeKnown(t, res)
+		} else {
+			ok = m.placeExclusive(t)
+		}
+		if ok {
+			placed[id] = true
+		}
+	}
+	still := m.waiting[:0]
+	for _, id := range m.waiting {
+		if !placed[id] {
+			still = append(still, id)
+		}
+	}
+	m.waiting = still
+}
+
+// Cancel withdraws a task. A waiting task leaves the queue; a running
+// task is stopped on its worker and its allocation freed. Canceling a
+// finished or already-canceled task is an error. No completion
+// callback fires for canceled tasks.
+func (m *Master) Cancel(id int) error {
+	t, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("wq: task %d not found", id)
+	}
+	switch t.State {
+	case TaskWaiting:
+		for i, wid := range m.waiting {
+			if wid == id {
+				m.waiting = append(m.waiting[:i], m.waiting[i+1:]...)
+				break
+			}
+		}
+	case TaskRunning:
+		w := m.workers[t.WorkerID]
+		if w == nil {
+			return fmt.Errorf("wq: task %d running on unknown worker %q", id, t.WorkerID)
+		}
+		rt := w.running[id]
+		rt.stop()
+		delete(w.running, id)
+		w.pool.Release(t.Allocated)
+		if w.draining && len(w.running) == 0 {
+			defer m.finishDrain(w)
+		}
+		m.scheduleDispatch()
+	default:
+		return fmt.Errorf("wq: task %d is %v, cannot cancel", id, t.State)
+	}
+	t.State = TaskCanceled
+	t.FinishedAt = m.eng.Now()
+	return nil
+}
+
+func (m *Master) placeKnown(t *Task, res resources.Vector) bool {
+	var chosen *simWorker
+	var chosenFree int64
+	for _, wid := range m.workerOrder {
+		w := m.workers[wid]
+		if w.draining || !w.pool.CanFit(res) {
+			continue
+		}
+		if m.policy == FirstFit {
+			chosen = w
+			break
+		}
+		// Score by free CPU after placement (the binding dimension
+		// for HTC tasks); memory breaks ties implicitly via order.
+		free := w.pool.Available().Sub(res).MilliCPU
+		better := chosen == nil ||
+			(m.policy == BestFit && free < chosenFree) ||
+			(m.policy == WorstFit && free > chosenFree)
+		if better {
+			chosen, chosenFree = w, free
+		}
+	}
+	if chosen == nil {
+		return false
+	}
+	m.startTask(t, chosen, res, false)
+	return true
+}
+
+func (m *Master) placeExclusive(t *Task) bool {
+	for _, wid := range m.workerOrder {
+		w := m.workers[wid]
+		if w.draining || !w.pool.Used().IsZero() {
+			continue
+		}
+		m.startTask(t, w, w.pool.Capacity(), true)
+		return true
+	}
+	return false
+}
+
+func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclusive bool) {
+	if err := w.pool.Acquire(alloc); err != nil {
+		panic(fmt.Sprintf("wq: dispatch accounting bug: %v", err))
+	}
+	t.State = TaskRunning
+	t.WorkerID = w.id
+	t.StartedAt = m.eng.Now()
+	t.Attempts++
+	t.Allocated = alloc
+	t.Exclusive = exclusive
+	rt := &runningTask{task: t, worker: w}
+	w.running[t.ID] = rt
+
+	// Input staging: shared files are fetched once per worker and
+	// shared by all its tasks; the private input belongs to the task.
+	rt.pending = 1 // barrier released after all fetches are set up
+	for _, f := range t.SharedInputs {
+		if w.cache[f.Name] {
+			continue
+		}
+		rt.pending++
+		m.ensureFile(w, f, func() { m.fetchDone(rt) })
+	}
+	if t.InputMB > 0 && m.link != nil {
+		rt.pending++
+		rt.inTr = m.link.Start(t.InputMB, func() {
+			rt.inTr = nil
+			m.fetchDone(rt)
+		})
+	}
+	m.fetchDone(rt) // release the setup barrier
+}
+
+// ensureFile fetches a shared file onto the worker exactly once;
+// callbacks queue while a fetch is in flight.
+func (m *Master) ensureFile(w *simWorker, f File, cb func()) {
+	if w.cache[f.Name] {
+		cb()
+		return
+	}
+	if _, inflight := w.fetching[f.Name]; inflight {
+		w.fetching[f.Name] = append(w.fetching[f.Name], cb)
+		return
+	}
+	w.fetching[f.Name] = []func(){cb}
+	if m.link == nil || f.SizeMB <= 0 {
+		m.eng.After(0, "wq-fetch-free", func() { m.fileArrived(w, f.Name) })
+		return
+	}
+	w.fetches[f.Name] = m.link.Start(f.SizeMB, func() {
+		delete(w.fetches, f.Name)
+		m.fileArrived(w, f.Name)
+	})
+}
+
+func (m *Master) fileArrived(w *simWorker, name string) {
+	if _, alive := m.workers[w.id]; !alive {
+		return
+	}
+	w.cache[name] = true
+	cbs := w.fetching[name]
+	delete(w.fetching, name)
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+func (m *Master) fetchDone(rt *runningTask) {
+	rt.pending--
+	if rt.pending > 0 {
+		return
+	}
+	// All inputs are on the worker: execute.
+	t := rt.task
+	rt.executing = true
+	rt.execTmr = m.eng.After(t.Profile.ExecDuration, "wq-exec", func() {
+		rt.execTmr = nil
+		rt.executing = false
+		m.sendOutput(rt)
+	})
+}
+
+func (m *Master) sendOutput(rt *runningTask) {
+	t := rt.task
+	if t.OutputMB > 0 && m.link != nil {
+		rt.outTr = m.link.Start(t.OutputMB, func() {
+			rt.outTr = nil
+			m.completeTask(rt)
+		})
+		return
+	}
+	m.completeTask(rt)
+}
+
+func (m *Master) completeTask(rt *runningTask) {
+	t, w := rt.task, rt.worker
+	delete(w.running, t.ID)
+	w.pool.Release(t.Allocated)
+	t.State = TaskComplete
+	t.FinishedAt = m.eng.Now()
+	t.ExecWall = t.FinishedAt.Sub(t.StartedAt)
+	t.Measured = t.Profile.Usage()
+	m.completeCount++
+	res := Result{Task: *t}
+	for _, fn := range m.onComplete {
+		fn(res)
+	}
+	if w.draining && len(w.running) == 0 {
+		m.finishDrain(w)
+		return
+	}
+	m.scheduleDispatch()
+}
+
+// --- introspection ---
+
+// Stats is a snapshot of the master's queue and worker pool.
+type Stats struct {
+	Waiting  int
+	Running  int
+	Complete int
+
+	Workers         int
+	IdleWorkers     int
+	DrainingWorkers int
+
+	// Capacity is the summed capacity of connected workers; InUse is
+	// the summed allocations of running tasks.
+	Capacity resources.Vector
+	InUse    resources.Vector
+}
+
+// Stats returns the current snapshot.
+func (m *Master) Stats() Stats {
+	s := Stats{
+		Waiting:  len(m.waiting),
+		Complete: m.completeCount,
+		Workers:  len(m.workers),
+	}
+	for _, w := range m.workers {
+		s.Running += len(w.running)
+		s.Capacity = s.Capacity.Add(w.pool.Capacity())
+		s.InUse = s.InUse.Add(w.pool.Used())
+		if w.draining {
+			s.DrainingWorkers++
+		} else if len(w.running) == 0 {
+			s.IdleWorkers++
+		}
+	}
+	return s
+}
+
+// WaitingTasks returns copies of the queued tasks in queue order.
+func (m *Master) WaitingTasks() []Task {
+	out := make([]Task, 0, len(m.waiting))
+	for _, id := range m.waiting {
+		out = append(out, *m.tasks[id])
+	}
+	return out
+}
+
+// RunningTasks returns copies of all dispatched tasks, ordered by ID.
+func (m *Master) RunningTasks() []Task {
+	var out []Task
+	for _, wid := range m.workerOrder {
+		for _, rt := range m.workers[wid].running {
+			out = append(out, *rt.task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CompletedCount returns the number of completed tasks.
+func (m *Master) CompletedCount() int { return m.completeCount }
+
+// WorkerDetail describes one connected worker.
+type WorkerDetail struct {
+	ID          string
+	Capacity    resources.Vector
+	InUse       resources.Vector
+	Running     int
+	CachedFiles int
+	Draining    bool
+	JoinedAt    time.Time
+}
+
+// WorkerDetails returns per-worker state in join order — the data a
+// `work_queue_status`-style CLI prints.
+func (m *Master) WorkerDetails() []WorkerDetail {
+	out := make([]WorkerDetail, 0, len(m.workerOrder))
+	for _, id := range m.workerOrder {
+		w := m.workers[id]
+		out = append(out, WorkerDetail{
+			ID:          id,
+			Capacity:    w.pool.Capacity(),
+			InUse:       w.pool.Used(),
+			Running:     len(w.running),
+			CachedFiles: len(w.cache),
+			Draining:    w.draining,
+			JoinedAt:    w.joinedAt,
+		})
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"sync"
+
+	"hta/internal/wq"
+)
+
+// FlowAdapter lets a workflow runner (internal/flow) drive a TCP
+// master: task specs are submitted as shell commands and completions
+// are translated back into wq.Results keyed by the spec's Tag.
+type FlowAdapter struct {
+	m *Master
+
+	mu   sync.Mutex
+	tags map[int]string
+	subs []func(wq.Result)
+}
+
+// NewFlowAdapter wraps a TCP master.
+func NewFlowAdapter(m *Master) *FlowAdapter {
+	a := &FlowAdapter{m: m, tags: make(map[int]string)}
+	m.OnComplete(a.relay)
+	return a
+}
+
+// Submit implements flow.Scheduler.
+func (a *FlowAdapter) Submit(spec wq.TaskSpec) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.m.Submit(spec.Command, spec.Category, spec.Resources)
+	a.tags[id] = spec.Tag
+	return id
+}
+
+// OnComplete implements flow.Scheduler.
+func (a *FlowAdapter) OnComplete(fn func(wq.Result)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.subs = append(a.subs, fn)
+}
+
+func (a *FlowAdapter) relay(r Result) {
+	a.mu.Lock()
+	tag := a.tags[r.Task.ID]
+	delete(a.tags, r.Task.ID)
+	subs := make([]func(wq.Result), len(a.subs))
+	copy(subs, a.subs)
+	a.mu.Unlock()
+	res := wq.Result{Task: wq.Task{
+		ID: r.Task.ID,
+		TaskSpec: wq.TaskSpec{
+			Tag:       tag,
+			Command:   r.Task.Command,
+			Category:  r.Task.Category,
+			Resources: r.Task.Resources,
+		},
+		State:    wq.TaskComplete,
+		WorkerID: r.Task.WorkerID,
+		Attempts: r.Task.Attempts,
+		ExecWall: r.Task.Wall,
+	}}
+	for _, fn := range subs {
+		fn(res)
+	}
+}

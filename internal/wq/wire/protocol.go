@@ -1,0 +1,111 @@
+// Package wire implements the Work Queue master/worker protocol over
+// real TCP, complementing the simulated runtime in package wq: a
+// master listens for workers, workers register their capacities,
+// receive tasks, execute the task commands in a shell, and stream
+// results back. The same conservative dispatch rules apply — a task
+// with unknown requirements holds a whole worker.
+//
+// The protocol is newline-delimited JSON. Every frame carries a
+// "type" discriminator:
+//
+//	worker → master: register, result, heartbeat
+//	master → worker: task, drain
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Message types.
+const (
+	TypeRegister  = "register"
+	TypeResult    = "result"
+	TypeTask      = "task"
+	TypeDrain     = "drain"
+	TypeHeartbeat = "heartbeat"
+)
+
+// Frame is the wire message envelope. Unused fields are omitted per
+// type.
+type Frame struct {
+	Type string `json:"type"`
+
+	// register
+	WorkerID string `json:"worker_id,omitempty"`
+	Cores    int64  `json:"cores,omitempty"`     // millicores
+	MemoryMB int64  `json:"memory_mb,omitempty"` // MB
+	DiskMB   int64  `json:"disk_mb,omitempty"`   // MB
+
+	// task
+	TaskID   int    `json:"task_id,omitempty"`
+	Command  string `json:"command,omitempty"`
+	Category string `json:"category,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// ReqCores is the task's declared requirement in millicores
+	// (0 = unknown, the worker runs it exclusively).
+	ReqCores    int64 `json:"req_cores,omitempty"`
+	ReqMemoryMB int64 `json:"req_memory_mb,omitempty"`
+
+	// result
+	ExitCode int    `json:"exit_code,omitempty"`
+	Output   string `json:"output,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+	// CPUMilli is the measured average CPU consumption in millicores
+	// (rusage user+system time over wall time).
+	CPUMilli int64  `json:"cpu_milli,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// conn wraps a TCP connection with line-oriented JSON framing and a
+// write lock, safe for one reader goroutine plus concurrent writers.
+type conn struct {
+	raw net.Conn
+	r   *bufio.Scanner
+	wmu sync.Mutex
+}
+
+const maxFrameBytes = 1 << 20
+
+func newConn(raw net.Conn) *conn {
+	sc := bufio.NewScanner(raw)
+	sc.Buffer(make([]byte, 0, 4096), maxFrameBytes)
+	return &conn{raw: raw, r: sc}
+}
+
+// read blocks for the next frame.
+func (c *conn) read() (Frame, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return Frame{}, err
+		}
+		return Frame{}, fmt.Errorf("wire: connection closed")
+	}
+	var f Frame
+	if err := json.Unmarshal(c.r.Bytes(), &f); err != nil {
+		return Frame{}, fmt.Errorf("wire: malformed frame: %w", err)
+	}
+	if f.Type == "" {
+		return Frame{}, fmt.Errorf("wire: frame without type")
+	}
+	return f, nil
+}
+
+// write sends one frame.
+func (c *conn) write(f Frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.raw.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"sync"
+	"time"
+
+	"hta/internal/resources"
+)
+
+// WorkerConfig configures a TCP worker.
+type WorkerConfig struct {
+	// ID is the worker's identity (required, unique per master).
+	ID string
+	// Capacity is the advertised resource capacity (required).
+	Capacity resources.Vector
+	// Shell is the interpreter for task commands (default /bin/sh).
+	Shell string
+	// TaskTimeout kills commands that run longer (0 = no limit).
+	TaskTimeout time.Duration
+	// HeartbeatInterval is the liveness-frame period (default 10 s;
+	// negative disables heartbeats).
+	HeartbeatInterval time.Duration
+}
+
+// Worker executes task commands received from a wire.Master.
+type Worker struct {
+	cfg  WorkerConfig
+	conn *conn
+
+	mu       sync.Mutex
+	running  map[int]context.CancelFunc
+	draining bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+	err      error
+}
+
+// Connect dials the master and registers. The worker starts serving
+// immediately; Wait blocks until it exits (drain or disconnect).
+func Connect(addr string, cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("wire: worker needs an ID")
+	}
+	if !cfg.Capacity.AnyPositive() {
+		return nil, fmt.Errorf("wire: worker %q needs a capacity", cfg.ID)
+	}
+	if cfg.Shell == "" {
+		cfg.Shell = "/bin/sh"
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 10 * time.Second
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial master: %w", err)
+	}
+	w := &Worker{
+		cfg:     cfg,
+		conn:    newConn(raw),
+		running: make(map[int]context.CancelFunc),
+		done:    make(chan struct{}),
+	}
+	if err := w.conn.write(Frame{
+		Type:     TypeRegister,
+		WorkerID: cfg.ID,
+		Cores:    cfg.Capacity.MilliCPU,
+		MemoryMB: cfg.Capacity.MemoryMB,
+		DiskMB:   cfg.Capacity.DiskMB,
+	}); err != nil {
+		_ = w.conn.close()
+		return nil, err
+	}
+	go w.loop()
+	if cfg.HeartbeatInterval > 0 {
+		go w.heartbeatLoop(cfg.HeartbeatInterval)
+	}
+	return w, nil
+}
+
+func (w *Worker) heartbeatLoop(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-tick.C:
+			if err := w.conn.write(Frame{Type: TypeHeartbeat}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Wait blocks until the worker exits and returns its terminal error
+// (nil after a clean drain).
+func (w *Worker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Close disconnects immediately, cancelling running commands.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	for _, cancel := range w.running {
+		cancel()
+	}
+	w.mu.Unlock()
+	return w.conn.close()
+}
+
+func (w *Worker) loop() {
+	defer close(w.done)
+	for {
+		f, err := w.conn.read()
+		if err != nil {
+			w.mu.Lock()
+			draining := w.draining && len(w.running) == 0
+			w.mu.Unlock()
+			if !draining {
+				w.err = err
+			}
+			w.wg.Wait()
+			_ = w.conn.close()
+			return
+		}
+		switch f.Type {
+		case TypeTask:
+			w.startTask(f)
+		case TypeDrain:
+			w.mu.Lock()
+			w.draining = true
+			idle := len(w.running) == 0
+			w.mu.Unlock()
+			if idle {
+				w.wg.Wait()
+				_ = w.conn.close()
+				return
+			}
+		}
+	}
+}
+
+func (w *Worker) startTask(f Frame) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if w.cfg.TaskTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), w.cfg.TaskTimeout)
+	}
+	w.mu.Lock()
+	w.running[f.TaskID] = cancel
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer cancel()
+		res := w.execute(ctx, f)
+		w.mu.Lock()
+		delete(w.running, f.TaskID)
+		drainingIdle := w.draining && len(w.running) == 0
+		w.mu.Unlock()
+		_ = w.conn.write(res)
+		if drainingIdle {
+			_ = w.conn.close()
+		}
+	}()
+}
+
+func (w *Worker) execute(ctx context.Context, f Frame) Frame {
+	start := time.Now()
+	cmd := exec.CommandContext(ctx, w.cfg.Shell, "-c", f.Command)
+	// Without a wait delay, a killed shell whose children still hold
+	// the output pipe would block CombinedOutput forever.
+	cmd.WaitDelay = time.Second
+	out, err := cmd.CombinedOutput()
+	wall := time.Since(start)
+	res := Frame{
+		Type:   TypeResult,
+		TaskID: f.TaskID,
+		Output: truncate(string(out), 16*1024),
+		WallMS: wall.Milliseconds(),
+	}
+	// Measured CPU: rusage user+system over wall time — the signal
+	// the resource monitor aggregates per category.
+	if cmd.ProcessState != nil && wall > 0 {
+		cpu := cmd.ProcessState.UserTime() + cmd.ProcessState.SystemTime()
+		res.CPUMilli = int64(float64(cpu) / float64(wall) * 1000)
+	}
+	if err != nil {
+		if exitErr, ok := err.(*exec.ExitError); ok {
+			res.ExitCode = exitErr.ExitCode()
+		} else {
+			res.ExitCode = -1
+			res.Error = err.Error()
+		}
+	}
+	return res
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
