@@ -9,6 +9,7 @@ package hta
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"hta/internal/experiments"
 )
@@ -201,6 +202,46 @@ func BenchmarkSweepInitLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.SweepInitLatency(int64(i + 1)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// scaleSweepMeans is the provisioning-latency grid the scale-sweep
+// benchmarks fan out over: eight (latency, autoscaler) simulations.
+var scaleSweepMeans = []time.Duration{
+	30 * time.Second, 60 * time.Second, 140 * time.Second, 400 * time.Second,
+}
+
+// BenchmarkScaleSweep measures the parallel experiment harness: the
+// init-latency sweep's eight independent simulations fanned out
+// across GOMAXPROCS workers.
+func BenchmarkScaleSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.SweepInitLatency(int64(i+1), scaleSweepMeans...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 2*len(scaleSweepMeans) {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+// BenchmarkScaleSweepSerial is BenchmarkScaleSweep with the harness
+// forced serial — the baseline the fan-out is measured against.
+func BenchmarkScaleSweepSerial(b *testing.B) {
+	old := experiments.MaxParallel
+	experiments.MaxParallel = 1
+	defer func() { experiments.MaxParallel = old }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.SweepInitLatency(int64(i+1), scaleSweepMeans...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 2*len(scaleSweepMeans) {
+			b.Fatalf("rows = %d", len(rep.Rows))
 		}
 	}
 }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations] [-json]
+//
+// -json additionally runs the scale benchmarks (10k-task dispatch
+// storm, parallel-vs-serial sweep) and writes their wall-clock
+// results to BENCH_1.json; combine with -runs none to run only them.
 package main
 
 import (
@@ -25,6 +29,8 @@ func main() {
 		"comma-separated experiments to run")
 	csvDir := flag.String("csv", "", "directory to export per-run CSV series into")
 	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
+	jsonBench := flag.Bool("json", false,
+		"run the scale benchmarks and write wall-clock results to "+scaleBenchFile)
 	flag.Parse()
 
 	selected := make(map[string]bool)
@@ -76,6 +82,12 @@ func main() {
 			if a, ok := rep.(experiments.PageAdder); ok {
 				a.AddToPage(page)
 			}
+		}
+	}
+	if *jsonBench {
+		if err := runScaleBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+			failed = true
 		}
 	}
 	if page != nil && !failed {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hta/internal/experiments"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// scaleBenchFile is where -json writes the scale-benchmark results.
+const scaleBenchFile = "BENCH_1.json"
+
+// scaleBenchResult is one scale benchmark's wall-clock measurement.
+type scaleBenchResult struct {
+	Name    string  `json:"name"`
+	WallMS  float64 `json:"wall_ms"`
+	Tasks   int     `json:"tasks,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Events  uint64  `json:"events,omitempty"`
+}
+
+type scaleBenchReport struct {
+	Seed       int64              `json:"seed"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Benchmarks []scaleBenchResult `json:"benchmarks"`
+}
+
+// runScaleBench executes the two scale benchmarks outside the testing
+// framework — the 10k-task dispatch storm and the parallel-vs-serial
+// experiment sweep — and writes their wall-clock results to
+// BENCH_1.json.
+func runScaleBench(seed int64) error {
+	rep := scaleBenchReport{Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	dispatch, err := benchScaleDispatch(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, dispatch)
+
+	parallelSweep, err := benchScaleSweep("ScaleSweepParallel", seed, 0)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, parallelSweep)
+
+	serialSweep, err := benchScaleSweep("ScaleSweepSerial", seed, 1)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, serialSweep)
+
+	f, err := os.Create(scaleBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("scale-benchmark results written to %s\n", scaleBenchFile)
+	return nil
+}
+
+// benchScaleDispatch mirrors internal/wq's BenchmarkScaleDispatch:
+// 10k known-size tasks over 500 4-core workers with jittered
+// durations, so completions arrive as a stream of single events.
+func benchScaleDispatch(seed int64) (scaleBenchResult, error) {
+	const (
+		tasks   = 10000
+		workers = 500
+	)
+	start := time.Now()
+	eng := simclock.NewEngine(experiments.SimStart)
+	m := wq.NewMaster(eng, nil)
+	for w := 0; w < workers; w++ {
+		if err := m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000)); err != nil {
+			return scaleBenchResult{}, err
+		}
+	}
+	rng := simclock.NewRNG(seed)
+	for t := 0; t < tasks; t++ {
+		m.Submit(wq.TaskSpec{
+			Category:  "bench",
+			Resources: resources.New(1, 1024, 100),
+			Profile: wq.Profile{
+				ExecDuration: time.Duration(rng.Jitter(float64(5*time.Minute), 0.8)),
+				UsedCPUMilli: 900,
+				UsedMemoryMB: 512,
+			},
+		})
+	}
+	eng.Run()
+	if m.CompletedCount() != tasks {
+		return scaleBenchResult{}, fmt.Errorf("scale dispatch completed %d of %d", m.CompletedCount(), tasks)
+	}
+	return scaleBenchResult{
+		Name:    "ScaleDispatch",
+		WallMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Tasks:   tasks,
+		Workers: workers,
+		Events:  eng.Processed(),
+	}, nil
+}
+
+// benchScaleSweep times the init-latency sweep (eight simulations)
+// under the given harness width (0 = GOMAXPROCS, 1 = serial).
+func benchScaleSweep(name string, seed int64, width int) (scaleBenchResult, error) {
+	means := []time.Duration{
+		30 * time.Second, 60 * time.Second, 140 * time.Second, 400 * time.Second,
+	}
+	old := experiments.MaxParallel
+	experiments.MaxParallel = width
+	defer func() { experiments.MaxParallel = old }()
+	start := time.Now()
+	rep, err := experiments.SweepInitLatency(seed, means...)
+	if err != nil {
+		return scaleBenchResult{}, err
+	}
+	return scaleBenchResult{
+		Name:   name,
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Rows:   len(rep.Rows),
+	}, nil
+}

@@ -101,7 +101,7 @@ type Autoscaler struct {
 	held        map[string][]wq.TaskSpec // category -> held task specs
 	probeActive map[string]bool
 
-	cycleTimer    *simclock.Timer
+	cycleTimer    simclock.Timer
 	started       bool
 	shutdown      bool
 	cleaned       bool
@@ -256,10 +256,7 @@ func (a *Autoscaler) maybeCleanup() {
 		return
 	}
 	a.cleaned = true
-	if a.cycleTimer != nil {
-		a.cycleTimer.Stop()
-		a.cycleTimer = nil
-	}
+	a.cycleTimer.Stop()
 	for _, name := range a.sortedPodNames() {
 		if a.pods[name] != podDraining {
 			a.drainPod(name)

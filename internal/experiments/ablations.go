@@ -23,47 +23,50 @@ type AblationFixedCycleReport struct {
 	Runs      map[string]*RunResult
 }
 
-// AblationFixedCycle runs A1 on the multistage workflow.
+// AblationFixedCycle runs A1 on the multistage workflow. The three
+// HTA variants run concurrently through the parallel harness.
 func AblationFixedCycle(seed int64) (*AblationFixedCycleReport, error) {
-	rep := &AblationFixedCycleReport{Runs: make(map[string]*RunResult)}
-	run := func(name string, cfg core.Config) (SummaryRow, error) {
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"HTA (measured init time)", core.Config{MaxWorkers: 20}},
+		{"HTA (fixed 30s cycle)", core.Config{
+			MaxWorkers:          20,
+			DisableInitFeedback: true,
+			InitTimeFallback:    30 * time.Second,
+		}},
+		{"HTA (fixed 600s cycle)", core.Config{
+			MaxWorkers:          20,
+			DisableInitFeedback: true,
+			InitTimeFallback:    600 * time.Second,
+		}},
+	}
+	results := make([]*RunResult, len(variants))
+	err := Parallel(len(variants), func(i int) error {
 		p := workload.DefaultMultistage()
 		p.Seed = seed
 		g, spec, err := p.Build()
 		if err != nil {
-			return SummaryRow{}, err
+			return err
 		}
-		res, err := RunHTA(name, Workload{Graph: g, Spec: spec}, HTAOptions{
+		results[i], err = RunHTA(variants[i].name, Workload{Graph: g, Spec: spec}, HTAOptions{
 			Kube:    fig10Kube(seed),
-			HTA:     cfg,
+			HTA:     variants[i].cfg,
 			Timeout: fig10Timeout,
 		})
-		if err != nil {
-			return SummaryRow{}, err
-		}
-		rep.Runs[name] = res
-		return summaryRow(name, res), nil
-	}
-	var err error
-	if rep.Full, err = run("HTA (measured init time)", core.Config{MaxWorkers: 20}); err != nil {
-		return nil, err
-	}
-	rep.FixedFast, err = run("HTA (fixed 30s cycle)", core.Config{
-		MaxWorkers:          20,
-		DisableInitFeedback: true,
-		InitTimeFallback:    30 * time.Second,
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.FixedSlow, err = run("HTA (fixed 600s cycle)", core.Config{
-		MaxWorkers:          20,
-		DisableInitFeedback: true,
-		InitTimeFallback:    600 * time.Second,
-	})
-	if err != nil {
-		return nil, err
+	rep := &AblationFixedCycleReport{Runs: make(map[string]*RunResult)}
+	for i, res := range results {
+		rep.Runs[variants[i].name] = res
 	}
+	rep.Full = summaryRow(variants[0].name, results[0])
+	rep.FixedFast = summaryRow(variants[1].name, results[1])
+	rep.FixedSlow = summaryRow(variants[2].name, results[2])
 	return rep, nil
 }
 
@@ -85,39 +88,43 @@ type AblationNoCategoriesReport struct {
 }
 
 // AblationNoCategories runs A2 on a flat BLAST bag with unknown
-// requirements.
+// requirements; the two variants run concurrently.
 func AblationNoCategories(seed int64) (*AblationNoCategoriesReport, error) {
-	rep := &AblationNoCategoriesReport{Runs: make(map[string]*RunResult)}
-	run := func(name string, cfg core.Config) (SummaryRow, float64, error) {
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"HTA (category estimation)", core.Config{MaxWorkers: 20}},
+		{"HTA (no estimation)", core.Config{
+			MaxWorkers:       20,
+			DisableEstimator: true,
+		}},
+	}
+	results := make([]*RunResult, len(variants))
+	err := Parallel(len(variants), func(i int) error {
 		p := workload.DefaultBlastFlat(120)
 		p.Seed = seed
 		p.Declared = false
 		wl, err := Flat(p.Specs())
 		if err != nil {
-			return SummaryRow{}, 0, err
+			return err
 		}
-		res, err := RunHTA(name, wl, HTAOptions{
+		results[i], err = RunHTA(variants[i].name, wl, HTAOptions{
 			Kube:    fig10Kube(seed),
-			HTA:     cfg,
+			HTA:     variants[i].cfg,
 			Timeout: fig10Timeout,
 		})
-		if err != nil {
-			return SummaryRow{}, 0, err
-		}
-		rep.Runs[name] = res
-		return summaryRow(name, res), res.MeanCPUUtil, nil
-	}
-	var err error
-	if rep.Full, rep.FullUtil, err = run("HTA (category estimation)", core.Config{MaxWorkers: 20}); err != nil {
-		return nil, err
-	}
-	rep.Disabled, rep.DisUtil, err = run("HTA (no estimation)", core.Config{
-		MaxWorkers:       20,
-		DisableEstimator: true,
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
+	rep := &AblationNoCategoriesReport{Runs: make(map[string]*RunResult)}
+	for i, res := range results {
+		rep.Runs[variants[i].name] = res
+	}
+	rep.Full, rep.FullUtil = summaryRow(variants[0].name, results[0]), results[0].MeanCPUUtil
+	rep.Disabled, rep.DisUtil = summaryRow(variants[1].name, results[1]), results[1].MeanCPUUtil
 	return rep, nil
 }
 
@@ -140,20 +147,22 @@ type AblationHPAStabilizationReport struct {
 	Runs map[string]*RunResult
 }
 
-// AblationHPAStabilization runs A3.
+// AblationHPAStabilization runs A3; the three stabilization windows
+// run concurrently.
 func AblationHPAStabilization(seed int64) (*AblationHPAStabilizationReport, error) {
-	rep := &AblationHPAStabilizationReport{Runs: make(map[string]*RunResult)}
 	podRes := resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
-	for _, window := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute} {
+	windows := []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute}
+	results := make([]*RunResult, len(windows))
+	err := Parallel(len(windows), func(i int) error {
 		p := workload.DefaultMultistage()
 		p.Seed = seed
 		p.Declared = true
 		g, spec, err := p.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		name := fmt.Sprintf("HPA-20%% (stab %v)", window)
-		res, err := RunHPA(name, Workload{Graph: g, Spec: spec}, HPAOptions{
+		name := fmt.Sprintf("HPA-20%% (stab %v)", windows[i])
+		results[i], err = RunHPA(name, Workload{Graph: g, Spec: spec}, HPAOptions{
 			Kube:            fig10Kube(seed),
 			PodResources:    podRes,
 			InitialReplicas: 3,
@@ -161,15 +170,19 @@ func AblationHPAStabilization(seed int64) (*AblationHPAStabilizationReport, erro
 				TargetCPUUtilization:   0.20,
 				MinReplicas:            1,
 				MaxReplicas:            60,
-				ScaleDownStabilization: window,
+				ScaleDownStabilization: windows[i],
 			},
 			Timeout: fig10Timeout,
 		})
-		if err != nil {
-			return nil, err
-		}
-		rep.Runs[name] = res
-		rep.Rows = append(rep.Rows, summaryRow(name, res))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &AblationHPAStabilizationReport{Runs: make(map[string]*RunResult)}
+	for _, res := range results {
+		rep.Runs[res.Name] = res
+		rep.Rows = append(rep.Rows, summaryRow(res.Name, res))
 	}
 	return rep, nil
 }

@@ -95,6 +95,7 @@ type sampler struct {
 	heldFn    func() int       // may be nil
 	desiredFn func() int       // may be nil
 	byCat     map[string]*metrics.Series
+	catCounts map[string]int // reused across ticks
 	// quotaCores bounds the reported shortage: RSH is the supply
 	// deficit the cluster could still close, min(queue demand,
 	// quota − supply). 0 = unbounded.
@@ -120,6 +121,7 @@ func newSampler(master *wq.Master, cluster *kubesim.Cluster, maxIdeal int) *samp
 // trackCategories enables per-category outstanding-task series.
 func (sm *sampler) trackCategories(cats []string) {
 	sm.byCat = make(map[string]*metrics.Series, len(cats))
+	sm.catCounts = make(map[string]int, len(cats))
 	for _, c := range cats {
 		sm.byCat[c] = metrics.NewSeries(c)
 	}
@@ -129,7 +131,7 @@ func (sm *sampler) sample(now time.Time) {
 	s := sm.master.Stats()
 	supply := s.Capacity.CoresValue()
 	inUse := s.InUse.CoresValue()
-	shortage := shortageCores(sm.master.WaitingTasks(), sm.estimator)
+	shortage := sm.shortageCores()
 	if sm.heldFn != nil {
 		shortage += float64(sm.heldFn())
 	}
@@ -159,20 +161,15 @@ func (sm *sampler) sample(now time.Time) {
 	if sm.cluster != nil {
 		sm.nodes.Add(now, float64(sm.cluster.ReadyNodes()))
 	}
-	var busy int64
-	for _, id := range sm.master.Workers() {
-		busy += sm.master.WorkerUsage(id).MilliCPU
-	}
-	sm.busyCPU.Add(now, float64(busy)/1000)
+	sm.busyCPU.Add(now, float64(sm.master.BusyCPU())/1000)
 	sm.capCPU.Add(now, supply)
 	if sm.byCat != nil {
-		counts := make(map[string]int, len(sm.byCat))
-		for _, t := range sm.master.WaitingTasks() {
-			counts[t.Category]++
+		counts := sm.catCounts
+		for cat := range counts {
+			delete(counts, cat)
 		}
-		for _, t := range sm.master.RunningTasks() {
-			counts[t.Category]++
-		}
+		sm.master.ForEachWaiting(func(t *wq.Task) { counts[t.Category]++ })
+		sm.master.ForEachRunning(func(t *wq.Task) { counts[t.Category]++ })
 		for cat, series := range sm.byCat {
 			series.Add(now, float64(counts[cat]))
 		}
@@ -197,23 +194,24 @@ func (sm *sampler) finish(r *RunResult) {
 
 // shortageCores estimates the cores desired by the waiting queue: the
 // declared requirement, the category estimate, or one processor slot
-// as the floor.
-func shortageCores(waiting []wq.Task, est wq.Estimator) float64 {
+// as the floor. It iterates the queue in place — the sum is an
+// integer in millicores, so the visit order cannot perturb the
+// result — instead of materializing a task-copy slice every tick.
+func (sm *sampler) shortageCores() float64 {
 	var milli int64
-	for _, t := range waiting {
-		switch {
-		case !t.Resources.IsZero():
+	sm.master.ForEachWaiting(func(t *wq.Task) {
+		if !t.Resources.IsZero() {
 			milli += t.Resources.MilliCPU
-		default:
-			if est != nil {
-				if v, ok := est.EstimateResources(t.Category); ok && v.MilliCPU > 0 {
-					milli += v.MilliCPU
-					continue
-				}
-			}
-			milli += 1000
+			return
 		}
-	}
+		if sm.estimator != nil {
+			if v, ok := sm.estimator.EstimateResources(t.Category); ok && v.MilliCPU > 0 {
+				milli += v.MilliCPU
+				return
+			}
+		}
+		milli += 1000
+	})
 	return float64(milli) / 1000
 }
 

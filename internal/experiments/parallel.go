@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxParallel caps the number of scenarios Parallel executes
+// concurrently. 0 (the default) means GOMAXPROCS; 1 forces serial
+// execution, which is useful for debugging and for asserting that
+// parallel and serial runs produce identical reports.
+var MaxParallel = 0
+
+// Parallel runs fn(0), …, fn(n−1) across a bounded pool of
+// goroutines and waits for all of them. Every scenario owns its own
+// simulation Engine, cluster, and master, so runs of a figure's
+// configurations are independent and embarrassingly parallel; the
+// caller indexes results by i, which keeps output ordering identical
+// to a serial loop. The first error in index order is returned after
+// all scenarios finish (no cancellation: scenarios are finite and a
+// partial fan-out would complicate determinism for no gain).
+func Parallel(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	limit := MaxParallel
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

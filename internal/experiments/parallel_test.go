@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelRunsEveryIndexOnce(t *testing.T) {
+	const n = 37
+	var seen [n]int32
+	if err := Parallel(n, func(i int) error {
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelReturnsFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := Parallel(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("err = %v, want the lowest-index error %v", err, errB)
+	}
+}
+
+func TestParallelSerialFallback(t *testing.T) {
+	old := MaxParallel
+	MaxParallel = 1
+	defer func() { MaxParallel = old }()
+	var order []int
+	if err := Parallel(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+// TestParallelMatchesSerialReports is the harness determinism check:
+// a figure routed through the parallel runner must render exactly the
+// report a serial loop produces, because every scenario owns its own
+// engine and results are assembled by configuration index.
+func TestParallelMatchesSerialReports(t *testing.T) {
+	serialSweep := func() string {
+		old := MaxParallel
+		MaxParallel = 1
+		defer func() { MaxParallel = old }()
+		rep, err := SweepInitLatency(3, 30*time.Second, 140*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	parallelSweep := func() string {
+		rep, err := SweepInitLatency(3, 30*time.Second, 140*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if s, p := serialSweep(), parallelSweep(); s != p {
+		t.Errorf("sweep reports diverge:\n--- serial\n%s--- parallel\n%s", s, p)
+	}
+
+	serialPolicy := func() string {
+		old := MaxParallel
+		MaxParallel = 1
+		defer func() { MaxParallel = old }()
+		rep, err := AblationDispatchPolicy(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	parallelPolicy := func() string {
+		rep, err := AblationDispatchPolicy(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if s, p := serialPolicy(), parallelPolicy(); s != p {
+		t.Errorf("policy reports diverge:\n--- serial\n%s--- parallel\n%s", s, p)
+	}
+}

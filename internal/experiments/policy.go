@@ -61,22 +61,29 @@ func policyBag(n int, seed int64) []wq.TaskSpec {
 	return specs
 }
 
-// AblationDispatchPolicy runs A5.
+// AblationDispatchPolicy runs A5; all six (policy, load) cases run
+// concurrently, collected in the serial row order.
 func AblationDispatchPolicy(seed int64) (*AblationDispatchPolicyReport, error) {
-	rep := &AblationDispatchPolicyReport{}
-	for _, load := range []struct {
+	loads := []struct {
 		name string
 		n    int
-	}{{"partial", policyPartialN}, {"saturated", policySaturateN}} {
-		for _, policy := range []wq.Policy{wq.FirstFit, wq.BestFit, wq.WorstFit} {
-			row, err := runPolicyCase(policy, load.name, load.n, seed)
-			if err != nil {
-				return nil, err
-			}
-			rep.Rows = append(rep.Rows, row)
+	}{{"partial", policyPartialN}, {"saturated", policySaturateN}}
+	policies := []wq.Policy{wq.FirstFit, wq.BestFit, wq.WorstFit}
+	rows := make([]PolicyRow, len(loads)*len(policies))
+	err := Parallel(len(rows), func(i int) error {
+		load := loads[i/len(policies)]
+		policy := policies[i%len(policies)]
+		row, err := runPolicyCase(policy, load.name, load.n, seed)
+		if err != nil {
+			return err
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return &AblationDispatchPolicyReport{Rows: rows}, nil
 }
 
 func runPolicyCase(policy wq.Policy, load string, n int, seed int64) (PolicyRow, error) {

@@ -99,47 +99,48 @@ type AblationQueueScalerReport struct {
 	QPARequeues int
 }
 
-// AblationQueueScaler runs A4.
+// AblationQueueScaler runs A4; the two scalers run concurrently.
 func AblationQueueScaler(seed int64) (*AblationQueueScalerReport, error) {
-	rep := &AblationQueueScalerReport{Runs: make(map[string]*RunResult)}
-
-	p := workload.DefaultMultistage()
-	p.Seed = seed
-	p.Declared = true
-	g, spec, err := p.Build()
-	if err != nil {
-		return nil, err
-	}
-	qpaRes, err := RunQPA("QPA (queue/3)", Workload{Graph: g, Spec: spec}, QPAOptions{
-		Kube:            fig10Kube(seed),
-		InitialReplicas: 3,
-		QPA: qpa.Config{
-			TasksPerWorker: 3, // node-sized workers hold 3 one-core tasks
-			MaxReplicas:    20,
-		},
-		Timeout: fig10Timeout,
+	results := make([]*RunResult, 2)
+	err := Parallel(len(results), func(i int) error {
+		p := workload.DefaultMultistage()
+		p.Seed = seed
+		if i == 0 {
+			p.Declared = true
+			g, spec, err := p.Build()
+			if err != nil {
+				return err
+			}
+			results[i], err = RunQPA("QPA (queue/3)", Workload{Graph: g, Spec: spec}, QPAOptions{
+				Kube:            fig10Kube(seed),
+				InitialReplicas: 3,
+				QPA: qpa.Config{
+					TasksPerWorker: 3, // node-sized workers hold 3 one-core tasks
+					MaxReplicas:    20,
+				},
+				Timeout: fig10Timeout,
+			})
+			return err
+		}
+		g, spec, err := p.Build()
+		if err != nil {
+			return err
+		}
+		results[i], err = RunHTA("HTA", Workload{Graph: g, Spec: spec}, HTAOptions{
+			Kube:    fig10Kube(seed),
+			HTA:     core.Config{MaxWorkers: 20},
+			Timeout: fig10Timeout,
+		})
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
+	rep := &AblationQueueScalerReport{Runs: make(map[string]*RunResult)}
+	qpaRes, htaRes := results[0], results[1]
 	rep.Runs[qpaRes.Name] = qpaRes
 	rep.QPA = summaryRow(qpaRes.Name, qpaRes)
 	rep.QPARequeues = qpaRes.Requeues
-
-	p2 := workload.DefaultMultistage()
-	p2.Seed = seed
-	g2, spec2, err := p2.Build()
-	if err != nil {
-		return nil, err
-	}
-	htaRes, err := RunHTA("HTA", Workload{Graph: g2, Spec: spec2}, HTAOptions{
-		Kube:    fig10Kube(seed),
-		HTA:     core.Config{MaxWorkers: 20},
-		Timeout: fig10Timeout,
-	})
-	if err != nil {
-		return nil, err
-	}
 	rep.Runs["HTA"] = htaRes
 	rep.HTA = summaryRow("HTA", htaRes)
 	return rep, nil

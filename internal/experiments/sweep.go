@@ -32,64 +32,72 @@ type SweepRow struct {
 }
 
 // SweepInitLatency runs S1 over the given provisioning means
-// (defaults: 30 s, 140 s, 400 s).
+// (defaults: 30 s, 140 s, 400 s). Every (latency, autoscaler) cell is
+// an independent simulation; the sweep fans all of them out through
+// the parallel harness and assembles rows by index, preserving the
+// serial ordering (per mean: HPA row, then HTA row).
 func SweepInitLatency(seed int64, means ...time.Duration) (*SweepInitLatencyReport, error) {
 	if len(means) == 0 {
 		means = []time.Duration{30 * time.Second, 140 * time.Second, 400 * time.Second}
 	}
-	rep := &SweepInitLatencyReport{}
 	podRes := resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
-	for _, mean := range means {
+	rows := make([]SweepRow, 2*len(means))
+	err := Parallel(len(rows), func(i int) error {
+		mean := means[i/2]
 		kube := fig10Kube(seed)
 		kube.ProvisionMean = mean
 		kube.ProvisionStdDev = time.Duration(float64(mean) * 0.03)
 		kube.ProvisionMin = mean / 4
 
-		pd := workload.DefaultMultistage()
-		pd.Seed = seed
-		pd.Declared = true
-		g, spec, err := pd.Build()
-		if err != nil {
-			return nil, err
-		}
-		hpaRes, err := RunHPA("HPA", Workload{Graph: g, Spec: spec}, HPAOptions{
-			Kube:            kube,
-			PodResources:    podRes,
-			InitialReplicas: 3,
-			HPA: hpa.Config{
-				TargetCPUUtilization: 0.20,
-				MaxReplicas:          60,
-			},
-			Timeout: fig10Timeout,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rep.Rows = append(rep.Rows, SweepRow{
-			ProvisionMean: mean, Autoscaler: "HPA-20%",
-			Runtime: hpaRes.Runtime, Waste: hpaRes.AccumulatedWaste(), Shortage: hpaRes.AccumulatedShortage(),
-		})
-
 		p := workload.DefaultMultistage()
 		p.Seed = seed
-		g2, spec2, err := p.Build()
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			p.Declared = true
+			g, spec, err := p.Build()
+			if err != nil {
+				return err
+			}
+			hpaRes, err := RunHPA("HPA", Workload{Graph: g, Spec: spec}, HPAOptions{
+				Kube:            kube,
+				PodResources:    podRes,
+				InitialReplicas: 3,
+				HPA: hpa.Config{
+					TargetCPUUtilization: 0.20,
+					MaxReplicas:          60,
+				},
+				Timeout: fig10Timeout,
+			})
+			if err != nil {
+				return err
+			}
+			rows[i] = SweepRow{
+				ProvisionMean: mean, Autoscaler: "HPA-20%",
+				Runtime: hpaRes.Runtime, Waste: hpaRes.AccumulatedWaste(), Shortage: hpaRes.AccumulatedShortage(),
+			}
+			return nil
 		}
-		htaRes, err := RunHTA("HTA", Workload{Graph: g2, Spec: spec2}, HTAOptions{
+		g, spec, err := p.Build()
+		if err != nil {
+			return err
+		}
+		htaRes, err := RunHTA("HTA", Workload{Graph: g, Spec: spec}, HTAOptions{
 			Kube:    kube,
 			HTA:     core.Config{MaxWorkers: 20},
 			Timeout: fig10Timeout,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, SweepRow{
+		rows[i] = SweepRow{
 			ProvisionMean: mean, Autoscaler: "HTA",
 			Runtime: htaRes.Runtime, Waste: htaRes.AccumulatedWaste(), Shortage: htaRes.AccumulatedShortage(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return &SweepInitLatencyReport{Rows: rows}, nil
 }
 
 // String renders the sweep table.

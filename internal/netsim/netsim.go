@@ -29,7 +29,7 @@ type Link struct {
 
 	transfers map[int]*Transfer
 	nextID    int
-	timer     *simclock.Timer
+	timer     simclock.Timer
 	last      time.Time
 
 	// statistics
@@ -216,10 +216,7 @@ func (l *Link) advance() {
 // reschedule recomputes rates and arms the timer for the next
 // completion.
 func (l *Link) reschedule() {
-	if l.timer != nil {
-		l.timer.Stop()
-		l.timer = nil
-	}
+	l.timer.Stop()
 	// Complete anything already finished.
 	var finished []*Transfer
 	for _, tr := range l.transfers {
@@ -273,7 +270,6 @@ func (l *Link) reschedule() {
 		d = 1
 	}
 	l.timer = l.eng.After(d, "netsim-completion", func() {
-		l.timer = nil
 		l.advance()
 		l.reschedule()
 	})

@@ -27,10 +27,14 @@ type RealClock struct{}
 // Now returns the current wall-clock time.
 func (RealClock) Now() time.Time { return time.Now() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Fired and canceled events return to
+// the engine's free list, so a steady event stream allocates nothing;
+// gen distinguishes a recycled event from the one a Timer was issued
+// for.
 type event struct {
 	at       time.Time
 	seq      uint64 // tie-breaker: FIFO among equal times
+	gen      uint64 // incremented on recycle; Timers validate it
 	fn       func()
 	name     string
 	canceled bool
@@ -77,6 +81,7 @@ type Engine struct {
 	now       time.Time
 	start     time.Time
 	events    eventHeap
+	free      []*event // recycled events
 	seq       uint64
 	processed uint64
 }
@@ -106,30 +111,55 @@ func (e *Engine) Pending() int {
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Timer is a handle to a scheduled event; Stop cancels it.
+// Timer is a handle to a scheduled event; Stop cancels it. The zero
+// Timer is valid and Stop on it is a no-op, so a Timer field needs no
+// nil check. Timers are values — copying one is fine, and holding a
+// Timer past its event's firing is safe (Stop just reports false).
 type Timer struct {
-	e  *Engine
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
 // fired (and had not already been stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.canceled {
 		return false
 	}
-	if t.ev.index == -1 {
+	if ev.index == -1 {
 		// Already popped (fired or firing).
 		return false
 	}
-	t.ev.canceled = true
+	ev.canceled = true
 	return true
+}
+
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list; bumping gen
+// invalidates any Timer still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	ev.canceled = false
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at time at. Times in the past are clamped to
 // the current time, preserving FIFO order among same-time events. The
 // name is used only for diagnostics.
-func (e *Engine) At(at time.Time, name string, fn func()) *Timer {
+func (e *Engine) At(at time.Time, name string, fn func()) Timer {
 	if fn == nil {
 		panic("simclock: nil event callback")
 	}
@@ -137,14 +167,15 @@ func (e *Engine) At(at time.Time, name string, fn func()) *Timer {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn, name: name}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.name = at, e.seq, fn, name
 	heap.Push(&e.events, ev)
-	return &Timer{e: e, ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative durations are
 // clamped to zero.
-func (e *Engine) After(d time.Duration, name string, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -157,7 +188,7 @@ type Ticker struct {
 	period  time.Duration
 	name    string
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 }
 
@@ -190,9 +221,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Reset changes the ticker period and restarts the wait from now.
@@ -204,9 +233,7 @@ func (t *Ticker) Reset(period time.Duration) {
 		return
 	}
 	t.period = period
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 	t.schedule()
 }
 
@@ -216,13 +243,16 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at.After(e.now) {
 			e.now = ev.at
 		}
 		e.processed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -244,7 +274,7 @@ func (e *Engine) RunUntil(deadline time.Time) {
 		// Peek.
 		next := e.events[0]
 		if next.canceled {
-			heap.Pop(&e.events)
+			e.recycle(heap.Pop(&e.events).(*event))
 			continue
 		}
 		if next.at.After(deadline) {

@@ -275,7 +275,7 @@ func TestPropertyExactlyOnce(t *testing.T) {
 	f := func(offsets []uint8, stopMask []bool) bool {
 		e := NewEngine(t0)
 		fired := make([]int, len(offsets))
-		timers := make([]*Timer, len(offsets))
+		timers := make([]Timer, len(offsets))
 		for i, off := range offsets {
 			i := i
 			timers[i] = e.After(time.Duration(off)*time.Second, "p", func() { fired[i]++ })

@@ -33,6 +33,34 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleDispatch measures the production-scale event storm the
+// ROADMAP targets: 10k known-size tasks over 500 4-core workers, with
+// jittered durations so completions arrive as a stream of single
+// events — one dispatch pass per completion.
+func BenchmarkScaleDispatch(b *testing.B) {
+	const (
+		tasks   = 10000
+		workers = 500
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := simclock.NewEngine(t0)
+		m := NewMaster(eng, nil)
+		for w := 0; w < workers; w++ {
+			m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000))
+		}
+		rng := simclock.NewRNG(1)
+		for t := 0; t < tasks; t++ {
+			d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
+			m.Submit(knownTask("bench", 1, d))
+		}
+		eng.Run()
+		if m.CompletedCount() != tasks {
+			b.Fatalf("completed %d of %d", m.CompletedCount(), tasks)
+		}
+	}
+}
+
 // BenchmarkStatsSnapshot measures the introspection path the
 // autoscalers hit every cycle.
 func BenchmarkStatsSnapshot(b *testing.B) {

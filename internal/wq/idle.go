@@ -1,0 +1,68 @@
+package wq
+
+import "container/heap"
+
+// idleEntry marks a worker that became idle; seq is its fixed join
+// rank, so the heap yields idle workers in join order — the order the
+// pre-index placeExclusive scan visited them in.
+type idleEntry struct {
+	seq uint64
+	w   *simWorker
+}
+
+// idleHeap is a lazy free list of idle workers. Entries are pushed on
+// every busy→idle transition and validated when popped: an entry
+// whose worker has since started running, begun draining, or left the
+// roster is discarded (the worker re-enters the heap at its next idle
+// transition). Every currently idle, connected worker therefore has
+// at least one live entry.
+type idleHeap []idleEntry
+
+func (h idleHeap) Len() int            { return len(h) }
+func (h idleHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h idleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *idleHeap) Push(x any)         { *h = append(*h, x.(idleEntry)) }
+func (h *idleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = idleEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// markIdle records a worker's busy→idle transition (or its join).
+// When stale entries pile up faster than exclusive placements drain
+// them, the heap is rebuilt from the live roster.
+func (m *Master) markIdle(w *simWorker) {
+	if len(m.idle) > 4*len(m.workers)+16 {
+		m.rebuildIdle()
+	}
+	heap.Push(&m.idle, idleEntry{seq: w.joinSeq, w: w})
+}
+
+func (m *Master) rebuildIdle() {
+	m.idle = m.idle[:0]
+	for _, id := range m.workerOrder {
+		w := m.workers[id]
+		if !w.draining && len(w.running) == 0 {
+			m.idle = append(m.idle, idleEntry{seq: w.joinSeq, w: w})
+		}
+	}
+	heap.Init(&m.idle)
+}
+
+// takeIdle pops the first idle worker in join order, discarding stale
+// entries, or returns nil when no worker is idle. The caller must
+// immediately occupy the returned worker (its entry is consumed).
+func (m *Master) takeIdle() *simWorker {
+	for len(m.idle) > 0 {
+		e := heap.Pop(&m.idle).(idleEntry)
+		w := e.w
+		if m.workers[w.id] != w || w.draining || len(w.running) > 0 {
+			continue
+		}
+		return w
+	}
+	return nil
+}

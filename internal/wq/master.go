@@ -42,28 +42,56 @@ func (p Policy) String() string {
 // Master is the simulated Work Queue master. It owns the task queue,
 // the set of connected workers, and the dispatch policy. All methods
 // must be called from the simulation goroutine.
+//
+// The dispatch hot path is indexed so the master scales in event
+// rate: the waiting queue is bucketed by priority (no per-pass sort),
+// cancellation removes through a position index, exclusive placement
+// pulls from an idle-worker free list instead of scanning the roster,
+// and a pass exits early when nothing affecting placement changed or
+// when the largest free worker cannot fit the smallest waiting task.
 type Master struct {
 	eng    *simclock.Engine
 	link   *netsim.Link // master egress; nil = transfers are free
 	policy Policy
 
-	nextID  int
-	tasks   map[int]*Task
-	waiting []int // FIFO queue of waiting task IDs
+	nextID   int
+	tasks    map[int]*Task
+	taskSlab []Task // slab-allocated Task storage; see allocTask
+	waiting  *waitQueue
+	rtFree   []*runningTask // recycled runningTask records
 
 	workers     map[string]*simWorker
 	workerOrder []string
+	nextJoinSeq uint64
+	idle        idleHeap
 
 	estimator  Estimator
 	onComplete []func(Result)
 
 	dispatchPending bool
 	completeCount   int
+
+	// Incremental aggregates, kept in lockstep with the queue and the
+	// worker pools so Stats, BusyCPU and the samplers are O(1).
+	runningCount  int
+	idleCount     int // idle, non-draining workers
+	drainingCount int
+	totalCap      resources.Vector // summed capacity of connected workers
+	totalUsed     resources.Vector // summed allocations on connected workers
+	busyUsage     resources.Vector // summed clamped usage of executing tasks
+
+	// rev is bumped by every mutation that could let a dispatch pass
+	// place a task (queue growth, capacity release, policy/estimator
+	// change). A pass records the rev it ran at; a pass at an
+	// unchanged rev is a guaranteed no-op and returns immediately.
+	rev         uint64
+	lastPassRev uint64
 }
 
 // simWorker is the master-side state of a simulated worker.
 type simWorker struct {
 	id       string
+	joinSeq  uint64
 	pool     *resources.Pool
 	cache    map[string]bool     // shared files present
 	fetching map[string][]func() // shared files in flight -> waiters
@@ -80,24 +108,29 @@ type runningTask struct {
 	pending   int // outstanding input fetches
 	inTr      *netsim.Transfer
 	outTr     *netsim.Transfer
-	execTmr   *simclock.Timer
+	execTmr   simclock.Timer
+	execDone  func() // persistent exec-complete closure (see newRunningTask)
 	executing bool
+	execUsage resources.Vector // clamped usage while executing
 }
 
 // NewMaster creates a master on the given engine. link models the
 // master's egress bandwidth; pass nil to make data movement free.
 func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 	return &Master{
-		eng:     eng,
-		link:    link,
-		tasks:   make(map[int]*Task),
-		workers: make(map[string]*simWorker),
+		eng:         eng,
+		link:        link,
+		tasks:       make(map[int]*Task),
+		waiting:     newWaitQueue(),
+		workers:     make(map[string]*simWorker),
+		lastPassRev: ^uint64(0),
 	}
 }
 
 // SetPolicy selects the dispatch policy (default FirstFit).
 func (m *Master) SetPolicy(p Policy) {
 	m.policy = p
+	m.rev++
 	m.scheduleDispatch()
 }
 
@@ -108,16 +141,62 @@ func (m *Master) Policy() Policy { return m.policy }
 // with unknown requirements.
 func (m *Master) SetEstimator(e Estimator) {
 	m.estimator = e
+	m.rev++
 	m.scheduleDispatch()
 }
 
 // OnComplete subscribes to task completions.
 func (m *Master) OnComplete(fn func(Result)) { m.onComplete = append(m.onComplete, fn) }
 
+// allocTask hands out Task storage from fixed-capacity slabs, so a
+// million-task run costs thousands of allocations, not millions.
+// Slabs are only ever appended to within capacity, so handed-out
+// pointers stay valid; retention matches the tasks map, which keeps
+// every task for the master's lifetime anyway.
+func (m *Master) allocTask() *Task {
+	if len(m.taskSlab) == cap(m.taskSlab) {
+		m.taskSlab = make([]Task, 0, 256)
+	}
+	m.taskSlab = append(m.taskSlab, Task{})
+	return &m.taskSlab[len(m.taskSlab)-1]
+}
+
+// newRunningTask takes a dispatch record from the free list or makes
+// one. The exec-complete closure is built once per record and reads
+// the record's current fields, so it survives recycling.
+func (m *Master) newRunningTask() *runningTask {
+	if n := len(m.rtFree); n > 0 {
+		rt := m.rtFree[n-1]
+		m.rtFree[n-1] = nil
+		m.rtFree = m.rtFree[:n-1]
+		return rt
+	}
+	rt := &runningTask{}
+	rt.execDone = func() {
+		m.clearExecuting(rt)
+		m.sendOutput(rt)
+	}
+	return rt
+}
+
+// recycleRunningTask returns a record to the free list, but only when
+// every callback that captured it has been consumed (fetch waiters,
+// input/output transfers); records from cancel/kill paths may still
+// be referenced and are left to the garbage collector.
+func (m *Master) recycleRunningTask(rt *runningTask) {
+	if rt.pending != 0 || rt.inTr != nil || rt.outTr != nil {
+		return
+	}
+	rt.task, rt.worker = nil, nil
+	rt.execTmr = simclock.Timer{}
+	m.rtFree = append(m.rtFree, rt)
+}
+
 // Submit enqueues a task and returns its ID.
 func (m *Master) Submit(spec TaskSpec) int {
 	m.nextID++
-	t := &Task{
+	t := m.allocTask()
+	*t = Task{
 		ID:          m.nextID,
 		TaskSpec:    spec,
 		State:       TaskWaiting,
@@ -125,7 +204,8 @@ func (m *Master) Submit(spec TaskSpec) int {
 	}
 	t.SharedInputs = append([]File(nil), spec.SharedInputs...)
 	m.tasks[t.ID] = t
-	m.waiting = append(m.waiting, t.ID)
+	m.waiting.Push(t.ID, t.Priority, t.Resources)
+	m.rev++
 	m.scheduleDispatch()
 	return t.ID
 }
@@ -150,8 +230,9 @@ func (m *Master) AddWorker(id string, capacity resources.Vector) error {
 	if !capacity.AnyPositive() {
 		return fmt.Errorf("wq: worker %q with no capacity", id)
 	}
-	m.workers[id] = &simWorker{
+	w := &simWorker{
 		id:       id,
+		joinSeq:  m.nextJoinSeq,
 		pool:     resources.NewPool(capacity),
 		cache:    make(map[string]bool),
 		fetching: make(map[string][]func()),
@@ -159,7 +240,13 @@ func (m *Master) AddWorker(id string, capacity resources.Vector) error {
 		running:  make(map[int]*runningTask),
 		joinedAt: m.eng.Now(),
 	}
+	m.nextJoinSeq++
+	m.workers[id] = w
 	m.workerOrder = append(m.workerOrder, id)
+	m.totalCap = m.totalCap.Add(capacity)
+	m.idleCount++
+	m.markIdle(w)
+	m.rev++
 	m.scheduleDispatch()
 	return nil
 }
@@ -172,7 +259,13 @@ func (m *Master) DrainWorker(id string, onDrained func()) error {
 	if !ok {
 		return fmt.Errorf("wq: worker %q not connected", id)
 	}
-	w.draining = true
+	if !w.draining {
+		w.draining = true
+		m.drainingCount++
+		if len(w.running) == 0 {
+			m.idleCount--
+		}
+	}
 	w.onDrain = onDrained
 	if len(w.running) == 0 {
 		m.finishDrain(w)
@@ -191,7 +284,7 @@ func (m *Master) KillWorker(id string) error {
 	}
 	var requeued []int
 	for _, rt := range w.running {
-		rt.stop()
+		m.stopTask(rt)
 		t := rt.task
 		t.State = TaskWaiting
 		t.Allocated = resources.Zero
@@ -205,26 +298,45 @@ func (m *Master) KillWorker(id string) error {
 	// Requeue at the front in submission order: these are the oldest
 	// outstanding tasks.
 	sort.Ints(requeued)
-	m.waiting = append(requeued, m.waiting...)
+	m.waiting.PushFront(requeued, func(id int) (int, resources.Vector) {
+		t := m.tasks[id]
+		return t.Priority, t.Resources
+	})
+	m.rev++
 	m.scheduleDispatch()
 	return nil
 }
 
-func (rt *runningTask) stop() {
+// stopTask cancels a running task's transfers and execution timer,
+// unwinding the executing-usage aggregate.
+func (m *Master) stopTask(rt *runningTask) {
 	if rt.inTr != nil {
 		rt.inTr.Cancel()
 	}
 	if rt.outTr != nil {
 		rt.outTr.Cancel()
 	}
-	if rt.execTmr != nil {
-		rt.execTmr.Stop()
+	rt.execTmr.Stop()
+	m.clearExecuting(rt)
+}
+
+func (m *Master) clearExecuting(rt *runningTask) {
+	if rt.executing {
+		rt.executing = false
+		m.busyUsage = m.busyUsage.Sub(rt.execUsage)
 	}
-	rt.executing = false
 }
 
 func (m *Master) removeWorker(w *simWorker) {
 	delete(m.workers, w.id)
+	m.totalCap = m.totalCap.Sub(w.pool.Capacity())
+	m.totalUsed = m.totalUsed.Sub(w.pool.Used())
+	m.runningCount -= len(w.running)
+	if w.draining {
+		m.drainingCount--
+	} else if len(w.running) == 0 {
+		m.idleCount--
+	}
 	for i, id := range m.workerOrder {
 		if id == w.id {
 			m.workerOrder = append(m.workerOrder[:i], m.workerOrder[i+1:]...)
@@ -267,11 +379,16 @@ func (m *Master) WorkerUsage(id string) resources.Vector {
 	var u resources.Vector
 	for _, rt := range w.running {
 		if rt.executing {
-			u = u.Add(rt.task.Profile.Usage().Min(rt.task.Allocated))
+			u = u.Add(rt.execUsage)
 		}
 	}
 	return u
 }
+
+// BusyCPU returns the summed executing-task CPU consumption across
+// every connected worker in millicores — the aggregate the samplers
+// previously recomputed by walking the roster each tick.
+func (m *Master) BusyCPU() int64 { return m.busyUsage.MilliCPU }
 
 // WorkerBusy reports whether the worker has running tasks.
 func (m *Master) WorkerBusy(id string) bool {
@@ -308,39 +425,61 @@ func (m *Master) resolveResources(t *Task) (resources.Vector, bool) {
 	return resources.Zero, false
 }
 
-// dispatchOnce scans the waiting queue — highest priority first,
+// dispatchOnce walks the waiting queue — highest priority first,
 // submission order within a priority — and places every task that
 // fits somewhere (later tasks may backfill around a blocked
 // head-of-line task, as Work Queue does).
+//
+// The pass is indexed three ways: it returns immediately when nothing
+// affecting placement changed since the last pass, it returns when
+// every waiting task declares requirements and even the queue's
+// smallest cannot fit the largest free worker, and each task is
+// rejected in O(1) against the max-free bound before any roster scan.
 func (m *Master) dispatchOnce() {
-	if len(m.waiting) == 0 || len(m.workers) == 0 {
+	if m.waiting.Len() == 0 || len(m.workers) == 0 {
 		return
 	}
-	order := append([]int(nil), m.waiting...)
-	sort.SliceStable(order, func(i, j int) bool {
-		return m.tasks[order[i]].Priority > m.tasks[order[j]].Priority
-	})
-	placed := make(map[int]bool)
-	for _, id := range order {
+	if m.rev == m.lastPassRev {
+		// A pass already ran against this exact queue/capacity/config
+		// state and placed everything placeable.
+		return
+	}
+	m.lastPassRev = m.rev
+	// maxFree bounds every eligible worker's available capacity from
+	// above for the whole pass: placements only shrink frees. A failed
+	// full roster scan refreshes it to the exact current value.
+	maxFree := m.maxFreeCapacity()
+	if m.waiting.unknownRes == 0 && !m.waiting.MinFits(maxFree) {
+		return
+	}
+	m.waiting.Scan(func(id int) (bool, resources.Vector) {
 		t := m.tasks[id]
 		res, known := m.resolveResources(t)
-		var ok bool
-		if known {
-			ok = m.placeKnown(t, res)
-		} else {
-			ok = m.placeExclusive(t)
+		if !known {
+			return m.placeExclusive(t), t.Resources
 		}
-		if ok {
-			placed[id] = true
+		if !res.Fits(maxFree) {
+			return false, t.Resources
+		}
+		placed, scanned, full := m.placeKnown(t, res)
+		if !placed && full {
+			maxFree = scanned
+		}
+		return placed, t.Resources
+	})
+}
+
+// maxFreeCapacity returns the component-wise maximum free capacity
+// over non-draining workers.
+func (m *Master) maxFreeCapacity() resources.Vector {
+	var free resources.Vector
+	for _, id := range m.workerOrder {
+		w := m.workers[id]
+		if !w.draining {
+			free = free.Max(w.pool.Available())
 		}
 	}
-	still := m.waiting[:0]
-	for _, id := range m.waiting {
-		if !placed[id] {
-			still = append(still, id)
-		}
-	}
-	m.waiting = still
+	return free
 }
 
 // Cancel withdraws a task. A waiting task leaves the queue; a running
@@ -354,21 +493,24 @@ func (m *Master) Cancel(id int) error {
 	}
 	switch t.State {
 	case TaskWaiting:
-		for i, wid := range m.waiting {
-			if wid == id {
-				m.waiting = append(m.waiting[:i], m.waiting[i+1:]...)
-				break
-			}
-		}
+		m.waiting.Remove(id, t.Resources)
+		m.rev++
 	case TaskRunning:
 		w := m.workers[t.WorkerID]
 		if w == nil {
 			return fmt.Errorf("wq: task %d running on unknown worker %q", id, t.WorkerID)
 		}
 		rt := w.running[id]
-		rt.stop()
+		m.stopTask(rt)
 		delete(w.running, id)
 		w.pool.Release(t.Allocated)
+		m.runningCount--
+		m.totalUsed = m.totalUsed.Sub(t.Allocated)
+		if len(w.running) == 0 && !w.draining {
+			m.idleCount++
+			m.markIdle(w)
+		}
+		m.rev++
 		if w.draining && len(w.running) == 0 {
 			defer m.finishDrain(w)
 		}
@@ -381,21 +523,31 @@ func (m *Master) Cancel(id int) error {
 	return nil
 }
 
-func (m *Master) placeKnown(t *Task, res resources.Vector) bool {
+// placeKnown scans the roster for a worker fitting res under the
+// current policy. When the scan visited the whole roster without
+// placing (fullScan && !placed), scannedMax carries the exact
+// component-wise max free capacity observed, letting the caller
+// tighten its pass-wide bound.
+func (m *Master) placeKnown(t *Task, res resources.Vector) (placed bool, scannedMax resources.Vector, fullScan bool) {
 	var chosen *simWorker
 	var chosenFree int64
 	for _, wid := range m.workerOrder {
 		w := m.workers[wid]
-		if w.draining || !w.pool.CanFit(res) {
+		if w.draining {
+			continue
+		}
+		avail := w.pool.Available()
+		scannedMax = scannedMax.Max(avail)
+		if !res.Fits(avail) {
 			continue
 		}
 		if m.policy == FirstFit {
-			chosen = w
-			break
+			m.startTask(t, w, res, false)
+			return true, scannedMax, false
 		}
 		// Score by free CPU after placement (the binding dimension
 		// for HTC tasks); memory breaks ties implicitly via order.
-		free := w.pool.Available().Sub(res).MilliCPU
+		free := avail.Sub(res).MilliCPU
 		better := chosen == nil ||
 			(m.policy == BestFit && free < chosenFree) ||
 			(m.policy == WorstFit && free > chosenFree)
@@ -404,35 +556,40 @@ func (m *Master) placeKnown(t *Task, res resources.Vector) bool {
 		}
 	}
 	if chosen == nil {
-		return false
+		return false, scannedMax, true
 	}
 	m.startTask(t, chosen, res, false)
-	return true
+	return true, scannedMax, true
 }
 
+// placeExclusive places an unknown-requirement task alone on the
+// first idle worker in join order, via the idle free list.
 func (m *Master) placeExclusive(t *Task) bool {
-	for _, wid := range m.workerOrder {
-		w := m.workers[wid]
-		if w.draining || !w.pool.Used().IsZero() {
-			continue
-		}
-		m.startTask(t, w, w.pool.Capacity(), true)
-		return true
+	w := m.takeIdle()
+	if w == nil {
+		return false
 	}
-	return false
+	m.startTask(t, w, w.pool.Capacity(), true)
+	return true
 }
 
 func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclusive bool) {
 	if err := w.pool.Acquire(alloc); err != nil {
 		panic(fmt.Sprintf("wq: dispatch accounting bug: %v", err))
 	}
+	if len(w.running) == 0 && !w.draining {
+		m.idleCount--
+	}
+	m.runningCount++
+	m.totalUsed = m.totalUsed.Add(alloc)
 	t.State = TaskRunning
 	t.WorkerID = w.id
 	t.StartedAt = m.eng.Now()
 	t.Attempts++
 	t.Allocated = alloc
 	t.Exclusive = exclusive
-	rt := &runningTask{task: t, worker: w}
+	rt := m.newRunningTask()
+	rt.task, rt.worker = t, w
 	w.running[t.ID] = rt
 
 	// Input staging: shared files are fetched once per worker and
@@ -497,11 +654,9 @@ func (m *Master) fetchDone(rt *runningTask) {
 	// All inputs are on the worker: execute.
 	t := rt.task
 	rt.executing = true
-	rt.execTmr = m.eng.After(t.Profile.ExecDuration, "wq-exec", func() {
-		rt.execTmr = nil
-		rt.executing = false
-		m.sendOutput(rt)
-	})
+	rt.execUsage = t.Profile.Usage().Min(t.Allocated)
+	m.busyUsage = m.busyUsage.Add(rt.execUsage)
+	rt.execTmr = m.eng.After(t.Profile.ExecDuration, "wq-exec", rt.execDone)
 }
 
 func (m *Master) sendOutput(rt *runningTask) {
@@ -520,11 +675,19 @@ func (m *Master) completeTask(rt *runningTask) {
 	t, w := rt.task, rt.worker
 	delete(w.running, t.ID)
 	w.pool.Release(t.Allocated)
+	m.runningCount--
+	m.totalUsed = m.totalUsed.Sub(t.Allocated)
+	if len(w.running) == 0 && !w.draining {
+		m.idleCount++
+		m.markIdle(w)
+	}
+	m.recycleRunningTask(rt)
 	t.State = TaskComplete
 	t.FinishedAt = m.eng.Now()
 	t.ExecWall = t.FinishedAt.Sub(t.StartedAt)
 	t.Measured = t.Profile.Usage()
 	m.completeCount++
+	m.rev++
 	res := Result{Task: *t}
 	for _, fn := range m.onComplete {
 		fn(res)
@@ -554,30 +717,46 @@ type Stats struct {
 	InUse    resources.Vector
 }
 
-// Stats returns the current snapshot.
+// Stats returns the current snapshot in O(1) from the master's
+// incremental aggregates.
 func (m *Master) Stats() Stats {
-	s := Stats{
-		Waiting:  len(m.waiting),
-		Complete: m.completeCount,
-		Workers:  len(m.workers),
+	return Stats{
+		Waiting:         m.waiting.Len(),
+		Running:         m.runningCount,
+		Complete:        m.completeCount,
+		Workers:         len(m.workers),
+		IdleWorkers:     m.idleCount,
+		DrainingWorkers: m.drainingCount,
+		Capacity:        m.totalCap,
+		InUse:           m.totalUsed,
 	}
-	for _, w := range m.workers {
-		s.Running += len(w.running)
-		s.Capacity = s.Capacity.Add(w.pool.Capacity())
-		s.InUse = s.InUse.Add(w.pool.Used())
-		if w.draining {
-			s.DrainingWorkers++
-		} else if len(w.running) == 0 {
-			s.IdleWorkers++
+}
+
+// ForEachWaiting visits every waiting task in dispatch order
+// (priority descending, submission order within a priority) without
+// allocating. The callback must treat the task as read-only and must
+// not call back into the master.
+func (m *Master) ForEachWaiting(fn func(t *Task)) {
+	m.waiting.ForEach(func(id int) { fn(m.tasks[id]) })
+}
+
+// ForEachRunning visits every dispatched task without allocating,
+// grouped by worker in join order; the order within a worker is
+// unspecified. The callback must treat the task as read-only and must
+// not call back into the master.
+func (m *Master) ForEachRunning(fn func(t *Task)) {
+	for _, wid := range m.workerOrder {
+		for _, rt := range m.workers[wid].running {
+			fn(rt.task)
 		}
 	}
-	return s
 }
 
 // WaitingTasks returns copies of the queued tasks in queue order.
 func (m *Master) WaitingTasks() []Task {
-	out := make([]Task, 0, len(m.waiting))
-	for _, id := range m.waiting {
+	ids := m.waiting.QueueOrder()
+	out := make([]Task, 0, len(ids))
+	for _, id := range ids {
 		out = append(out, *m.tasks[id])
 	}
 	return out
@@ -586,11 +765,7 @@ func (m *Master) WaitingTasks() []Task {
 // RunningTasks returns copies of all dispatched tasks, ordered by ID.
 func (m *Master) RunningTasks() []Task {
 	var out []Task
-	for _, wid := range m.workerOrder {
-		for _, rt := range m.workers[wid].running {
-			out = append(out, *rt.task)
-		}
-	}
+	m.ForEachRunning(func(t *Task) { out = append(out, *t) })
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -1,0 +1,242 @@
+package wq
+
+import (
+	"math"
+	"sort"
+
+	"hta/internal/resources"
+)
+
+// maxVector is the identity for component-wise Min.
+var maxVector = resources.Vector{MilliCPU: math.MaxInt64, MemoryMB: math.MaxInt64, DiskMB: math.MaxInt64}
+
+// waitQueue is the master's indexed waiting queue: tasks are bucketed
+// by priority and kept FIFO within a bucket, so a dispatch pass walks
+// tasks in dispatch order (priority descending, submission order
+// within a priority) without the per-pass copy + stable sort the
+// original implementation paid. A stable sort of the global FIFO by
+// descending priority visits exactly the bucket order, so the two are
+// equivalent; the global FIFO rank of every task is retained in seq
+// so WaitingTasks can still report queue order.
+//
+// Removal (Cancel) is O(1) amortized: the entry is tombstoned in its
+// bucket via the pos index and compacted opportunistically.
+type waitQueue struct {
+	buckets map[int]*prioBucket
+	prios   []int               // bucket priorities, descending
+	pos     map[int]*prioBucket // live waiting id -> its bucket (the position index)
+	seq     map[int]int64       // live waiting id -> global FIFO rank
+
+	nextSeq  int64 // rank for the next Submit (queue back)
+	frontSeq int64 // rank just before the current queue front
+
+	n int // live entries
+
+	// minReq is a component-wise lower bound on the declared
+	// requirement of any waiting task (exact after inserts, possibly
+	// stale-low after removals — always safe as a bound). unknownRes
+	// counts waiting tasks with no declared requirement; while it is
+	// zero and minReq cannot fit the largest free worker, a dispatch
+	// pass can exit immediately.
+	minReq     resources.Vector
+	unknownRes int
+}
+
+type prioBucket struct {
+	prio int
+	ids  []int // FIFO; entries whose pos no longer maps here are tombstones
+	dead int   // tombstone count
+}
+
+func newWaitQueue() *waitQueue {
+	return &waitQueue{
+		buckets: make(map[int]*prioBucket),
+		pos:     make(map[int]*prioBucket),
+		seq:     make(map[int]int64),
+		minReq:  maxVector,
+	}
+}
+
+// Len returns the number of waiting tasks.
+func (q *waitQueue) Len() int { return q.n }
+
+func (q *waitQueue) bucket(prio int) *prioBucket {
+	b, ok := q.buckets[prio]
+	if !ok {
+		b = &prioBucket{prio: prio}
+		q.buckets[prio] = b
+		// Insert prio into the descending list.
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= prio })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = prio
+	}
+	return b
+}
+
+func (q *waitQueue) track(id int, prio int, declared resources.Vector) *prioBucket {
+	b := q.bucket(prio)
+	q.pos[id] = b
+	q.n++
+	if declared.IsZero() {
+		q.unknownRes++
+	} else {
+		q.minReq = q.minReq.Min(declared)
+	}
+	return b
+}
+
+// Push appends a task at the back of the queue.
+func (q *waitQueue) Push(id int, prio int, declared resources.Vector) {
+	b := q.track(id, prio, declared)
+	b.ids = append(b.ids, id)
+	q.seq[id] = q.nextSeq
+	q.nextSeq++
+}
+
+// PushFront requeues tasks at the front of the queue, preserving the
+// given order (the oldest outstanding work, e.g. tasks returned by a
+// killed worker).
+func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared resources.Vector)) {
+	if len(ids) == 0 {
+		return
+	}
+	// Ranks just before the current front, ascending across ids.
+	base := q.frontSeq - int64(len(ids))
+	q.frontSeq = base
+	perBucket := make(map[*prioBucket][]int)
+	for i, id := range ids {
+		prio, declared := prioOf(id)
+		b := q.track(id, prio, declared)
+		q.seq[id] = base + int64(i)
+		perBucket[b] = append(perBucket[b], id)
+	}
+	for _, prio := range q.prios {
+		b := q.buckets[prio]
+		if front := perBucket[b]; len(front) > 0 {
+			b.ids = append(front, b.ids...)
+		}
+	}
+}
+
+// Remove tombstones a waiting task in O(1); compaction is amortized.
+func (q *waitQueue) Remove(id int, declared resources.Vector) bool {
+	b, ok := q.pos[id]
+	if !ok {
+		return false
+	}
+	q.untrack(id, declared)
+	b.dead++
+	if b.dead > len(b.ids)/2 && b.dead > 32 {
+		q.compact(b)
+	}
+	return true
+}
+
+func (q *waitQueue) untrack(id int, declared resources.Vector) {
+	delete(q.pos, id)
+	delete(q.seq, id)
+	q.n--
+	if declared.IsZero() {
+		q.unknownRes--
+	}
+	if q.n == 0 {
+		// Queue drained: the requirement bound resets exactly.
+		q.minReq = maxVector
+		q.frontSeq = 0
+		q.nextSeq = 0
+	}
+}
+
+func (q *waitQueue) compact(b *prioBucket) {
+	live := b.ids[:0]
+	for _, id := range b.ids {
+		if q.pos[id] == b {
+			live = append(live, id)
+		}
+	}
+	b.ids = live
+	b.dead = 0
+	if len(b.ids) == 0 {
+		q.dropBucket(b)
+	}
+}
+
+func (q *waitQueue) dropBucket(b *prioBucket) {
+	delete(q.buckets, b.prio)
+	for i, p := range q.prios {
+		if p == b.prio {
+			q.prios = append(q.prios[:i], q.prios[i+1:]...)
+			break
+		}
+	}
+}
+
+// Scan visits every waiting task in dispatch order. fn reports
+// whether the task was placed; placed entries and tombstones are
+// compacted away as the scan walks each bucket. fn must not mutate
+// the queue (no Push/Remove) while the scan runs.
+func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector)) {
+	var emptied []*prioBucket
+	for _, prio := range q.prios {
+		b := q.buckets[prio]
+		live := b.ids[:0]
+		for _, id := range b.ids {
+			if q.pos[id] != b {
+				continue // tombstone
+			}
+			placed, declared := fn(id)
+			if placed {
+				q.untrack(id, declared)
+				continue
+			}
+			live = append(live, id)
+		}
+		// Zero the compacted tail so dropped ids do not pin the array.
+		for i := len(live); i < len(b.ids); i++ {
+			b.ids[i] = 0
+		}
+		b.ids = live
+		b.dead = 0
+		if len(b.ids) == 0 {
+			emptied = append(emptied, b)
+		}
+	}
+	for _, b := range emptied {
+		q.dropBucket(b)
+	}
+}
+
+// ForEach visits every waiting task in dispatch order (priority
+// descending, FIFO within a priority) without copying or allocating.
+func (q *waitQueue) ForEach(fn func(id int)) {
+	for _, prio := range q.prios {
+		b := q.buckets[prio]
+		for _, id := range b.ids {
+			if q.pos[id] == b {
+				fn(id)
+			}
+		}
+	}
+}
+
+// QueueOrder returns the live ids in global FIFO order (the order the
+// pre-index implementation kept its waiting slice in).
+func (q *waitQueue) QueueOrder() []int {
+	out := make([]int, 0, q.n)
+	for id := range q.seq {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return q.seq[out[i]] < q.seq[out[j]] })
+	return out
+}
+
+// MinFits reports whether the queue's requirement lower bound fits
+// free. When it returns false and the queue holds no
+// unknown-requirement tasks, no waiting task can be placed anywhere
+// with at most free available — the dispatch pass can exit early.
+func (q *waitQueue) MinFits(free resources.Vector) bool {
+	return q.minReq.MilliCPU <= free.MilliCPU &&
+		q.minReq.MemoryMB <= free.MemoryMB &&
+		q.minReq.DiskMB <= free.DiskMB
+}
