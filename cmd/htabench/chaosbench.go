@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hta/internal/experiments"
+)
+
+// chaosBenchFile is where -json writes the E-F fault-injection summary.
+const chaosBenchFile = "BENCH_2.json"
+
+// chaosBenchRow mirrors one E-F table row for machine consumption.
+type chaosBenchRow struct {
+	Autoscaler   string  `json:"autoscaler"`
+	PreemptMeanS float64 `json:"preempt_mean_s"` // 0 = fault-free baseline
+	RuntimeS     float64 `json:"runtime_s"`
+	Preemptions  int     `json:"preemptions"`
+	WorkerKills  int     `json:"worker_kills"`
+	Requeues     int     `json:"requeues"`
+	FastAborts   int     `json:"fast_aborts"`
+	Quarantined  int     `json:"quarantined"`
+	Submitted    int     `json:"submitted"`
+	Completed    int     `json:"completed"`
+	LostCoreSec  float64 `json:"lost_core_s"`
+	Goodput      float64 `json:"goodput"`
+}
+
+type chaosBenchReport struct {
+	Seed   int64           `json:"seed"`
+	WallMS float64         `json:"wall_ms"`
+	Rows   []chaosBenchRow `json:"rows"`
+}
+
+// runChaosBench executes experiment E-F (multistage BLAST on
+// preemptible nodes under three autoscalers) and writes the summary
+// to BENCH_2.json.
+func runChaosBench(seed int64) error {
+	start := time.Now()
+	ef, err := experiments.ChaosEF(seed)
+	if err != nil {
+		return err
+	}
+	rep := chaosBenchReport{
+		Seed:   seed,
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, row := range ef.Rows {
+		rep.Rows = append(rep.Rows, chaosBenchRow{
+			Autoscaler:   row.Autoscaler,
+			PreemptMeanS: row.PreemptMean.Seconds(),
+			RuntimeS:     row.Runtime.Seconds(),
+			Preemptions:  row.Preemptions,
+			WorkerKills:  row.WorkerKills,
+			Requeues:     row.Requeues,
+			FastAborts:   row.FastAborts,
+			Quarantined:  row.Quarantined,
+			Submitted:    row.Submitted,
+			Completed:    row.Completed,
+			LostCoreSec:  row.LostCoreSec,
+			Goodput:      row.Goodput,
+		})
+	}
+	f, err := os.Create(chaosBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("chaos E-F results written to %s\n", chaosBenchFile)
+	return nil
+}

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations] [-json]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos] [-json]
 //
 // -json additionally runs the scale benchmarks (10k-task dispatch
-// storm, parallel-vs-serial sweep) and writes their wall-clock
-// results to BENCH_1.json; combine with -runs none to run only them.
+// storm, parallel-vs-serial sweep), writing their wall-clock results
+// to BENCH_1.json, and the E-F fault-injection experiment, writing
+// its summary to BENCH_2.json; combine with -runs none to run only
+// them.
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream",
+	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream,chaos",
 		"comma-separated experiments to run")
 	csvDir := flag.String("csv", "", "directory to export per-run CSV series into")
 	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
@@ -51,6 +53,7 @@ func main() {
 		{"ablations", runAblations(*seed)},
 		{"sweeps", func() (fmt.Stringer, error) { return experiments.SweepInitLatency(*seed) }},
 		{"stream", func() (fmt.Stringer, error) { return experiments.Stream(*seed) }},
+		{"chaos", func() (fmt.Stringer, error) { return experiments.ChaosEF(*seed) }},
 	}
 
 	var page *report.Page
@@ -87,6 +90,10 @@ func main() {
 	if *jsonBench {
 		if err := runScaleBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+			failed = true
+		}
+		if err := runChaosBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos bench: %v\n", err)
 			failed = true
 		}
 	}

@@ -26,24 +26,54 @@ func main() {
 	disk := flag.Int64("disk", 10240, "advertised disk (MB)")
 	shell := flag.String("shell", "/bin/sh", "shell for task commands")
 	timeout := flag.Duration("task-timeout", 0, "per-task execution timeout (0 = none)")
+	reconnect := flag.Duration("reconnect", 2*time.Minute,
+		"keep retrying the master for this long after a connect failure or lost connection (0 = exit immediately)")
 	flag.Parse()
 
 	if *id == "" {
 		*id = fmt.Sprintf("worker-%d", os.Getpid())
 	}
-	w, err := wire.Connect(*master, wire.WorkerConfig{
+	cfg := wire.WorkerConfig{
 		ID:          *id,
 		Capacity:    resources.New(*cores, *memory, *disk),
 		Shell:       *shell,
 		TaskTimeout: *timeout,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	log.Printf("worker %s connected to %s (%.1f cores, %d MB)", *id, *master, *cores, *memory)
+
+	// Self-healing connection loop: a master restart or transient
+	// network partition must not kill the whole worker fleet, so lost
+	// connections are retried with jittered exponential backoff until
+	// the reconnect window (measured from the last healthy moment)
+	// expires. A clean drain still exits — a drained worker that
+	// reconnected would never be reaped by the operator.
+	bo := wire.NewBackoff(time.Second, 30*time.Second)
 	start := time.Now()
-	if err := w.Wait(); err != nil {
-		log.Fatalf("worker exited after %v: %v", time.Since(start).Round(time.Second), err)
+	lastHealthy := start
+	for {
+		w, err := wire.Connect(*master, cfg)
+		if err != nil {
+			if *reconnect <= 0 || time.Since(lastHealthy) > *reconnect {
+				log.Fatalf("worker %s: connect %s: %v", *id, *master, err)
+			}
+			d := bo.Next()
+			log.Printf("worker %s: connect %s failed (%v); retrying in %v",
+				*id, *master, err, d.Round(time.Millisecond))
+			time.Sleep(d)
+			continue
+		}
+		bo.Reset()
+		log.Printf("worker %s connected to %s (%.1f cores, %d MB)", *id, *master, *cores, *memory)
+		err = w.Wait()
+		lastHealthy = time.Now()
+		if err == nil {
+			log.Printf("worker drained cleanly after %v", time.Since(start).Round(time.Second))
+			return
+		}
+		if *reconnect <= 0 {
+			log.Fatalf("worker exited after %v: %v", time.Since(start).Round(time.Second), err)
+		}
+		d := bo.Next()
+		log.Printf("worker %s: connection lost (%v); reconnecting in %v", *id, err, d.Round(time.Millisecond))
+		time.Sleep(d)
 	}
-	log.Printf("worker drained cleanly after %v", time.Since(start).Round(time.Second))
 }

@@ -1,0 +1,334 @@
+// Package chaos is a deterministic, seed-driven fault injector for
+// the simulated stack. An Injector composes independent fault
+// processes — node preemption (Poisson or scheduled windows), worker
+// crash mid-task, image-pull failure/slowdown, and master-egress
+// bandwidth degradation — each wired into the simulation through the
+// small hooks the components expose (kubesim.PreemptNode and
+// SetPullFault, wq.KillWorker, netsim.SetDegradation), so a fault
+// plan is orthogonal to the scenario it runs against.
+//
+// Determinism: the injector draws from its own seeded RNG on the
+// single-threaded event engine, so a fixed (plan, scenario, seed)
+// triple replays the exact same fault sequence.
+package chaos
+
+import (
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/simclock"
+)
+
+// Window is a time interval relative to Injector.Start.
+type Window struct {
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// PreemptionPlan describes node-preemption faults: a Poisson process
+// (MeanInterval), scheduled reclaim windows with their own rate, or
+// both.
+type PreemptionPlan struct {
+	// MeanInterval is the mean of the exponential inter-arrival time
+	// of the always-on Poisson preemption process. 0 = off.
+	MeanInterval time.Duration
+	// Windows are reclaim storms: inside each window preemptions
+	// arrive with mean interval WindowMeanInterval.
+	Windows            []Window
+	WindowMeanInterval time.Duration
+	// MinNodesSpared stops preemption when at most this many ready
+	// nodes remain, modelling the on-demand floor of a mixed
+	// spot/on-demand pool.
+	MinNodesSpared int
+}
+
+// WorkerCrashPlan describes worker-process crashes (OOM kill, segv):
+// the worker disappears abruptly while its tasks run.
+type WorkerCrashPlan struct {
+	// MeanInterval is the Poisson mean between crashes. 0 = off.
+	MeanInterval time.Duration
+}
+
+// ImagePullPlan degrades the image registry: each pull attempt fails
+// with FailProb, and is slowed by SlowdownFactor with SlowProb.
+type ImagePullPlan struct {
+	FailProb       float64
+	SlowProb       float64
+	SlowdownFactor float64 // duration multiplier when slowed (> 1)
+}
+
+// EgressPlan degrades the master's egress link to Factor of its
+// capacity inside each window.
+type EgressPlan struct {
+	Windows []Window
+	Factor  float64 // capacity multiplier in (0, 1] while degraded
+}
+
+// Plan is a full fault plan. Zero-valued processes are disabled, so
+// the zero Plan injects nothing.
+type Plan struct {
+	// Seed drives the injector's private RNG.
+	Seed int64
+
+	Preemption  PreemptionPlan
+	WorkerCrash WorkerCrashPlan
+	ImagePull   ImagePullPlan
+	Egress      EgressPlan
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool {
+	return p.Preemption.MeanInterval > 0 ||
+		(len(p.Preemption.Windows) > 0 && p.Preemption.WindowMeanInterval > 0) ||
+		p.WorkerCrash.MeanInterval > 0 ||
+		p.ImagePull.FailProb > 0 || p.ImagePull.SlowProb > 0 ||
+		(len(p.Egress.Windows) > 0 && p.Egress.Factor > 0 && p.Egress.Factor < 1)
+}
+
+// Cluster is the slice of kubesim the injector drives.
+type Cluster interface {
+	ReadyNodeNames() []string
+	PodsOnNode(name string) int
+	PreemptNode(name string) error
+	GetPod(name string) (kubesim.Pod, bool)
+	DeletePod(name string) error
+	SetPullFault(hook func(node, image string, attempt int) kubesim.PullFault)
+}
+
+// Master is the slice of the wq master the worker-crash process
+// drives.
+type Master interface {
+	Workers() []string
+	WorkerBusy(id string) bool
+	KillWorker(id string) error
+}
+
+// EgressLink is the slice of netsim the egress process drives.
+type EgressLink interface {
+	SetDegradation(factor float64)
+}
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	Preemptions   int
+	WorkerCrashes int
+	PullFailures  int
+	PullSlowdowns int
+	EgressWindows int
+}
+
+// Injector runs a Plan against attached components. All methods must
+// be called from the simulation goroutine.
+type Injector struct {
+	eng  *simclock.Engine
+	rng  *simclock.RNG
+	plan Plan
+
+	cluster Cluster
+	master  Master
+	link    EgressLink
+
+	started bool
+	stopped bool
+	startAt time.Time
+	timers  []*loopTimer
+	stats   Stats
+}
+
+// loopTimer is one self-rescheduling fault process; keeping the
+// record lets Stop cancel whichever timer the loop currently holds.
+type loopTimer struct {
+	tmr simclock.Timer
+}
+
+// New builds an injector for the plan on the engine. Attach the
+// components the plan targets, then call Start.
+func New(eng *simclock.Engine, plan Plan) *Injector {
+	return &Injector{
+		eng:  eng,
+		rng:  simclock.NewRNG(plan.Seed),
+		plan: plan,
+	}
+}
+
+// AttachCluster wires the preemption, worker-crash and image-pull
+// processes to a cluster.
+func (in *Injector) AttachCluster(c Cluster) { in.cluster = c }
+
+// AttachMaster wires the worker-crash process to a wq master. With a
+// cluster also attached, crashes delete the worker's pod (worker IDs
+// are pod names), keeping every roster in sync; without one they
+// disconnect the worker directly.
+func (in *Injector) AttachMaster(m Master) { in.master = m }
+
+// AttachLink wires the egress-degradation process to a link.
+func (in *Injector) AttachLink(l EgressLink) { in.link = l }
+
+// Start arms every fault process the plan enables for the attached
+// components.
+func (in *Injector) Start() {
+	if in.started {
+		return
+	}
+	in.started = true
+	in.startAt = in.eng.Now()
+
+	if in.cluster != nil {
+		p := in.plan.Preemption
+		if p.MeanInterval > 0 {
+			in.poissonLoop(p.MeanInterval, time.Time{}, in.preemptOne)
+		}
+		if p.WindowMeanInterval > 0 {
+			for _, w := range p.Windows {
+				w := w
+				in.after(w.Start, func() {
+					end := in.startAt.Add(w.Start + w.Duration)
+					in.poissonLoop(p.WindowMeanInterval, end, in.preemptOne)
+				})
+			}
+		}
+		ip := in.plan.ImagePull
+		if ip.FailProb > 0 || ip.SlowProb > 0 {
+			in.cluster.SetPullFault(in.pullFault)
+		}
+	}
+	if in.master != nil && in.plan.WorkerCrash.MeanInterval > 0 {
+		in.poissonLoop(in.plan.WorkerCrash.MeanInterval, time.Time{}, in.crashOne)
+	}
+	if in.link != nil && in.plan.Egress.Factor > 0 && in.plan.Egress.Factor < 1 {
+		for _, w := range in.plan.Egress.Windows {
+			w := w
+			in.after(w.Start, func() {
+				in.stats.EgressWindows++
+				in.link.SetDegradation(in.plan.Egress.Factor)
+			})
+			in.after(w.Start+w.Duration, func() {
+				in.link.SetDegradation(1)
+			})
+		}
+	}
+}
+
+// Stop cancels every armed fault process and removes installed hooks;
+// an egress window in progress is healed.
+func (in *Injector) Stop() {
+	if in.stopped {
+		return
+	}
+	in.stopped = true
+	for _, lt := range in.timers {
+		lt.tmr.Stop()
+	}
+	in.timers = nil
+	if in.cluster != nil {
+		in.cluster.SetPullFault(nil)
+	}
+	if in.link != nil {
+		in.link.SetDegradation(1)
+	}
+}
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// after arms a one-shot timer tracked for Stop.
+func (in *Injector) after(d time.Duration, fn func()) {
+	lt := &loopTimer{}
+	lt.tmr = in.eng.After(d, "chaos", func() {
+		if in.stopped {
+			return
+		}
+		fn()
+	})
+	in.timers = append(in.timers, lt)
+}
+
+// poissonLoop fires fn at exponentially distributed intervals until
+// the injector stops or the deadline passes (zero deadline = never).
+func (in *Injector) poissonLoop(mean time.Duration, until time.Time, fn func()) {
+	lt := &loopTimer{}
+	in.timers = append(in.timers, lt)
+	var arm func()
+	arm = func() {
+		d := time.Duration(in.rng.Exp(float64(mean)))
+		if !until.IsZero() && in.eng.Now().Add(d).After(until) {
+			return
+		}
+		lt.tmr = in.eng.After(d, "chaos-poisson", func() {
+			if in.stopped {
+				return
+			}
+			fn()
+			arm()
+		})
+	}
+	arm()
+}
+
+// preemptOne reclaims one ready node, preferring occupied nodes (the
+// cloud reclaims capacity regardless of what runs on it, but an
+// injector that only ever hits empty nodes tests nothing), and
+// sparing the plan's on-demand floor.
+func (in *Injector) preemptOne() {
+	names := in.cluster.ReadyNodeNames()
+	if len(names) <= in.plan.Preemption.MinNodesSpared {
+		return
+	}
+	occupied := names[:0:0]
+	for _, n := range names {
+		if in.cluster.PodsOnNode(n) > 0 {
+			occupied = append(occupied, n)
+		}
+	}
+	pool := names
+	if len(occupied) > 0 {
+		pool = occupied
+	}
+	victim := pool[in.rng.Intn(len(pool))]
+	if in.cluster.PreemptNode(victim) == nil {
+		in.stats.Preemptions++
+	}
+}
+
+// crashOne kills one busy worker. With a cluster attached the crash
+// is delivered as a pod deletion (worker IDs are pod names), so the
+// autoscaler and binder observe it like any pod death; otherwise the
+// worker is disconnected from the master directly.
+func (in *Injector) crashOne() {
+	var busy []string
+	for _, id := range in.master.Workers() {
+		if in.master.WorkerBusy(id) {
+			busy = append(busy, id)
+		}
+	}
+	if len(busy) == 0 {
+		return
+	}
+	victim := busy[in.rng.Intn(len(busy))]
+	if in.cluster != nil {
+		if _, ok := in.cluster.GetPod(victim); ok {
+			if in.cluster.DeletePod(victim) == nil {
+				in.stats.WorkerCrashes++
+			}
+			return
+		}
+	}
+	if in.master.KillWorker(victim) == nil {
+		in.stats.WorkerCrashes++
+	}
+}
+
+// pullFault is the per-attempt image-pull hook.
+func (in *Injector) pullFault(node, image string, attempt int) kubesim.PullFault {
+	var f kubesim.PullFault
+	ip := in.plan.ImagePull
+	if ip.FailProb > 0 && in.rng.Float64() < ip.FailProb {
+		f.Fail = true
+		in.stats.PullFailures++
+	}
+	if ip.SlowProb > 0 && ip.SlowdownFactor > 1 && in.rng.Float64() < ip.SlowProb {
+		f.Slowdown = ip.SlowdownFactor
+		in.stats.PullSlowdowns++
+	}
+	return f
+}

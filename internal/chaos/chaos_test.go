@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// run executes a Poisson-preemption plan against a fresh cluster and
+// returns the ordered preemption event log.
+func runPreemptions(seed int64) (Stats, []string) {
+	eng := simclock.NewEngine(t0)
+	cluster := kubesim.NewCluster(eng, kubesim.Config{
+		InitialNodes: 8, MinNodes: 1, MaxNodes: 10, Seed: 7,
+	})
+	inj := New(eng, Plan{
+		Seed:       seed,
+		Preemption: PreemptionPlan{MeanInterval: 5 * time.Minute, MinNodesSpared: 2},
+	})
+	inj.AttachCluster(cluster)
+	inj.Start()
+	eng.RunUntil(t0.Add(time.Hour))
+	inj.Stop()
+	cluster.Stop()
+	var log []string
+	for _, ev := range cluster.Events() {
+		if ev.Reason == kubesim.ReasonPreempted {
+			log = append(log, fmt.Sprintf("%s %s", ev.Time.Format("15:04:05"), ev.Object))
+		}
+	}
+	return inj.Stats(), log
+}
+
+func TestChaosPreemptionDeterministic(t *testing.T) {
+	s1, log1 := runPreemptions(42)
+	s2, log2 := runPreemptions(42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if s1.Preemptions == 0 {
+		t.Fatalf("no preemptions injected in an hour at 5 min mean")
+	}
+	if fmt.Sprint(log1) != fmt.Sprint(log2) {
+		t.Fatalf("same seed, different event logs:\n%v\n%v", log1, log2)
+	}
+	s3, _ := runPreemptions(43)
+	if s3.Preemptions == s1.Preemptions {
+		t.Logf("different seeds produced equal counts (possible, just unlikely): %d", s1.Preemptions)
+	}
+}
+
+func TestChaosPreemptionSparesFloor(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	// MinNodes = 4 keeps the cloud controller's empty-node scale-down
+	// out of the picture; only the injector removes nodes.
+	cluster := kubesim.NewCluster(eng, kubesim.Config{
+		InitialNodes: 4, MinNodes: 4, MaxNodes: 4, Seed: 7,
+	})
+	inj := New(eng, Plan{
+		Seed:       1,
+		Preemption: PreemptionPlan{MeanInterval: time.Minute, MinNodesSpared: 3},
+	})
+	inj.AttachCluster(cluster)
+	inj.Start()
+	eng.RunUntil(t0.Add(2 * time.Hour))
+	if got := cluster.ReadyNodes(); got != 3 {
+		t.Fatalf("ready nodes = %d, want floor of 3", got)
+	}
+	inj.Stop()
+	cluster.Stop()
+}
+
+func TestChaosWorkerCrashKillsBusyWorker(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	m.AddWorker("idle", resources.New(4, 16384, 1000))
+	m.AddWorker("busy", resources.New(4, 16384, 1000))
+	// Make exactly one worker busy, then crash: the idle one must
+	// survive.
+	m.Submit(wq.TaskSpec{
+		Category:  "align",
+		Resources: resources.New(4, 16384, 1000),
+		Profile:   wq.Profile{ExecDuration: time.Hour, UsedCPUMilli: 900},
+	})
+	inj := New(eng, Plan{Seed: 5, WorkerCrash: WorkerCrashPlan{MeanInterval: time.Minute}})
+	inj.AttachMaster(m)
+	eng.RunUntil(t0.Add(time.Second)) // let the task dispatch first
+	inj.Start()
+	eng.RunUntil(t0.Add(30 * time.Minute))
+	if inj.Stats().WorkerCrashes == 0 {
+		t.Fatalf("no crashes in 30 min at 1 min mean")
+	}
+	if got := m.FailureStats().WorkerKills; got == 0 {
+		t.Fatalf("master saw no kills")
+	}
+	inj.Stop()
+}
+
+type fakeLink struct{ factors []float64 }
+
+func (f *fakeLink) SetDegradation(v float64) { f.factors = append(f.factors, v) }
+
+func TestChaosEgressWindows(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	link := &fakeLink{}
+	inj := New(eng, Plan{
+		Seed: 1,
+		Egress: EgressPlan{
+			Factor: 0.25,
+			Windows: []Window{
+				{Start: 10 * time.Minute, Duration: 5 * time.Minute},
+				{Start: 30 * time.Minute, Duration: time.Minute},
+			},
+		},
+	})
+	inj.AttachLink(link)
+	inj.Start()
+	eng.RunUntil(t0.Add(time.Hour))
+	want := []float64{0.25, 1, 0.25, 1}
+	if fmt.Sprint(link.factors) != fmt.Sprint(want) {
+		t.Fatalf("degradation sequence = %v, want %v", link.factors, want)
+	}
+	if inj.Stats().EgressWindows != 2 {
+		t.Fatalf("EgressWindows = %d", inj.Stats().EgressWindows)
+	}
+}
+
+func TestChaosPullFaultCounts(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	cluster := kubesim.NewCluster(eng, kubesim.Config{InitialNodes: 2, MaxNodes: 2, Seed: 3})
+	inj := New(eng, Plan{
+		Seed:      9,
+		ImagePull: ImagePullPlan{FailProb: 0.5, SlowProb: 0.5, SlowdownFactor: 4},
+	})
+	inj.AttachCluster(cluster)
+	inj.Start()
+	// Six 1-core pods fill two 3-core nodes exactly.
+	for i := 0; i < 6; i++ {
+		if _, err := cluster.CreatePod(kubesim.PodSpec{
+			Name:      fmt.Sprintf("p%d", i),
+			Image:     fmt.Sprintf("img%d", i), // distinct images force pulls
+			Resources: resources.New(1, 1024, 100),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(t0.Add(2 * time.Hour))
+	st := inj.Stats()
+	if st.PullFailures == 0 && st.PullSlowdowns == 0 {
+		t.Fatalf("no pull faults delivered: %+v", st)
+	}
+	// Every pod must still come up: failures retry with backoff.
+	for i := 0; i < 6; i++ {
+		p, ok := cluster.GetPod(fmt.Sprintf("p%d", i))
+		if !ok || p.Phase != kubesim.PodRunning {
+			t.Fatalf("pod p%d = %+v, want Running", i, p)
+		}
+	}
+	inj.Stop()
+	cluster.Stop()
+}

@@ -54,6 +54,12 @@ type EstimateInput struct {
 	// WorkerTemplate is the capacity of a newly created worker
 	// (node-sized, per the paper's one-worker-per-node deployment).
 	WorkerTemplate resources.Vector
+	// CapacityDiscount in [0, 1) shrinks every existing worker's
+	// simulated capacity by that fraction — the autoscaler's hedge
+	// against recently observed preemptions: capacity that may vanish
+	// within the window is not counted on, so the plan over-provisions
+	// to compensate. 0 = trust the fleet fully.
+	CapacityDiscount float64
 }
 
 // Decision is Algorithm 1's output.
@@ -97,11 +103,13 @@ func EstimateScale(in EstimateInput) Decision {
 	if in.DefaultCycle <= 0 {
 		in.DefaultCycle = 30 * time.Second
 	}
-	// Per-worker simulated free capacity.
+	// Per-worker simulated free capacity, discounted by the caller's
+	// preemption hedge. Vector.Scale is integer-only, so components
+	// scale individually.
 	pools := make([]resources.Vector, len(in.Workers))
 	index := make(map[string]int, len(in.Workers))
 	for i, w := range in.Workers {
-		pools[i] = w.Capacity
+		pools[i] = discountCapacity(w.Capacity, in.CapacityDiscount)
 		index[w.ID] = i
 	}
 
@@ -299,6 +307,22 @@ func EstimateScale(in EstimateInput) Decision {
 		ScaleChange:     len(bins),
 		NextCycle:       in.InitTime,
 		UnplacedWaiting: unplaced,
+	}
+}
+
+// discountCapacity shrinks a capacity vector by fraction d in [0, 1).
+func discountCapacity(v resources.Vector, d float64) resources.Vector {
+	if d <= 0 {
+		return v
+	}
+	if d >= 1 {
+		d = 1
+	}
+	f := 1 - d
+	return resources.Vector{
+		MilliCPU: int64(float64(v.MilliCPU) * f),
+		MemoryMB: int64(float64(v.MemoryMB) * f),
+		DiskMB:   int64(float64(v.DiskMB) * f),
 	}
 }
 

@@ -101,6 +101,13 @@ type Autoscaler struct {
 	held        map[string][]wq.TaskSpec // category -> held task specs
 	probeActive map[string]bool
 
+	// recentKills timestamps worker pods killed underneath HTA
+	// (preemptions, crashes), pruned to the planning window; they feed
+	// Algorithm 1's capacity discount and the init-time staleness
+	// heuristic.
+	recentKills []time.Time
+	lastStale   time.Time
+
 	cycleTimer    simclock.Timer
 	started       bool
 	shutdown      bool
@@ -143,6 +150,7 @@ func New(eng *simclock.Engine, cluster *kubesim.Cluster, master *wq.Master, cfg 
 		master.SetEstimator(a.mon)
 	}
 	master.OnComplete(a.onTaskComplete)
+	master.OnTaskFailed(a.onTaskFailed)
 	cluster.OnPod(a.onPodEvent)
 	return a
 }
@@ -224,6 +232,10 @@ func (a *Autoscaler) HeldTasks() int {
 // OnComplete subscribes to task completions (delegates to the
 // master; HTA's own bookkeeping runs first).
 func (a *Autoscaler) OnComplete(fn func(wq.Result)) { a.master.OnComplete(fn) }
+
+// OnTaskFailed subscribes to permanent task failures (delegates to
+// the master; HTA's own bookkeeping runs first).
+func (a *Autoscaler) OnTaskFailed(fn func(wq.Task)) { a.master.OnTaskFailed(fn) }
 
 // Shutdown enters the clean-up stage: once the queue drains, all
 // workers are drained, the deployment units are deleted, and onDone
@@ -313,11 +325,87 @@ func (a *Autoscaler) onPodEvent(ev kubesim.PodWatchEvent) {
 	case ev.Type == kubesim.Deleted:
 		delete(a.pods, name)
 		if st == podActive && ev.Reason == kubesim.ReasonKilling {
-			// Pod killed underneath us (e.g. node failure): requeue
-			// its tasks.
+			// Pod killed underneath us (preemption, node failure):
+			// requeue its tasks and remember the loss for planning.
+			a.noteWorkerLoss()
 			_ = a.master.KillWorker(name)
 		}
 	}
+}
+
+// failureBurstKills is how many worker losses within one planning
+// window count as a burst, after which the measured initialization
+// time is considered stale and re-measured from the next cold start.
+const failureBurstKills = 2
+
+// killWindow is the horizon over which worker losses stay relevant:
+// the planning window itself (capacity lost longer ago than one init
+// time has already been replanned around).
+func (a *Autoscaler) killWindow() time.Duration {
+	w := a.tracker.Latest()
+	if min := 2 * a.cfg.DefaultCycle; w < min {
+		w = min
+	}
+	return w
+}
+
+func (a *Autoscaler) pruneKills(now time.Time) {
+	cutoff := now.Add(-a.killWindow())
+	keep := a.recentKills[:0]
+	for _, ts := range a.recentKills {
+		if ts.After(cutoff) {
+			keep = append(keep, ts)
+		}
+	}
+	a.recentKills = keep
+}
+
+func (a *Autoscaler) noteWorkerLoss() {
+	now := a.eng.Now()
+	a.pruneKills(now)
+	a.recentKills = append(a.recentKills, now)
+	if len(a.recentKills) >= failureBurstKills &&
+		(a.lastStale.IsZero() || now.Sub(a.lastStale) > a.killWindow()) {
+		// A burst of losses means the last measured init time predates
+		// the fault regime; fall back and re-measure from the next
+		// cold-started pod.
+		a.tracker.MarkStale()
+		a.lastStale = now
+	}
+}
+
+// capacityDiscount is Algorithm 1's preemption hedge: the fraction of
+// current capacity assumed to vanish within the window, from the
+// observed loss rate (losses / (losses + live workers)), capped at
+// one half so the planner never writes off a majority of the fleet.
+func (a *Autoscaler) capacityDiscount(liveWorkers int) float64 {
+	k := len(a.recentKills)
+	if k == 0 || liveWorkers == 0 {
+		return 0
+	}
+	d := float64(k) / float64(k+liveWorkers)
+	if d > 0.5 {
+		d = 0.5
+	}
+	return d
+}
+
+// onTaskFailed reacts to a quarantined task. A quarantined probe can
+// never report a measurement, so tasks held behind it are released
+// (each runs conservatively until one completes and the category is
+// measured); without this, a poison probe would strand its category
+// forever.
+func (a *Autoscaler) onTaskFailed(t wq.Task) {
+	if a.probeActive[t.Category] && !a.mon.Known(t.Category) {
+		delete(a.probeActive, t.Category)
+		if hs := a.held[t.Category]; len(hs) > 0 {
+			delete(a.held, t.Category)
+			for _, spec := range hs {
+				a.master.Submit(spec)
+			}
+		}
+	}
+	a.maybeCleanup()
 }
 
 func (a *Autoscaler) drainPod(name string) {
@@ -424,15 +512,17 @@ func (a *Autoscaler) decide() Decision {
 	if !a.cfg.DisableEstimator {
 		estimator = a.mon
 	}
+	a.pruneKills(a.eng.Now())
 	return EstimateScale(EstimateInput{
-		Now:            a.eng.Now(),
-		InitTime:       initTime,
-		DefaultCycle:   a.cfg.DefaultCycle,
-		Running:        a.master.RunningTasks(),
-		Waiting:        a.master.WaitingTasks(),
-		Estimator:      estimator,
-		Workers:        workers,
-		WorkerTemplate: a.cluster.Config().NodeAllocatable,
+		Now:              a.eng.Now(),
+		InitTime:         initTime,
+		DefaultCycle:     a.cfg.DefaultCycle,
+		Running:          a.master.RunningTasks(),
+		Waiting:          a.master.WaitingTasks(),
+		Estimator:        estimator,
+		Workers:          workers,
+		WorkerTemplate:   a.cluster.Config().NodeAllocatable,
+		CapacityDiscount: a.capacityDiscount(len(workers)),
 	})
 }
 

@@ -52,6 +52,13 @@ func (lt *LifecycleTracker) onPod(ev kubesim.PodWatchEvent) {
 	lt.samples = append(lt.samples, d)
 }
 
+// MarkStale discards the current initialization-time estimate:
+// Latest returns the fallback again until a fresh cold-start sample
+// arrives. HTA calls this after a failure burst, when the last
+// measurement predates the fault and may describe a cluster that no
+// longer exists (recorded samples are kept for reporting).
+func (lt *LifecycleTracker) MarkStale() { lt.latest = 0 }
+
 // Latest returns the most recent initialization time, or the
 // fallback before any measurement.
 func (lt *LifecycleTracker) Latest() time.Duration {

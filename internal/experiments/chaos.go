@@ -1,0 +1,235 @@
+package experiments
+
+// Experiment E-F: the multistage BLAST workflow on preemptible nodes.
+// A seed-driven chaos injector reclaims nodes at several Poisson rates
+// while HTA, the HPA baseline and the queue-proportional scaler run
+// the same workflow under the same retry policy. The report shows what
+// the paper's evaluation never measures: how much completed work each
+// autoscaler loses to preemption (re-executed core·s, goodput), how
+// the recovery machinery behaves (requeues, fast-aborts, quarantines),
+// and what the faults cost in runtime.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hta/internal/chaos"
+	"hta/internal/core"
+	"hta/internal/hpa"
+	"hta/internal/qpa"
+	"hta/internal/resources"
+	"hta/internal/workload"
+	"hta/internal/wq"
+)
+
+// ChaosEFConfig parameterizes E-F; tests shrink the workload.
+type ChaosEFConfig struct {
+	Seed int64
+	// PreemptMeans are the swept mean inter-preemption intervals; a 0
+	// entry is the fault-free baseline.
+	PreemptMeans []time.Duration
+	// Stages overrides the multistage task counts (zero = paper-sized
+	// 200/34/164).
+	Stages [3]int
+	// Retry is the masters' recovery policy.
+	Retry wq.RetryPolicy
+	// Timeout bounds each simulated run.
+	Timeout time.Duration
+}
+
+// DefaultChaosEFConfig is the full-size experiment: paper-sized
+// multistage BLAST, baseline plus two preemption rates, a retry
+// budget generous enough that no task quarantines.
+func DefaultChaosEFConfig(seed int64) ChaosEFConfig {
+	return ChaosEFConfig{
+		Seed:         seed,
+		PreemptMeans: []time.Duration{0, 10 * time.Minute, 4 * time.Minute},
+		Retry: wq.RetryPolicy{
+			MaxAttempts:         8,
+			BackoffBase:         5 * time.Second,
+			BackoffMax:          60 * time.Second,
+			FastAbortMultiplier: 3,
+		},
+	}
+}
+
+// ChaosRow is one (autoscaler, preemption rate) outcome.
+type ChaosRow struct {
+	Autoscaler  string
+	PreemptMean time.Duration // 0 = fault-free baseline
+	Runtime     time.Duration
+	Preemptions int
+	WorkerKills int
+	Requeues    int
+	FastAborts  int
+	Quarantined int
+	Submitted   int
+	Completed   int
+	LostCoreSec float64
+	Goodput     float64
+}
+
+// ChaosEFReport is the E-F result table.
+type ChaosEFReport struct {
+	Rows []ChaosRow
+	Runs map[string]*RunResult
+}
+
+var chaosScalers = []string{"HTA", "HPA(20% CPU)", "QPA(queue/3)"}
+
+// ChaosEF runs the full-size experiment.
+func ChaosEF(seed int64) (*ChaosEFReport, error) {
+	return ChaosEFWith(DefaultChaosEFConfig(seed))
+}
+
+// ChaosEFWith runs E-F under an explicit configuration. All cells run
+// concurrently; each is its own deterministic simulation.
+func ChaosEFWith(cfg ChaosEFConfig) (*ChaosEFReport, error) {
+	if len(cfg.PreemptMeans) == 0 {
+		cfg.PreemptMeans = DefaultChaosEFConfig(cfg.Seed).PreemptMeans
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = fig10Timeout
+	}
+	type cell struct {
+		scaler string
+		mean   time.Duration
+	}
+	var cells []cell
+	for _, mean := range cfg.PreemptMeans {
+		for _, s := range chaosScalers {
+			cells = append(cells, cell{s, mean})
+		}
+	}
+	results := make([]*RunResult, len(cells))
+	err := Parallel(len(cells), func(i int) error {
+		var err error
+		results[i], err = chaosCell(cells[i].scaler, cfg, cells[i].mean)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosEFReport{Runs: make(map[string]*RunResult, len(cells))}
+	for i, c := range cells {
+		res := results[i]
+		rep.Runs[res.Name] = res
+		rep.Rows = append(rep.Rows, ChaosRow{
+			Autoscaler:  c.scaler,
+			PreemptMean: c.mean,
+			Runtime:     res.Runtime,
+			Preemptions: res.Chaos.Preemptions,
+			WorkerKills: res.Failures.WorkerKills,
+			Requeues:    res.Failures.Requeues,
+			FastAborts:  res.Failures.FastAborts,
+			Quarantined: res.Failures.Quarantined,
+			Submitted:   res.Submitted,
+			Completed:   res.Completed,
+			LostCoreSec: res.Failures.LostCoreSeconds,
+			Goodput:     res.Failures.Goodput(),
+		})
+	}
+	return rep, nil
+}
+
+// chaosCell runs one (autoscaler, preemption rate) simulation.
+func chaosCell(scaler string, cfg ChaosEFConfig, mean time.Duration) (*RunResult, error) {
+	p := workload.DefaultMultistage()
+	p.Seed = cfg.Seed
+	if cfg.Stages != ([3]int{}) {
+		p.StageCounts = cfg.Stages
+	}
+	var plan *chaos.Plan
+	if mean > 0 {
+		plan = &chaos.Plan{
+			Seed: cfg.Seed,
+			Preemption: chaos.PreemptionPlan{
+				MeanInterval: mean,
+				// Spare an on-demand floor of one node, like a mixed
+				// spot/on-demand pool.
+				MinNodesSpared: 1,
+			},
+		}
+	}
+	name := fmt.Sprintf("%s@%s", scaler, preemptLabel(mean))
+	switch scaler {
+	case "HTA":
+		g, spec, err := p.Build() // undeclared: HTA measures categories
+		if err != nil {
+			return nil, err
+		}
+		return RunHTA(name, Workload{Graph: g, Spec: spec}, HTAOptions{
+			Kube:    fig10Kube(cfg.Seed),
+			HTA:     core.Config{MaxWorkers: 20},
+			Timeout: cfg.Timeout,
+			Retry:   cfg.Retry,
+			Chaos:   plan,
+		})
+	case "HPA(20% CPU)":
+		p.Declared = true
+		g, spec, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		return RunHPA(name, Workload{Graph: g, Spec: spec}, HPAOptions{
+			Kube:            fig10Kube(cfg.Seed),
+			PodResources:    fig10PodResources,
+			InitialReplicas: 3,
+			HPA: hpa.Config{
+				TargetCPUUtilization: 0.20,
+				MinReplicas:          1,
+				MaxReplicas:          60, // 20 nodes × 3 pods
+			},
+			Timeout: cfg.Timeout,
+			Retry:   cfg.Retry,
+			Chaos:   plan,
+		})
+	case "QPA(queue/3)":
+		p.Declared = true
+		g, spec, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		return RunQPA(name, Workload{Graph: g, Spec: spec}, QPAOptions{
+			Kube:            fig10Kube(cfg.Seed),
+			InitialReplicas: 3,
+			QPA: qpa.Config{
+				TasksPerWorker: 3, // node-sized workers hold 3 one-core tasks
+				MaxReplicas:    20,
+			},
+			Timeout: cfg.Timeout,
+			Retry:   cfg.Retry,
+			Chaos:   plan,
+		})
+	}
+	return nil, fmt.Errorf("experiments: unknown chaos scaler %q", scaler)
+}
+
+// fig10PodResources is the HPA worker-pod size used across the
+// multistage comparisons.
+var fig10PodResources = resources.Vector{MilliCPU: 1000, MemoryMB: 4096, DiskMB: 20000}
+
+func preemptLabel(d time.Duration) string {
+	if d == 0 {
+		return "none"
+	}
+	return d.String()
+}
+
+// String renders the E-F table; with a fixed seed the output is
+// byte-identical across runs (the determinism contract of the chaos
+// subsystem).
+func (r *ChaosEFReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E-F — multistage BLAST on preemptible nodes (retry + fast-abort recovery)\n")
+	fmt.Fprintf(&b, "%-14s %-8s %9s %8s %6s %9s %7s %5s %10s %12s %8s\n",
+		"Autoscaler", "Preempt", "Runtime", "Reclaims", "Kills", "Requeues", "Aborts", "Quar", "Done", "Lost core-s", "Goodput")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-8s %8.0fs %8d %6d %9d %7d %5d %5d/%-4d %12.0f %8.3f\n",
+			row.Autoscaler, preemptLabel(row.PreemptMean), row.Runtime.Seconds(),
+			row.Preemptions, row.WorkerKills, row.Requeues, row.FastAborts,
+			row.Quarantined, row.Completed, row.Submitted, row.LostCoreSec, row.Goodput)
+	}
+	return b.String()
+}

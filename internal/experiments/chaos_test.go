@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// smallChaosCfg shrinks E-F to test scale: a 40/8/32-task multistage
+// workflow, baseline plus one aggressive preemption rate.
+func smallChaosCfg(seed int64) ChaosEFConfig {
+	cfg := DefaultChaosEFConfig(seed)
+	cfg.Stages = [3]int{40, 8, 32}
+	cfg.PreemptMeans = []time.Duration{0, 3 * time.Minute}
+	return cfg
+}
+
+func TestChaosEFDeterministic(t *testing.T) {
+	a, err := ChaosEFWith(smallChaosCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosEFWith(smallChaosCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contract is byte-identical reports for a fixed seed, even
+	// though every cell ran on its own goroutine.
+	if a.String() != b.String() {
+		t.Errorf("same seed produced different reports:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+func TestChaosEFAccountingAndShape(t *testing.T) {
+	rep, err := ChaosEFWith(smallChaosCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 scalers × 2 rates)", len(rep.Rows))
+	}
+	total := 40 + 8 + 32
+	for _, row := range rep.Rows {
+		// Accounting invariant: every task the master accepted either
+		// completed or was quarantined — none lost, dropped or
+		// duplicated, no matter how many workers died under it.
+		if row.Submitted != row.Completed+row.Quarantined {
+			t.Errorf("%s @%v: submitted %d != completed %d + quarantined %d",
+				row.Autoscaler, row.PreemptMean, row.Submitted, row.Completed, row.Quarantined)
+		}
+		// The workflow itself always finishes (HTA's probes may add
+		// completions beyond the workflow's own task count).
+		if row.Completed < total {
+			t.Errorf("%s @%v: completed %d < workflow size %d",
+				row.Autoscaler, row.PreemptMean, row.Completed, total)
+		}
+		// The generous budget (8 attempts) must absorb this fault rate.
+		if row.Quarantined != 0 {
+			t.Errorf("%s @%v: %d tasks quarantined under an adequate budget",
+				row.Autoscaler, row.PreemptMean, row.Quarantined)
+		}
+		if row.PreemptMean == 0 {
+			if row.Preemptions != 0 || row.LostCoreSec != 0 {
+				t.Errorf("%s baseline: preemptions=%d lost=%.0f, want clean run",
+					row.Autoscaler, row.Preemptions, row.LostCoreSec)
+			}
+		} else {
+			if row.Preemptions == 0 {
+				t.Errorf("%s @%v: injector delivered no preemptions", row.Autoscaler, row.PreemptMean)
+			}
+			if row.Goodput <= 0 || row.Goodput > 1 {
+				t.Errorf("%s @%v: goodput = %.3f, want (0, 1]", row.Autoscaler, row.PreemptMean, row.Goodput)
+			}
+		}
+	}
+	// At least one faulted run actually lost in-flight work and had to
+	// re-execute it (preemptions prefer occupied nodes).
+	var lost float64
+	requeues := 0
+	for _, row := range rep.Rows {
+		if row.PreemptMean > 0 {
+			lost += row.LostCoreSec
+			requeues += row.Requeues
+		}
+	}
+	if lost == 0 || requeues == 0 {
+		t.Errorf("faulted runs lost %.0f core·s over %d requeues; expected re-executed work", lost, requeues)
+	}
+}
+
+func TestChaosEFQuarantineUnderTinyBudget(t *testing.T) {
+	// With a one-attempt budget and relentless preemption, some task
+	// eventually dies with its worker and is quarantined, which fails
+	// its DAG node and surfaces as a run error — the bounded-blast-
+	// radius semantics, exercised end to end through the harness.
+	cfg := smallChaosCfg(2)
+	cfg.PreemptMeans = []time.Duration{45 * time.Second}
+	cfg.Retry.MaxAttempts = 1
+	cfg.Retry.BackoffBase = 0
+	_, err := ChaosEFWith(cfg)
+	if err == nil {
+		t.Fatal("expected a quarantine-induced workflow failure, got success")
+	}
+}
+
+func BenchmarkChaosPreemptible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := ChaosEF(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 9 {
+			b.Fatalf("rows = %d, want 9", len(rep.Rows))
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hta/internal/bind"
+	"hta/internal/chaos"
 	"hta/internal/core"
 	"hta/internal/dag"
 	"hta/internal/flow"
@@ -63,9 +64,20 @@ type RunResult struct {
 	MeanCPUUtil      float64 // time-weighted busy-CPU / capacity
 	InitSamples      []time.Duration
 	Completed        int
+	// Submitted is the total number of tasks the master accepted
+	// (accounting invariant: Submitted = Completed + Quarantined for
+	// runs that finish).
+	Submitted int
 	// Requeues counts dispatch attempts beyond each task's first —
 	// work lost to killed workers.
 	Requeues int
+
+	// Failures aggregates the master's failure/recovery counters
+	// (kills, requeues, fast-aborts, quarantines, lost core·s).
+	Failures wq.FailureStats
+	// Chaos counts the faults the injector delivered (zero value when
+	// the run had no fault plan).
+	Chaos chaos.Stats
 
 	// CategoryOutstanding tracks waiting+running tasks per category
 	// over time (Fig. 10a's stage profile), when requested.
@@ -239,6 +251,33 @@ func (e *ErrTimeout) Error() string {
 	return fmt.Sprintf("experiments: %s did not finish within %v (stats %+v)", e.Name, e.Deadline, e.Stats)
 }
 
+// attachChaos arms a fault plan against a run's components, returning
+// nil when the plan is absent or injects nothing.
+func attachChaos(eng *simclock.Engine, plan *chaos.Plan, cluster *kubesim.Cluster, master *wq.Master, link *netsim.Link) *chaos.Injector {
+	if plan == nil || !plan.Enabled() {
+		return nil
+	}
+	inj := chaos.New(eng, *plan)
+	if cluster != nil {
+		inj.AttachCluster(cluster)
+	}
+	inj.AttachMaster(master)
+	if link != nil {
+		inj.AttachLink(link)
+	}
+	inj.Start()
+	return inj
+}
+
+// captureFailures copies the run's failure/recovery counters into res.
+func captureFailures(res *RunResult, master *wq.Master, inj *chaos.Injector) {
+	res.Failures = master.FailureStats()
+	res.Submitted = master.SubmittedCount()
+	if inj != nil {
+		res.Chaos = inj.Stats()
+	}
+}
+
 // countRequeues subscribes to the master and accumulates re-dispatch
 // counts into res.
 func countRequeues(master *wq.Master, res *RunResult) {
@@ -263,6 +302,11 @@ type HTAOptions struct {
 	Categories []string
 	// Policy selects the master's dispatch policy (default FirstFit).
 	Policy wq.Policy
+	// Retry is the master's recovery policy (zero = infinite retries,
+	// no backoff, no fast-abort — the pre-fault-tolerance behavior).
+	Retry wq.RetryPolicy
+	// Chaos, when set and enabled, injects faults into the run.
+	Chaos *chaos.Plan
 }
 
 // RunHTA executes the workload through the full HTA stack.
@@ -279,10 +323,12 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
 	master := wq.NewMaster(eng, link)
 	master.SetPolicy(opt.Policy)
+	master.SetRetryPolicy(opt.Retry)
 	a := core.New(eng, cluster, master, opt.HTA)
 	if err := a.Start(); err != nil {
 		return nil, err
 	}
+	inj := attachChaos(eng, opt.Chaos, cluster, master, link)
 
 	sm := newSampler(master, cluster, a.WorkerPodCount())
 	sm.estimator = a.Monitor()
@@ -317,6 +363,7 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	}
 	res.Completed = master.CompletedCount()
 	res.InitSamples = a.Tracker().Samples()
+	captureFailures(res, master, inj)
 	sm.finish(res)
 	if link != nil {
 		res.AvgBandwidthMBps = link.Stats().AvgBandwidth
@@ -338,6 +385,10 @@ type HPAOptions struct {
 	PerTransfer     float64
 	Timeout         time.Duration
 	Categories      []string
+	// Retry is the master's recovery policy.
+	Retry wq.RetryPolicy
+	// Chaos, when set and enabled, injects faults into the run.
+	Chaos *chaos.Plan
 }
 
 // RunHPA executes the workload on an HPA-scaled worker fleet.
@@ -359,7 +410,9 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	defer cluster.Stop()
 	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
 	master := wq.NewMaster(eng, link)
-	bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	master.SetRetryPolicy(opt.Retry)
+	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	inj := attachChaos(eng, opt.Chaos, cluster, master, link)
 
 	template := kubesim.PodSpec{
 		Image:     "wq-worker",
@@ -399,7 +452,11 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	if err := runner.Err(); err != nil {
 		return nil, err
 	}
+	if err := binder.Err(); err != nil {
+		return nil, err
+	}
 	res.Completed = master.CompletedCount()
+	captureFailures(res, master, inj)
 	sm.finish(res)
 	if link != nil {
 		res.AvgBandwidthMBps = link.Stats().AvgBandwidth
@@ -419,6 +476,11 @@ type StaticOptions struct {
 	Contention      float64
 	PerTransfer     float64
 	Timeout         time.Duration
+	// Retry is the master's recovery policy.
+	Retry wq.RetryPolicy
+	// Chaos, when set and enabled, injects worker-crash and egress
+	// faults (no cluster exists in a static run).
+	Chaos *chaos.Plan
 }
 
 // RunStatic executes the workload on a fixed fleet.
@@ -429,11 +491,13 @@ func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) 
 	eng := simclock.NewEngine(SimStart)
 	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
 	master := wq.NewMaster(eng, link)
+	master.SetRetryPolicy(opt.Retry)
 	for i := 0; i < opt.Workers; i++ {
 		if err := master.AddWorker(fmt.Sprintf("w%d", i+1), opt.WorkerResources); err != nil {
 			return nil, err
 		}
 	}
+	inj := attachChaos(eng, opt.Chaos, nil, master, link)
 	sm := newSampler(master, nil, opt.Workers)
 	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
@@ -458,6 +522,7 @@ func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) 
 		return nil, err
 	}
 	res.Completed = master.CompletedCount()
+	captureFailures(res, master, inj)
 	sm.finish(res)
 	if link != nil {
 		res.AvgBandwidthMBps = link.Stats().AvgBandwidth

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -32,7 +34,7 @@ func Parallel(n int, fn func(i int) error) error {
 	}
 	if limit == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runScenario(fn, i); err != nil {
 				return err
 			}
 		}
@@ -47,7 +49,7 @@ func Parallel(n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = fn(i)
+			errs[i] = runScenario(fn, i)
 		}(i)
 	}
 	wg.Wait()
@@ -57,4 +59,16 @@ func Parallel(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runScenario invokes fn(i), converting a panic into that cell's
+// error: a panicking scenario on a pool goroutine would otherwise
+// crash the whole process, taking the other cells' results with it.
+func runScenario(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: scenario %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }

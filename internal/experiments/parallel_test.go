@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -36,6 +37,42 @@ func TestParallelReturnsFirstErrorByIndex(t *testing.T) {
 	})
 	if err != errB {
 		t.Fatalf("err = %v, want the lowest-index error %v", err, errB)
+	}
+}
+
+func TestParallelRecoversPanicAsCellError(t *testing.T) {
+	old := MaxParallel
+	MaxParallel = 4 // force the pooled path regardless of GOMAXPROCS
+	defer func() { MaxParallel = old }()
+	var ran int32
+	err := Parallel(8, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			panic("scenario blew up")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "scenario 2 panicked: scenario blew up") {
+		t.Fatalf("err = %v, want panic surfaced as scenario 2's error", err)
+	}
+	// The panic cost one cell, not the fan-out: every other index ran.
+	if ran != 8 {
+		t.Errorf("ran = %d of 8 scenarios", ran)
+	}
+}
+
+func TestParallelRecoversPanicSerially(t *testing.T) {
+	old := MaxParallel
+	MaxParallel = 1
+	defer func() { MaxParallel = old }()
+	err := Parallel(3, func(i int) error {
+		if i == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "scenario 1 panicked") {
+		t.Fatalf("err = %v, want recovered panic", err)
 	}
 }
 

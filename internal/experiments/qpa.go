@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hta/internal/bind"
+	"hta/internal/chaos"
 	"hta/internal/core"
 	"hta/internal/flow"
 	"hta/internal/kubesim"
@@ -23,6 +24,10 @@ type QPAOptions struct {
 	PodResources    resources.Vector // default: node-sized
 	InitialReplicas int
 	Timeout         time.Duration
+	// Retry is the master's recovery policy.
+	Retry wq.RetryPolicy
+	// Chaos, when set and enabled, injects faults into the run.
+	Chaos *chaos.Plan
 }
 
 // RunQPA executes the workload under the queue-proportional scaler.
@@ -40,7 +45,9 @@ func RunQPA(name string, wl Workload, opt QPAOptions) (*RunResult, error) {
 		opt.PodResources = cluster.Config().NodeAllocatable
 	}
 	master := wq.NewMaster(eng, nil)
-	bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	master.SetRetryPolicy(opt.Retry)
+	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	inj := attachChaos(eng, opt.Chaos, cluster, master, nil)
 
 	template := kubesim.PodSpec{
 		Image:     "wq-worker",
@@ -77,7 +84,11 @@ func RunQPA(name string, wl Workload, opt QPAOptions) (*RunResult, error) {
 	if err := runner.Err(); err != nil {
 		return nil, err
 	}
+	if err := binder.Err(); err != nil {
+		return nil, err
+	}
 	res.Completed = master.CompletedCount()
+	captureFailures(res, master, inj)
 	sm.finish(res)
 	return res, nil
 }

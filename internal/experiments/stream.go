@@ -102,7 +102,7 @@ func RunHPAStream(name string, tasks []workload.TimedTask, opt HPAOptions) (*Run
 	cluster := kubesim.NewCluster(eng, opt.Kube)
 	defer cluster.Stop()
 	master := wq.NewMaster(eng, nil)
-	bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
+	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
 	ws := kubesim.NewWorkerSet(cluster, "wq-workers", kubesim.PodSpec{
 		Image:     "wq-worker",
 		Resources: opt.PodResources,
@@ -116,7 +116,14 @@ func RunHPAStream(name string, tasks []workload.TimedTask, opt HPAOptions) (*Run
 	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
 	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
-	return runStreamCommon(name, eng, master, master, tasks, sm, opt.Timeout)
+	res, err := runStreamCommon(name, eng, master, master, tasks, sm, opt.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := binder.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Stream runs S2.

@@ -23,6 +23,14 @@ type Scheduler interface {
 	OnComplete(fn func(wq.Result))
 }
 
+// FailureNotifier is implemented by schedulers that report permanent
+// task failures (retry budget exhausted, task quarantined). Both
+// *wq.Master and *core.Autoscaler satisfy it; a runner subscribes
+// when its scheduler does.
+type FailureNotifier interface {
+	OnTaskFailed(fn func(wq.Task))
+}
+
 // SpecFunc converts a DAG node into a task spec. The runner sets the
 // spec's Tag to the node ID regardless of what the function returns
 // there.
@@ -46,6 +54,9 @@ type Runner struct {
 func NewRunner(g *dag.Graph, sched Scheduler, spec SpecFunc) *Runner {
 	r := &Runner{g: g, sched: sched, spec: spec}
 	sched.OnComplete(r.onComplete)
+	if fn, ok := sched.(FailureNotifier); ok {
+		fn.OnTaskFailed(r.onTaskFailed)
+	}
 	return r
 }
 
@@ -83,9 +94,11 @@ func (r *Runner) Start() {
 
 // submitReady drains the ready frontier; the caller holds r.mu. It
 // returns the completion callbacks to fire (outside the lock) when
-// this call finished the workflow.
+// this call finished the workflow. After a permanent failure no new
+// nodes are submitted; in-flight work drains and the runner finishes
+// with its error set.
 func (r *Runner) submitReady() []func() {
-	for {
+	for r.failed == nil {
 		progressed := false
 		for _, id := range r.g.Ready() {
 			n, _ := r.g.Node(id)
@@ -112,13 +125,27 @@ func (r *Runner) submitReady() []func() {
 			break
 		}
 	}
-	if r.g.Done() && !r.done {
-		r.done = true
-		fire := make([]func(), len(r.onDone))
-		copy(fire, r.onDone)
-		return fire
+	return r.maybeFinish()
+}
+
+// maybeFinish returns the completion callbacks to fire when the
+// workflow just finished: every node complete, or — after a permanent
+// failure — every in-flight node drained. The caller holds r.mu.
+func (r *Runner) maybeFinish() []func() {
+	if r.done {
+		return nil
 	}
-	return nil
+	if r.failed != nil {
+		if r.g.Counts()[dag.Running] > 0 {
+			return nil
+		}
+	} else if !r.g.Done() {
+		return nil
+	}
+	r.done = true
+	fire := make([]func(), len(r.onDone))
+	copy(fire, r.onDone)
+	return fire
 }
 
 func (r *Runner) onComplete(res wq.Result) {
@@ -134,6 +161,30 @@ func (r *Runner) onComplete(res wq.Result) {
 		return
 	}
 	fire := r.submitReady()
+	r.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+// onTaskFailed marks a permanently failed (quarantined) task's node
+// Failed: the workflow stops submitting new nodes, lets in-flight
+// tasks drain, and finishes with Err set — the DAG-node failure
+// semantics of a poison task.
+func (r *Runner) onTaskFailed(t wq.Task) {
+	r.mu.Lock()
+	id := t.Tag
+	if r.g.State(id) != dag.Running {
+		r.mu.Unlock()
+		return
+	}
+	if err := r.g.Fail(id); err != nil {
+		r.fail(err)
+		r.mu.Unlock()
+		return
+	}
+	r.fail(fmt.Errorf("node %s failed permanently after %d attempts", id, t.Attempts))
+	fire := r.maybeFinish()
 	r.mu.Unlock()
 	for _, fn := range fire {
 		fn()

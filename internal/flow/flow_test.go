@@ -183,3 +183,59 @@ func TestAllLocalWorkflowCompletesWithoutWorkers(t *testing.T) {
 		t.Errorf("elapsed = %v, want instant", eng.Elapsed())
 	}
 }
+
+func TestChaosQuarantineFailsNode(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	m := wq.NewMaster(eng, nil)
+	// One failure quarantines: MaxAttempts = 1.
+	m.SetRetryPolicy(wq.RetryPolicy{MaxAttempts: 1})
+	m.AddWorker("w1", resources.New(1, 4096, 100))
+	m.AddWorker("w2", resources.New(1, 4096, 100))
+
+	// a and b independent; c depends on a.
+	g := dag.NewGraph()
+	g.Add(dag.Node{ID: "a", Outputs: []string{"a.out"}})
+	g.Add(dag.Node{ID: "b"})
+	g.Add(dag.Node{ID: "c", Inputs: []string{"a.out"}})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	durs := map[string]time.Duration{"a": time.Hour, "b": 30 * time.Second, "c": time.Second}
+	r := NewRunner(g, m, func(n dag.Node) wq.TaskSpec { return spec(durs[n.ID]) })
+	done := false
+	r.OnAllDone(func() { done = true })
+	r.Start()
+
+	// Kill whichever worker runs node a mid-flight; the task
+	// quarantines immediately and the node fails.
+	eng.RunUntil(t0.Add(time.Second))
+	var victim string
+	for _, tk := range m.RunningTasks() {
+		if tk.Tag == "a" {
+			victim = tk.WorkerID
+		}
+	}
+	if victim == "" {
+		t.Fatal("node a not running")
+	}
+	if err := m.KillWorker(victim); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if !done || !r.Done() {
+		t.Fatalf("runner did not finish after failure + drain (done=%v)", done)
+	}
+	if r.Err() == nil {
+		t.Fatal("Err() = nil, want node-failure error")
+	}
+	if g.State("a") != dag.Failed {
+		t.Errorf("a = %v, want Failed", g.State("a"))
+	}
+	if g.State("b") != dag.Complete {
+		t.Errorf("b = %v, want Complete (in-flight work drains)", g.State("b"))
+	}
+	if g.State("c") == dag.Running || g.State("c") == dag.Complete {
+		t.Errorf("c = %v, want never started", g.State("c"))
+	}
+}

@@ -32,6 +32,7 @@ type watcher struct {
 	ns       string
 	selector map[string]string
 	ch       chan kubeclient.PodEvent
+	drop     chan struct{}
 }
 
 // NewServer starts the fake API server.
@@ -58,6 +59,18 @@ func (s *Server) URL() string { return s.srv.URL }
 func (s *Server) Close() {
 	s.srv.CloseClientConnections()
 	s.srv.Close()
+}
+
+// DropWatches terminates every open watch stream without shutting the
+// server down — an API-server restart from the watchers' point of
+// view. Clients see their event channels close and must re-watch.
+func (s *Server) DropWatches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, wt := range s.watchers {
+		close(wt.drop)
+		delete(s.watchers, id)
+	}
 }
 
 // AutoRun makes created pods transition Pending → Running after the
@@ -178,7 +191,7 @@ func (s *Server) watchPods(w http.ResponseWriter, r *http.Request, ns string, se
 		writeStatus(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	wt := &watcher{ns: ns, selector: sel, ch: make(chan kubeclient.PodEvent, 64)}
+	wt := &watcher{ns: ns, selector: sel, ch: make(chan kubeclient.PodEvent, 64), drop: make(chan struct{})}
 	s.mu.Lock()
 	// Initial sync: existing pods arrive as ADDED, as a
 	// resourceVersion=0 watch would deliver.
@@ -204,6 +217,8 @@ func (s *Server) watchPods(w http.ResponseWriter, r *http.Request, ns string, se
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-wt.drop:
 			return
 		case ev := <-wt.ch:
 			if err := enc.Encode(ev); err != nil {

@@ -159,12 +159,24 @@ func (c *Cluster) scaleDownEmpty() {
 	}
 }
 
-// FailNode simulates an abrupt node loss (hardware failure, preempted
-// spot instance): the node disappears from the fleet and every pod
-// bound to it is killed, which informers observe as Deleted events
-// with reason Killing. The cloud controller will re-provision on the
-// next cycle if the dead pods' owners recreate them.
+// FailNode simulates an abrupt node loss (hardware failure): the node
+// disappears from the fleet and every pod bound to it is killed, which
+// informers observe as Deleted events with reason Killing. The cloud
+// controller will re-provision on the next cycle if the dead pods'
+// owners recreate them.
 func (c *Cluster) FailNode(name string) error {
+	return c.failNode(name, ReasonNodeFailure)
+}
+
+// PreemptNode simulates a cloud provider reclaiming a preemptible
+// (spot) machine — mechanically identical to FailNode but recorded
+// with reason Preempted so observers can distinguish reclaim storms
+// from hardware faults.
+func (c *Cluster) PreemptNode(name string) error {
+	return c.failNode(name, ReasonPreempted)
+}
+
+func (c *Cluster) failNode(name, reason string) error {
 	n, ok := c.nodes[name]
 	if !ok {
 		return fmt.Errorf("kubesim: node %q not found", name)
@@ -180,7 +192,7 @@ func (c *Cluster) FailNode(name string) error {
 			return err
 		}
 	}
-	c.recordEvent("node/"+name, "NodeFailure", fmt.Sprintf("node lost with %d pods", len(victims)))
+	c.recordEvent("node/"+name, reason, fmt.Sprintf("node lost with %d pods", len(victims)))
 	c.removeNode(n)
 	return nil
 }

@@ -46,6 +46,11 @@ type Config struct {
 	// ContainerStartDelay is the time from image-present to Running
 	// (default 1 s).
 	ContainerStartDelay time.Duration
+	// PullBackoffBase/PullBackoffMax bound the kubelet's exponential
+	// backoff between failed image-pull attempts (defaults 10 s and
+	// 5 min, the kubelet's image backoff).
+	PullBackoffBase time.Duration
+	PullBackoffMax  time.Duration
 	// SchedulerInterval is the binding loop period (default 1 s).
 	SchedulerInterval time.Duration
 	// AutoscalerInterval is the cloud-controller loop period
@@ -89,6 +94,12 @@ func (c Config) withDefaults() Config {
 	if c.ContainerStartDelay == 0 {
 		c.ContainerStartDelay = time.Second
 	}
+	if c.PullBackoffBase == 0 {
+		c.PullBackoffBase = 10 * time.Second
+	}
+	if c.PullBackoffMax == 0 {
+		c.PullBackoffMax = 5 * time.Minute
+	}
 	if c.SchedulerInterval == 0 {
 		c.SchedulerInterval = time.Second
 	}
@@ -124,6 +135,7 @@ type Cluster struct {
 	tickers      []*simclock.Ticker
 	provisioning int                 // node count currently being reserved
 	pulls        map[string][]func() // node/image -> waiters
+	pullFault    func(node, image string, attempt int) PullFault
 	stopped      bool
 }
 
@@ -337,6 +349,31 @@ func (c *Cluster) ReadyNodes() int {
 
 // NodeCount returns ready plus provisioning node count.
 func (c *Cluster) NodeCount() int { return len(c.nodes) + c.provisioning }
+
+// ReadyNodeNames returns the names of ready nodes in scheduler order
+// (creation time, then name) — a deterministic roster for fault
+// injectors picking victims.
+func (c *Cluster) ReadyNodeNames() []string {
+	nodes := c.sortedNodes()
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Ready {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// PodsOnNode returns the count of non-terminal pods bound to the node.
+func (c *Cluster) PodsOnNode(name string) int {
+	n := 0
+	for _, p := range c.pods {
+		if p.NodeName == name && !p.Terminal() {
+			n++
+		}
+	}
+	return n
+}
 
 // TotalAllocatable returns the summed allocatable of ready nodes.
 func (c *Cluster) TotalAllocatable() resources.Vector {

@@ -48,6 +48,9 @@ const (
 	ReasonNodeRemoved      = "NodeRemoved"
 	ReasonScaleUp          = "TriggeredScaleUp"
 	ReasonScaleDown        = "ScaleDown"
+	ReasonNodeFailure      = "NodeFailure" // abrupt node loss (hardware)
+	ReasonPreempted        = "Preempted"   // spot/preemptible reclaim
+	ReasonPullFailed       = "ErrImagePull"
 )
 
 // Event is a timestamped control-plane event attached to an object.

@@ -26,6 +26,7 @@ type Link struct {
 	capacity    float64 // MB/s
 	perTransfer float64 // MB/s cap per transfer; 0 = unlimited
 	contention  float64 // per-extra-stream efficiency factor; 1 = none
+	degradation float64 // capacity multiplier in (0, 1]; 1 = healthy
 
 	transfers map[int]*Transfer
 	nextID    int
@@ -67,6 +68,7 @@ func NewLink(eng *simclock.Engine, capacityMBps, perTransferMBps float64) *Link 
 		capacity:    capacityMBps,
 		perTransfer: perTransferMBps,
 		contention:  1,
+		degradation: 1,
 		transfers:   make(map[int]*Transfer),
 		last:        eng.Now(),
 	}
@@ -88,13 +90,27 @@ func (l *Link) SetContention(factor float64) {
 	l.reschedule()
 }
 
+// SetDegradation scales the link's aggregate capacity by factor in
+// (0, 1] — a fault injector's model of transient egress degradation
+// (congested uplink, throttled NAT gateway). 1 restores full health.
+// In-flight transfers re-pace immediately.
+func (l *Link) SetDegradation(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: degradation factor %v outside (0, 1]", factor))
+	}
+	l.advance()
+	l.degradation = factor
+	l.reschedule()
+}
+
 // effectiveCapacity returns the aggregate capacity available to n
 // concurrent transfers.
 func (l *Link) effectiveCapacity(n int) float64 {
+	cap := l.capacity * l.degradation
 	if l.contention == 1 || n <= 1 {
-		return l.capacity
+		return cap
 	}
-	return l.capacity * math.Pow(l.contention, float64(n-1))
+	return cap * math.Pow(l.contention, float64(n-1))
 }
 
 // Capacity returns the link capacity in MB/s.

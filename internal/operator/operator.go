@@ -204,12 +204,78 @@ func (o *Operator) Run(ctx context.Context) error {
 			return ctx.Err()
 		case ev, ok := <-events:
 			if !ok {
-				return fmt.Errorf("operator: pod watch closed")
+				// Self-healing: a closed watch (API server restart,
+				// dropped connection) is re-established with backoff
+				// rather than taking the operator down.
+				events, err = o.rewatch(ctx)
+				if err != nil {
+					return err
+				}
+				continue
 			}
 			o.handlePodEvent(ev)
 		case <-timer.C:
 			next := o.resize(ctx)
 			timer.Reset(next)
+		}
+	}
+}
+
+// rewatch re-establishes the pod watch with jittered exponential
+// backoff, then resynchronizes the pod roster by listing — events
+// missed while the watch was down (deletions in particular) would
+// otherwise leave phantom entries in o.pods. It returns only on
+// success or context cancellation.
+func (o *Operator) rewatch(ctx context.Context) (<-chan kubeclient.PodEvent, error) {
+	bo := wire.NewBackoff(200*time.Millisecond, 10*time.Second)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		events, err := o.cfg.Client.WatchPods(ctx, o.cfg.Labels)
+		if err == nil {
+			o.resync(ctx)
+			o.cfg.Logf("operator: pod watch re-established after %d retries", bo.Attempts())
+			return events, nil
+		}
+		d := bo.Next()
+		o.cfg.Logf("operator: pod watch closed; retrying in %v: %v", d.Round(time.Millisecond), err)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// resync reconciles the pod roster with the API server's current
+// list: pods created while the watch was down are adopted, pods
+// deleted meanwhile are dropped.
+func (o *Operator) resync(ctx context.Context) {
+	existing, err := o.cfg.Client.ListPods(ctx, o.cfg.Labels)
+	if err != nil {
+		o.cfg.Logf("operator: resync list failed: %v", err)
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	seen := make(map[string]bool, len(existing))
+	for _, p := range existing {
+		name := p.Metadata.Name
+		seen[name] = true
+		st, ok := o.pods[name]
+		if !ok {
+			st = &podState{createdAt: p.Metadata.Created()}
+			o.pods[name] = st
+			o.bumpSeqLocked(name)
+		}
+		if p.Status.Phase == kubeclient.PodRunning {
+			st.running = true
+		}
+	}
+	for name := range o.pods {
+		if !seen[name] {
+			delete(o.pods, name)
 		}
 	}
 }

@@ -43,17 +43,30 @@ func startKubelet(t *testing.T, ctx context.Context, srv *kubetest.Server, clien
 		startup: 50 * time.Millisecond,
 		workers: make(map[string]*wire.Worker),
 	}
-	events, err := client.WatchPods(ctx, map[string]string{"app": "wq-worker"})
+	labels := map[string]string{"app": "wq-worker"}
+	events, err := client.WatchPods(ctx, labels)
 	if err != nil {
 		t.Fatal(err)
 	}
 	go func() {
-		for ev := range events {
-			switch ev.Type {
-			case kubeclient.WatchAdded:
-				go k.startPod(ev.Pod)
-			case kubeclient.WatchDeleted:
-				k.stopPod(ev.Pod.Metadata.Name)
+		for {
+			for ev := range events {
+				switch ev.Type {
+				case kubeclient.WatchAdded:
+					go k.startPod(ev.Pod)
+				case kubeclient.WatchDeleted:
+					k.stopPod(ev.Pod.Metadata.Name)
+				}
+			}
+			// Watch dropped (fake API-server restart): re-establish,
+			// like a real node agent. The initial sync replays existing
+			// pods as ADDED; startPod ignores ones it already runs.
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+			if ch, err := client.WatchPods(ctx, labels); err == nil {
+				events = ch
 			}
 		}
 	}()
@@ -68,8 +81,14 @@ func startKubelet(t *testing.T, ctx context.Context, srv *kubetest.Server, clien
 }
 
 func (k *fakeKubelet) startPod(pod kubeclient.Pod) {
-	time.Sleep(k.startup)
 	name := pod.Metadata.Name
+	k.mu.Lock()
+	if _, running := k.workers[name]; running {
+		k.mu.Unlock()
+		return // replayed ADDED after a watch re-establishment
+	}
+	k.mu.Unlock()
+	time.Sleep(k.startup)
 	if err := k.srv.SetPodPhase("default", name, kubeclient.PodRunning); err != nil {
 		return // pod already deleted
 	}
@@ -245,6 +264,47 @@ func TestOperatorAdoptsExistingPods(t *testing.T) {
 	if got := op.WorkerPods(); got != 2 {
 		t.Errorf("tracked pods = %d", got)
 	}
+}
+
+func TestOperatorRewatchesAfterWatchDrop(t *testing.T) {
+	r := newRig(t, Config{
+		WorkerResources: resources.New(2, 2048, 10000),
+		InitialWorkers:  1,
+		MinWorkers:      2, // keep the idle fleet from draining mid-test
+		MaxWorkers:      5,
+	})
+	waitFor(t, func() bool { return r.master.Stats().Workers == 1 }, "initial worker")
+
+	// Sever every watch stream — an API-server restart from the
+	// watchers' point of view. The operator must re-establish its
+	// watch instead of dying.
+	r.srv.DropWatches()
+
+	// A pod created around the outage reaches the operator only
+	// through the re-established watch (live event or resync list).
+	_, err := r.client.CreatePod(context.Background(), kubeclient.Pod{
+		Metadata: kubeclient.ObjectMeta{
+			Name:   "wq-worker-99",
+			Labels: map[string]string{"app": "wq-worker", "managed-by": "hta"},
+		},
+		Spec: kubeclient.PodSpec{Containers: []kubeclient.Container{{
+			Name: "worker", Image: "wq-worker:latest",
+			Resources: kubeclient.ResourceRequirements{Requests: kubeclient.ResourceList{
+				"cpu":    kubeclient.FormatCPUMilli(2000),
+				"memory": kubeclient.FormatMemoryMB(2048),
+			}},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.op.WorkerPods() == 2 }, "adoption after rewatch")
+
+	// Live events flow again: a deletion is observed, not just listed.
+	if err := r.client.DeletePod(context.Background(), "wq-worker-99"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.op.WorkerPods() == 1 }, "deletion after rewatch")
 }
 
 func TestOperatorConfigValidation(t *testing.T) {

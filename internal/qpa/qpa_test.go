@@ -26,7 +26,12 @@ func newRig(t *testing.T, cfg Config) *rig {
 	eng := simclock.NewEngine(t0)
 	c := kubesim.NewCluster(eng, kubesim.Config{InitialNodes: 25, MaxNodes: 30, Seed: 1})
 	m := wq.NewMaster(eng, nil)
-	bind.Workers(c, m, map[string]string{"app": "wq-worker"})
+	binder := bind.Workers(c, m, map[string]string{"app": "wq-worker"})
+	t.Cleanup(func() {
+		if err := binder.Err(); err != nil {
+			t.Errorf("binder: %v", err)
+		}
+	})
 	template := kubesim.PodSpec{
 		Image:     "wq-worker",
 		Resources: resources.New(3, 12288, 10000),

@@ -55,5 +55,15 @@ func (g *RNG) Jitter(base, frac float64) float64 {
 	return base * (1 - frac + 2*frac*g.r.Float64())
 }
 
+// Exp returns an exponentially distributed value with the given mean
+// — the inter-arrival time of a Poisson process (e.g. preemption
+// events). A non-positive mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

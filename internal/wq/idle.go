@@ -18,10 +18,10 @@ type idleEntry struct {
 // at least one live entry.
 type idleHeap []idleEntry
 
-func (h idleHeap) Len() int            { return len(h) }
-func (h idleHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
-func (h idleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *idleHeap) Push(x any)         { *h = append(*h, x.(idleEntry)) }
+func (h idleHeap) Len() int           { return len(h) }
+func (h idleHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h idleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *idleHeap) Push(x any)        { *h = append(*h, x.(idleEntry)) }
 func (h *idleHeap) Pop() any {
 	old := *h
 	n := len(old)

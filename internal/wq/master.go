@@ -67,6 +67,11 @@ type Master struct {
 
 	estimator  Estimator
 	onComplete []func(Result)
+	onFailed   []func(Task)
+
+	retry        RetryPolicy
+	retryPending map[int]simclock.Timer // task ID -> backoff timer
+	fstats       FailureStats
 
 	dispatchPending bool
 	completeCount   int
@@ -109,21 +114,26 @@ type runningTask struct {
 	inTr      *netsim.Transfer
 	outTr     *netsim.Transfer
 	execTmr   simclock.Timer
+	abortTmr  simclock.Timer
 	execDone  func() // persistent exec-complete closure (see newRunningTask)
+	abortFn   func() // persistent fast-abort closure
 	executing bool
+	aborted   bool             // attempt stopped; late fetch callbacks must not run it
 	execUsage resources.Vector // clamped usage while executing
+	execStart time.Time        // when execution (not staging) began
 }
 
 // NewMaster creates a master on the given engine. link models the
 // master's egress bandwidth; pass nil to make data movement free.
 func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 	return &Master{
-		eng:         eng,
-		link:        link,
-		tasks:       make(map[int]*Task),
-		waiting:     newWaitQueue(),
-		workers:     make(map[string]*simWorker),
-		lastPassRev: ^uint64(0),
+		eng:          eng,
+		link:         link,
+		tasks:        make(map[int]*Task),
+		waiting:      newWaitQueue(),
+		workers:      make(map[string]*simWorker),
+		retryPending: make(map[int]simclock.Timer),
+		lastPassRev:  ^uint64(0),
 	}
 }
 
@@ -173,9 +183,10 @@ func (m *Master) newRunningTask() *runningTask {
 	}
 	rt := &runningTask{}
 	rt.execDone = func() {
-		m.clearExecuting(rt)
+		m.fstats.UsefulCoreSeconds += m.clearExecuting(rt)
 		m.sendOutput(rt)
 	}
+	rt.abortFn = func() { m.fastAbort(rt) }
 	return rt
 }
 
@@ -189,6 +200,7 @@ func (m *Master) recycleRunningTask(rt *runningTask) {
 	}
 	rt.task, rt.worker = nil, nil
 	rt.execTmr = simclock.Timer{}
+	rt.abortTmr = simclock.Timer{}
 	m.rtFree = append(m.rtFree, rt)
 }
 
@@ -274,41 +286,53 @@ func (m *Master) DrainWorker(id string, onDrained func()) error {
 }
 
 // KillWorker abruptly disconnects a worker: its running tasks are
-// returned to the waiting queue (preserving submission order) and all
-// of its transfers are canceled. This is what a pod deletion does to
-// the worker inside it.
+// returned to the waiting queue (preserving submission order, subject
+// to the retry policy's backoff and quarantine) and all of its
+// transfers are canceled. This is what a pod deletion does to the
+// worker inside it.
 func (m *Master) KillWorker(id string) error {
 	w, ok := m.workers[id]
 	if !ok {
 		return fmt.Errorf("wq: worker %q not connected", id)
 	}
+	m.fstats.WorkerKills++
+	// Process tasks in submission order so retry timers and quarantine
+	// callbacks are scheduled deterministically.
+	ids := make([]int, 0, len(w.running))
+	for tid := range w.running {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
 	var requeued []int
-	for _, rt := range w.running {
+	for _, tid := range ids {
+		rt := w.running[tid]
 		m.stopTask(rt)
 		t := rt.task
-		t.State = TaskWaiting
-		t.Allocated = resources.Zero
-		t.Exclusive = false
-		requeued = append(requeued, t.ID)
+		m.fstats.Requeues++
+		if m.failAttempt(t) {
+			requeued = append(requeued, t.ID)
+		}
 	}
-	for _, tr := range w.fetches {
-		tr.Cancel()
+	names := make([]string, 0, len(w.fetches))
+	for name := range w.fetches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.fetches[name].Cancel()
 	}
 	m.removeWorker(w)
 	// Requeue at the front in submission order: these are the oldest
 	// outstanding tasks.
-	sort.Ints(requeued)
-	m.waiting.PushFront(requeued, func(id int) (int, resources.Vector) {
-		t := m.tasks[id]
-		return t.Priority, t.Resources
-	})
+	m.enqueueFront(requeued)
 	m.rev++
 	m.scheduleDispatch()
 	return nil
 }
 
 // stopTask cancels a running task's transfers and execution timer,
-// unwinding the executing-usage aggregate.
+// unwinding the executing-usage aggregate. Execution performed by the
+// stopped attempt is accounted as lost work.
 func (m *Master) stopTask(rt *runningTask) {
 	if rt.inTr != nil {
 		rt.inTr.Cancel()
@@ -317,14 +341,22 @@ func (m *Master) stopTask(rt *runningTask) {
 		rt.outTr.Cancel()
 	}
 	rt.execTmr.Stop()
-	m.clearExecuting(rt)
+	rt.abortTmr.Stop()
+	rt.aborted = true
+	m.fstats.LostCoreSeconds += m.clearExecuting(rt)
 }
 
-func (m *Master) clearExecuting(rt *runningTask) {
-	if rt.executing {
-		rt.executing = false
-		m.busyUsage = m.busyUsage.Sub(rt.execUsage)
+// clearExecuting ends the attempt's executing phase and returns the
+// core·seconds it consumed, for the caller to classify as useful
+// (completion) or lost (kill/abort/cancel).
+func (m *Master) clearExecuting(rt *runningTask) float64 {
+	if !rt.executing {
+		return 0
 	}
+	rt.executing = false
+	m.busyUsage = m.busyUsage.Sub(rt.execUsage)
+	elapsed := m.eng.Now().Sub(rt.execStart).Seconds()
+	return elapsed * float64(rt.execUsage.MilliCPU) / 1000
 }
 
 func (m *Master) removeWorker(w *simWorker) {
@@ -493,24 +525,19 @@ func (m *Master) Cancel(id int) error {
 	}
 	switch t.State {
 	case TaskWaiting:
-		m.waiting.Remove(id, t.Resources)
+		if tmr, pending := m.retryPending[id]; pending {
+			tmr.Stop()
+			delete(m.retryPending, id)
+		} else {
+			m.waiting.Remove(id, t.Resources)
+		}
 		m.rev++
 	case TaskRunning:
 		w := m.workers[t.WorkerID]
 		if w == nil {
 			return fmt.Errorf("wq: task %d running on unknown worker %q", id, t.WorkerID)
 		}
-		rt := w.running[id]
-		m.stopTask(rt)
-		delete(w.running, id)
-		w.pool.Release(t.Allocated)
-		m.runningCount--
-		m.totalUsed = m.totalUsed.Sub(t.Allocated)
-		if len(w.running) == 0 && !w.draining {
-			m.idleCount++
-			m.markIdle(w)
-		}
-		m.rev++
+		m.detachRunning(w.running[id])
 		if w.draining && len(w.running) == 0 {
 			defer m.finishDrain(w)
 		}
@@ -590,7 +617,9 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 	t.Exclusive = exclusive
 	rt := m.newRunningTask()
 	rt.task, rt.worker = t, w
+	rt.aborted = false
 	w.running[t.ID] = rt
+	m.armFastAbort(rt)
 
 	// Input staging: shared files are fetched once per worker and
 	// shared by all its tasks; the private input belongs to the task.
@@ -647,6 +676,12 @@ func (m *Master) fileArrived(w *simWorker, name string) {
 }
 
 func (m *Master) fetchDone(rt *runningTask) {
+	if rt.aborted {
+		// The attempt was stopped (kill, fast-abort, cancel) while a
+		// shared-file fetch it was waiting on stayed in flight; the
+		// late callback must not start execution.
+		return
+	}
 	rt.pending--
 	if rt.pending > 0 {
 		return
@@ -654,6 +689,7 @@ func (m *Master) fetchDone(rt *runningTask) {
 	// All inputs are on the worker: execute.
 	t := rt.task
 	rt.executing = true
+	rt.execStart = m.eng.Now()
 	rt.execUsage = t.Profile.Usage().Min(t.Allocated)
 	m.busyUsage = m.busyUsage.Add(rt.execUsage)
 	rt.execTmr = m.eng.After(t.Profile.ExecDuration, "wq-exec", rt.execDone)
@@ -673,6 +709,7 @@ func (m *Master) sendOutput(rt *runningTask) {
 
 func (m *Master) completeTask(rt *runningTask) {
 	t, w := rt.task, rt.worker
+	rt.abortTmr.Stop()
 	delete(w.running, t.ID)
 	w.pool.Release(t.Allocated)
 	m.runningCount--
@@ -703,9 +740,12 @@ func (m *Master) completeTask(rt *runningTask) {
 
 // Stats is a snapshot of the master's queue and worker pool.
 type Stats struct {
-	Waiting  int
-	Running  int
-	Complete int
+	// Waiting counts queued tasks plus failed tasks sitting out a
+	// retry backoff (still owed execution).
+	Waiting     int
+	Running     int
+	Complete    int
+	Quarantined int
 
 	Workers         int
 	IdleWorkers     int
@@ -721,9 +761,10 @@ type Stats struct {
 // incremental aggregates.
 func (m *Master) Stats() Stats {
 	return Stats{
-		Waiting:         m.waiting.Len(),
+		Waiting:         m.waiting.Len() + len(m.retryPending),
 		Running:         m.runningCount,
 		Complete:        m.completeCount,
+		Quarantined:     m.fstats.Quarantined,
 		Workers:         len(m.workers),
 		IdleWorkers:     m.idleCount,
 		DrainingWorkers: m.drainingCount,

@@ -25,10 +25,11 @@ type TaskState int
 
 // Task states.
 const (
-	TaskWaiting  TaskState = iota // queued at the master
-	TaskRunning                   // dispatched to a worker
-	TaskComplete                  // finished and retrieved
-	TaskCanceled                  // withdrawn by the client
+	TaskWaiting     TaskState = iota // queued at the master
+	TaskRunning                      // dispatched to a worker
+	TaskComplete                     // finished and retrieved
+	TaskCanceled                     // withdrawn by the client
+	TaskQuarantined                  // retry budget exhausted; never resubmitted
 )
 
 // String returns the lower-case state name.
@@ -42,6 +43,8 @@ func (s TaskState) String() string {
 		return "complete"
 	case TaskCanceled:
 		return "canceled"
+	case TaskQuarantined:
+		return "quarantined"
 	}
 	return fmt.Sprintf("taskstate(%d)", int(s))
 }

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces exponential delays with multiplicative jitter for
+// the real-network self-healing paths: a worker reconnecting to its
+// master, the operator re-establishing a pod watch. Jitter keeps a
+// fleet that lost the same master from reconnecting in lockstep.
+// Not safe for concurrent use.
+type Backoff struct {
+	Base   time.Duration // first delay
+	Max    time.Duration // delay cap
+	Jitter float64       // ± fraction applied to each delay
+
+	attempt int
+	rng     *rand.Rand
+}
+
+// NewBackoff returns a backoff starting at base, doubling up to max,
+// with ±20% jitter.
+func NewBackoff(base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{
+		Base:   base,
+		Max:    max,
+		Jitter: 0.2,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Next returns the next delay in the sequence.
+func (b *Backoff) Next() time.Duration {
+	d := b.Base
+	for i := 0; i < b.attempt; i++ {
+		d *= 2
+		if d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	b.attempt++
+	if b.Jitter > 0 && b.rng != nil {
+		d = time.Duration(float64(d) * (1 + b.Jitter*(2*b.rng.Float64()-1)))
+	}
+	if d > time.Duration(float64(b.Max)*(1+b.Jitter)) {
+		d = b.Max
+	}
+	return d
+}
+
+// Reset returns the sequence to its base delay, after a success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns how many delays have been handed out since the
+// last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesWithinJitterBounds(t *testing.T) {
+	bo := NewBackoff(time.Second, 8*time.Second)
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second,
+		8 * time.Second, 8 * time.Second, // capped
+	}
+	for i, base := range want {
+		d := bo.Next()
+		lo := time.Duration(float64(base) * (1 - bo.Jitter))
+		hi := time.Duration(float64(base) * (1 + bo.Jitter))
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %v, want within [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if got := bo.Attempts(); got != len(want) {
+		t.Errorf("attempts = %d, want %d", got, len(want))
+	}
+	bo.Reset()
+	if d := bo.Next(); d > time.Duration(float64(time.Second)*(1+bo.Jitter)) {
+		t.Errorf("after reset delay = %v, want ~base", d)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	bo := NewBackoff(0, 0)
+	if bo.Base <= 0 || bo.Max < bo.Base {
+		t.Errorf("defaults not applied: base=%v max=%v", bo.Base, bo.Max)
+	}
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hta/internal/resources"
+)
+
+// These tests stress the TCP layer's failure paths under the race
+// detector: abrupt worker loss racing dispatch, the heartbeat reaper
+// racing in-flight result frames, and drains of workers that still
+// hold running tasks. They complement internal/chaos, which covers
+// the same fault classes in the simulated world.
+
+// TestChaosWireConcurrentDisconnects closes half the fleet abruptly —
+// all at once, mid-dispatch — while replacements join and tasks keep
+// completing. Every submitted task must still finish exactly once per
+// final attempt, with no lost or stuck entries.
+func TestChaosWireConcurrentDisconnects(t *testing.T) {
+	m, ws := newPair(t, 6, resources.New(1, 256, 10))
+	const n = 24
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, m.Submit("sleep 0.05; echo ok", "c", resources.New(1, 1, 1)))
+	}
+	// Yank three workers concurrently while their tasks are in flight.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			time.Sleep(20 * time.Millisecond)
+			w.Close()
+		}(ws[i])
+	}
+	// Replacements join while the disconnect storm is underway.
+	for i := 0; i < 3; i++ {
+		w, err := Connect(m.Addr(), WorkerConfig{
+			ID:       fmt.Sprintf("spare%d", i),
+			Capacity: resources.New(1, 256, 10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return m.Stats().Done == n }, "all tasks after disconnect storm")
+	st := m.Stats()
+	if st.Waiting != 0 || st.Running != 0 {
+		t.Errorf("stats after storm = %+v, want everything done", st)
+	}
+	for _, id := range ids {
+		task, ok := m.Task(id)
+		if !ok || task.Status != StatusDone || task.Attempts < 1 {
+			t.Errorf("task %d = %+v, want done", id, task)
+		}
+	}
+}
+
+// TestChaosWireReaperRacesResultFrames pits the heartbeat reaper
+// against result delivery: silent workers only reset their liveness
+// clock when a result frame lands, so tasks that straddle the timeout
+// get their connection closed concurrently with the result write.
+// Either outcome is legal — the result arrived (done) or the worker
+// died first (requeue) — but the master must stay consistent and a
+// healthy worker must be able to finish everything that requeued.
+func TestChaosWireReaperRacesResultFrames(t *testing.T) {
+	m, err := ListenConfig("127.0.0.1:0", MasterConfig{HeartbeatTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Silent workers: no heartbeats, so only result frames keep them
+	// alive. Task wall times sit right at the reaper boundary.
+	for i := 0; i < 3; i++ {
+		w, err := Connect(m.Addr(), WorkerConfig{
+			ID:                fmt.Sprintf("silent%d", i),
+			Capacity:          resources.New(1, 256, 10),
+			HeartbeatInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		m.Submit("sleep 0.08; echo raced", "r", resources.New(1, 1, 1))
+	}
+	// A heartbeating worker guarantees requeued tasks eventually land.
+	safe, err := Connect(m.Addr(), WorkerConfig{
+		ID:                "healthy",
+		Capacity:          resources.New(2, 512, 20),
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer safe.Close()
+	waitFor(t, func() bool { return m.Stats().Done == n }, "all tasks despite reaping")
+	st := m.Stats()
+	if st.Waiting != 0 || st.Running != 0 {
+		t.Errorf("stats = %+v, want no stragglers", st)
+	}
+	// The silent workers must all be reaped by now; only the
+	// heartbeating one survives.
+	waitFor(t, func() bool { return m.Stats().Workers == 1 }, "silent workers reaped")
+}
+
+// TestChaosWireDrainWithInFlightTransfers drains a worker that holds
+// running tasks, re-drains it (idempotent), then kills it outright
+// while the drain is still in progress. The in-flight tasks must
+// requeue and complete on a replacement with Attempts == 2.
+func TestChaosWireDrainWithInFlightTransfers(t *testing.T) {
+	m, ws := newPair(t, 1, resources.New(2, 2048, 100))
+	a := m.Submit("sleep 1; echo a", "d", resources.New(1, 512, 1))
+	b := m.Submit("sleep 1; echo b", "d", resources.New(1, 512, 1))
+	waitFor(t, func() bool { return len(m.RunningTasks()) == 2 }, "both in flight")
+	if err := m.Drain("w1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		det := m.WorkerDetails()
+		return len(det) == 1 && det[0].Draining
+	}, "draining flag")
+	// Draining a draining worker is a no-op, not an error.
+	if err := m.Drain("w1"); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+	// No new work lands on a draining worker.
+	c := m.Submit("echo c", "d", resources.New(1, 512, 1))
+	if st, _ := m.Task(c); st.Status != StatusWaiting {
+		t.Errorf("task %d dispatched to draining worker: %+v", c, st)
+	}
+	// Kill the draining worker with its transfers still in flight.
+	ws[0].Close()
+	waitFor(t, func() bool { return m.Stats().Workers == 0 }, "killed worker removed")
+	for _, id := range []int{a, b} {
+		if st, _ := m.Task(id); st.Status != StatusWaiting {
+			t.Errorf("task %d after kill = %+v, want requeued", id, st)
+		}
+	}
+	// A replacement picks the requeued transfers up and finishes them.
+	w2, err := Connect(m.Addr(), WorkerConfig{ID: "w2", Capacity: resources.New(3, 4096, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	waitFor(t, func() bool {
+		sa, _ := m.Task(a)
+		sb, _ := m.Task(b)
+		return sa.Status == StatusRunning && sb.Status == StatusRunning
+	}, "redispatch")
+	for _, id := range []int{a, b} {
+		if st, _ := m.Task(id); st.Attempts != 2 {
+			t.Errorf("task %d attempts = %d, want 2", id, st.Attempts)
+		}
+	}
+	waitFor(t, func() bool { return m.Stats().Done == 3 }, "all done on replacement")
+}
+
+// TestChaosWireSubmitStormDuringDisconnects floods the master with
+// submissions from several goroutines while workers churn, checking
+// that the dispatch path holds up under concurrent mutation.
+func TestChaosWireSubmitStormDuringDisconnects(t *testing.T) {
+	m, ws := newPair(t, 4, resources.New(1, 256, 10))
+	const perG, goroutines = 8, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Submit(fmt.Sprintf("echo g%d-%d", g, i), "s", resources.New(1, 1, 1))
+			}
+		}(g)
+	}
+	// Churn two workers while the storm runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws[0].Close()
+		ws[1].Close()
+		for i := 0; i < 2; i++ {
+			w, err := Connect(m.Addr(), WorkerConfig{
+				ID:       fmt.Sprintf("churn%d", i),
+				Capacity: resources.New(1, 256, 10),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			t.Cleanup(func() { w.Close() })
+		}
+	}()
+	wg.Wait()
+	waitFor(t, func() bool { return m.Stats().Done == perG*goroutines }, "storm drained")
+}
