@@ -6,18 +6,26 @@
 // Usage:
 //
 //	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos] [-json]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -json additionally runs the scale benchmarks (10k-task dispatch
-// storm, parallel-vs-serial sweep), writing their wall-clock results
-// to BENCH_1.json, and the E-F fault-injection experiment, writing
-// its summary to BENCH_2.json; combine with -runs none to run only
-// them.
+// storm, parallel-vs-serial sweep, and the paired indexed-vs-naive
+// control-plane benchmarks), writing their wall-clock results to
+// BENCH_3.json, and the E-F fault-injection experiment, writing its
+// summary to BENCH_2.json; combine with -runs none to run only them.
+// (BENCH_1.json is the pre-control-plane-scaling historical record.)
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever
+// the invocation ran — the standard way to find the next control-plane
+// hotspot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,6 +34,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body behind an exit code so the deferred profile
+// writers fire on every path (os.Exit skips defers).
+func run() int {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream,chaos",
 		"comma-separated experiments to run")
@@ -33,7 +47,37 @@ func main() {
 	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
 	jsonBench := flag.Bool("json", false,
 		"run the scale benchmarks and write wall-clock results to "+scaleBenchFile)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	selected := make(map[string]bool)
 	for _, r := range strings.Split(*runs, ",") {
@@ -101,7 +145,7 @@ func main() {
 		f, err := os.Create(*htmlOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := page.Render(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -111,8 +155,9 @@ func main() {
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func runAblations(seed int64) func() (fmt.Stringer, error) {

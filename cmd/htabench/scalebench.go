@@ -7,14 +7,18 @@ import (
 	"runtime"
 	"time"
 
+	"hta/internal/core"
 	"hta/internal/experiments"
+	"hta/internal/kubesim"
 	"hta/internal/resources"
 	"hta/internal/simclock"
 	"hta/internal/wq"
 )
 
 // scaleBenchFile is where -json writes the scale-benchmark results.
-const scaleBenchFile = "BENCH_1.json"
+// BENCH_1.json (dispatch storm + sweep only) and BENCH_2.json (chaos)
+// are earlier artifacts; BENCH_3 adds the control-plane scaling rows.
+const scaleBenchFile = "BENCH_3.json"
 
 // scaleBenchResult is one scale benchmark's wall-clock measurement.
 type scaleBenchResult struct {
@@ -22,8 +26,11 @@ type scaleBenchResult struct {
 	WallMS  float64 `json:"wall_ms"`
 	Tasks   int     `json:"tasks,omitempty"`
 	Workers int     `json:"workers,omitempty"`
+	Nodes   int     `json:"nodes,omitempty"`
 	Rows    int     `json:"rows,omitempty"`
 	Events  uint64  `json:"events,omitempty"`
+	// Speedup is indexed-vs-naive for the paired control-plane rows.
+	Speedup float64 `json:"speedup_vs_naive,omitempty"`
 }
 
 type scaleBenchReport struct {
@@ -32,10 +39,11 @@ type scaleBenchReport struct {
 	Benchmarks []scaleBenchResult `json:"benchmarks"`
 }
 
-// runScaleBench executes the two scale benchmarks outside the testing
-// framework — the 10k-task dispatch storm and the parallel-vs-serial
-// experiment sweep — and writes their wall-clock results to
-// BENCH_1.json.
+// runScaleBench executes the scale benchmarks outside the testing
+// framework — the 10k-task dispatch storm, the parallel-vs-serial
+// experiment sweep, and the paired indexed-vs-naive control-plane
+// benchmarks (Algorithm 1 grouping and kubesim churn) — and writes
+// their wall-clock results to BENCH_3.json.
 func runScaleBench(seed int64) error {
 	rep := scaleBenchReport{Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
@@ -56,6 +64,18 @@ func runScaleBench(seed int64) error {
 		return err
 	}
 	rep.Benchmarks = append(rep.Benchmarks, serialSweep)
+
+	estimate, err := benchEstimatePair()
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, estimate...)
+
+	churn, err := benchKubesimChurnPair(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, churn...)
 
 	f, err := os.Create(scaleBenchFile)
 	if err != nil {
@@ -131,4 +151,209 @@ func benchScaleSweep(name string, seed int64, width int) (scaleBenchResult, erro
 		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Rows:   len(rep.Rows),
 	}, nil
+}
+
+// fixedEstimator is a static per-category table implementing
+// wq.Estimator for the Algorithm 1 benchmark snapshot.
+type fixedEstimator struct {
+	res map[string]resources.Vector
+	dur map[string]time.Duration
+}
+
+func (e *fixedEstimator) EstimateResources(cat string) (resources.Vector, bool) {
+	v, ok := e.res[cat]
+	return v, ok
+}
+
+func (e *fixedEstimator) EstimateExecTime(cat string) (time.Duration, bool) {
+	d, ok := e.dur[cat]
+	return d, ok
+}
+
+// estimateScaleInput mirrors internal/core's BenchmarkEstimateScale
+// snapshot: 1000 workers each running one long task, 10000 waiting
+// tasks in category blocks of 50 (four estimator-known categories, one
+// declared-resources block, one unmeasured probe category).
+func estimateScaleInput() core.EstimateInput {
+	nodeCap := resources.New(3, 12288, 100000)
+	in := core.EstimateInput{
+		Now:            experiments.SimStart,
+		InitTime:       160 * time.Second,
+		DefaultCycle:   30 * time.Second,
+		WorkerTemplate: nodeCap,
+		Estimator: &fixedEstimator{
+			res: map[string]resources.Vector{
+				"c0": resources.New(1, 3800, 0),
+				"c1": resources.New(1, 3800, 0),
+				"c2": resources.New(1, 3800, 0),
+				"c3": resources.New(1, 3800, 0),
+			},
+			dur: map[string]time.Duration{
+				"c0": 200 * time.Second,
+				"c1": 300 * time.Second,
+				"c2": 400 * time.Second,
+				"c3": 500 * time.Second,
+				"lr": 300 * time.Second,
+			},
+		},
+	}
+	alloc := resources.New(1, 3800, 0)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("w%d", i)
+		in.Workers = append(in.Workers, core.WorkerInfo{ID: id, Capacity: nodeCap})
+		in.Running = append(in.Running, wq.Task{
+			TaskSpec:  wq.TaskSpec{Category: "lr"},
+			WorkerID:  id,
+			StartedAt: experiments.SimStart.Add(-time.Duration(i%300) * time.Second),
+			Allocated: alloc,
+		})
+	}
+	for i := 0; i < 10000; i++ {
+		t := wq.Task{}
+		switch (i / 50) % 6 {
+		case 0, 1, 2, 3:
+			t.Category = fmt.Sprintf("c%d", (i/50)%6)
+		case 4:
+			t.Category = "c0"
+			t.Resources = resources.New(2, 2048, 0)
+		case 5:
+			t.Category = "probe"
+		}
+		in.Waiting = append(in.Waiting, t)
+	}
+	return in
+}
+
+// benchEstimatePair times the grouped planner against the retained
+// per-task reference on the same snapshot, and verifies the two return
+// the same Decision while at it.
+func benchEstimatePair() ([]scaleBenchResult, error) {
+	in := estimateScaleInput()
+	var p core.Planner
+	p.EstimateScale(in) // warm the reusable scratch state
+	const iters = 20
+	start := time.Now()
+	var grouped core.Decision
+	for i := 0; i < iters; i++ {
+		grouped = p.EstimateScale(in)
+	}
+	groupedMS := float64(time.Since(start)) / float64(time.Millisecond) / iters
+
+	start = time.Now()
+	naive := core.ReferenceEstimateScale(in)
+	naiveMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	if grouped != naive {
+		return nil, fmt.Errorf("estimate divergence: grouped %+v, reference %+v", grouped, naive)
+	}
+	return []scaleBenchResult{
+		{Name: "EstimateScale", WallMS: groupedMS, Tasks: len(in.Waiting), Workers: len(in.Workers), Speedup: naiveMS / groupedMS},
+		{Name: "EstimateScaleNaive", WallMS: naiveMS, Tasks: len(in.Waiting), Workers: len(in.Workers)},
+	}, nil
+}
+
+// benchKubesimChurnPair drives the 2000-node, 4000-pod-churn scenario
+// through the cluster's public API, once with the indexed control
+// plane and once with the naive reference paths. The fixture is always
+// built with the indexed paths (a naive mass placement at this scale
+// takes minutes and is setup, not the thing measured); the mode is
+// switched just before the timed churn rounds.
+func benchKubesimChurnPair(seed int64) ([]scaleBenchResult, error) {
+	const (
+		nodes    = 2000
+		resident = 4000
+		rounds   = 4
+		churn    = 1000
+	)
+	run := func(naive bool) (float64, error) {
+		eng := simclock.NewEngine(experiments.SimStart)
+		c := kubesim.NewCluster(eng, kubesim.Config{
+			InitialNodes: nodes,
+			MinNodes:     nodes,
+			MaxNodes:     nodes,
+			Seed:         seed,
+		})
+		defer c.Stop()
+		spec := func(name string) kubesim.PodSpec {
+			return kubesim.PodSpec{Name: name, Image: "wq-worker", Resources: resources.New(1, 1024, 100)}
+		}
+		for i := 0; i < resident; i++ {
+			if _, err := c.CreatePod(spec(fmt.Sprintf("resident-%d", i))); err != nil {
+				return 0, err
+			}
+		}
+		eng.RunFor(2 * time.Second) // one scheduler sweep binds the fleet
+		if n := pendingUnboundCount(c); n != 0 {
+			return 0, fmt.Errorf("%d residents unschedulable after setup", n)
+		}
+		c.SetNaiveScheduling(naive)
+
+		start := time.Now()
+		podN := 0
+		for r := 0; r < rounds; r++ {
+			for _, victim := range frontVictims(c, churn) {
+				if err := c.DeletePod(victim); err != nil {
+					return 0, err
+				}
+			}
+			for i := 0; i < churn; i++ {
+				podN++
+				if _, err := c.CreatePod(spec(fmt.Sprintf("churn-%d", podN))); err != nil {
+					return 0, err
+				}
+			}
+			eng.RunFor(2 * time.Second)
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if n := pendingUnboundCount(c); n != 0 {
+			return 0, fmt.Errorf("%d churn pods unschedulable", n)
+		}
+		return ms, nil
+	}
+
+	indexedMS, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	naiveMS, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []scaleBenchResult{
+		{Name: "KubesimChurn", WallMS: indexedMS, Tasks: rounds * churn, Nodes: nodes, Speedup: naiveMS / indexedMS},
+		{Name: "KubesimChurnNaive", WallMS: naiveMS, Tasks: rounds * churn, Nodes: nodes},
+	}, nil
+}
+
+// frontVictims picks n pods bound to the lowest-indexed nodes, so the
+// freed capacity sits at the front of the first-fit order and the
+// churn reaches a steady state round after round.
+func frontVictims(c *kubesim.Cluster, n int) []string {
+	byNode := make(map[string][]string)
+	for _, p := range c.ListPods(nil) {
+		if p.NodeName != "" && !p.Terminal() {
+			byNode[p.NodeName] = append(byNode[p.NodeName], p.Name)
+		}
+	}
+	victims := make([]string, 0, n)
+	for _, node := range c.Nodes() {
+		for _, name := range byNode[node.Name] {
+			if len(victims) == n {
+				return victims
+			}
+			victims = append(victims, name)
+		}
+	}
+	return victims
+}
+
+// pendingUnboundCount counts pods still waiting for a node.
+func pendingUnboundCount(c *kubesim.Cluster) int {
+	n := 0
+	for _, p := range c.ListPods(nil) {
+		if p.Phase == kubesim.PodPending && p.NodeName == "" {
+			n++
+		}
+	}
+	return n
 }

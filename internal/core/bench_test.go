@@ -9,9 +9,92 @@ import (
 	"hta/internal/wq"
 )
 
-// BenchmarkEstimateScale measures Algorithm 1 on a busy snapshot:
-// 20 workers, 60 running tasks, 300 waiting.
+// scaleBenchInput builds the ISSUE's Algorithm 1 stress snapshot: 1000
+// workers each running one long task (about half complete inside the
+// window), and 10000 waiting tasks arriving in category blocks of 50 —
+// four estimator-known categories, one declared-resources block and one
+// unmeasured probe category.
+func scaleBenchInput() EstimateInput {
+	in := EstimateInput{
+		Now:            t0,
+		InitTime:       160 * time.Second,
+		DefaultCycle:   30 * time.Second,
+		WorkerTemplate: nodeCap,
+		Estimator: &mapEstimator{
+			res: map[string]resources.Vector{
+				"c0": resources.New(1, 3800, 0),
+				"c1": resources.New(1, 3800, 0),
+				"c2": resources.New(1, 3800, 0),
+				"c3": resources.New(1, 3800, 0),
+			},
+			dur: map[string]time.Duration{
+				"c0": 200 * time.Second,
+				"c1": 300 * time.Second,
+				"c2": 400 * time.Second,
+				"c3": 500 * time.Second,
+				"lr": 300 * time.Second,
+			},
+		},
+	}
+	alloc := resources.New(1, 3800, 0)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("w%d", i)
+		in.Workers = append(in.Workers, WorkerInfo{ID: id, Capacity: nodeCap})
+		in.Running = append(in.Running, wq.Task{
+			TaskSpec:  wq.TaskSpec{Category: "lr"},
+			WorkerID:  id,
+			StartedAt: t0.Add(-time.Duration(i%300) * time.Second),
+			Allocated: alloc,
+		})
+	}
+	for i := 0; i < 10000; i++ {
+		t := wq.Task{}
+		switch (i / 50) % 6 {
+		case 0, 1, 2, 3:
+			t.Category = fmt.Sprintf("c%d", (i/50)%6)
+		case 4:
+			t.Category = "c0"
+			t.Resources = resources.New(2, 2048, 0)
+		case 5:
+			t.Category = "probe" // unmeasured: needs an idle worker
+		}
+		in.Waiting = append(in.Waiting, t)
+	}
+	return in
+}
+
+// BenchmarkEstimateScale measures the grouped planner on the 10k-task
+// × 1k-worker snapshot, reusing one Planner across iterations the way
+// the autoscaler does (steady state should report zero allocs/op).
 func BenchmarkEstimateScale(b *testing.B) {
+	in := scaleBenchInput()
+	var p Planner
+	p.EstimateScale(in)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if dec := p.EstimateScale(in); dec.ScaleChange <= 0 {
+			b.Fatalf("expected a scale-up, got %+v", dec)
+		}
+	}
+}
+
+// BenchmarkEstimateScaleNaive runs the retained per-task reference on
+// the same snapshot — the baseline for the speedup claim.
+func BenchmarkEstimateScaleNaive(b *testing.B) {
+	in := scaleBenchInput()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if dec := ReferenceEstimateScale(in); dec.ScaleChange <= 0 {
+			b.Fatalf("expected a scale-up, got %+v", dec)
+		}
+	}
+}
+
+// BenchmarkEstimateScaleSmall keeps the original 20-worker, 300-task
+// scenario for historical comparison with earlier benchmark records.
+func BenchmarkEstimateScaleSmall(b *testing.B) {
 	in := EstimateInput{
 		Now:            t0,
 		InitTime:       160 * time.Second,

@@ -15,7 +15,6 @@
 package core
 
 import (
-	"container/heap"
 	"time"
 
 	"hta/internal/resources"
@@ -47,7 +46,9 @@ type EstimateInput struct {
 	Running []wq.Task
 	Waiting []wq.Task
 	// Estimator supplies per-category resource and execution-time
-	// predictions (the resource monitor).
+	// predictions (the resource monitor). It must be pure for the
+	// duration of one estimate: the planner memoizes one lookup per
+	// category instead of re-querying per task.
 	Estimator wq.Estimator
 	// Workers are the active workers, in dispatch order.
 	Workers []WorkerInfo
@@ -85,163 +86,190 @@ type completionEvent struct {
 	alloc  resources.Vector
 }
 
-type eventQueue []completionEvent
+// groupKey identifies waiting tasks that are indistinguishable to the
+// simulation: same predicted size, same knownness, same predicted
+// execution time. Category names that map to identical predictions
+// merge — the dispatch policy cannot tell them apart.
+type groupKey struct {
+	res    resources.Vector
+	known  bool
+	exec   time.Duration
+	hasExc bool
+}
 
-func (q eventQueue) Len() int           { return len(q) }
-func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)        { *q = append(*q, x.(completionEvent)) }
-func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+// taskRun is a maximal run of consecutive waiting tasks sharing one
+// groupKey; the simulation places it as a count instead of per-task
+// structs. count is the still-unplaced remainder.
+type taskRun struct {
+	key   groupKey
+	group int // index into Planner.groups
+	count int
+}
+
+// groupState carries per-key first-fit resume pointers. Within one
+// dispatch pass pools only shrink and exclusivity flags only set, so a
+// prefix of pools that rejected the key keeps rejecting it and can be
+// skipped; the same monotonicity holds for the shortage-phase bins.
+type groupState struct {
+	poolPtr int
+	binPtr  int
+}
+
+// catEstimate memoizes one estimator lookup per category per call.
+type catEstimate struct {
+	res    resources.Vector
+	resOK  bool
+	exec   time.Duration
+	execOK bool
+}
+
+// Planner evaluates Algorithm 1 with reusable scratch state so
+// steady-state cycles allocate nothing. The zero value is ready to
+// use; a Planner is not safe for concurrent use.
+type Planner struct {
+	pools    []resources.Vector
+	index    map[string]int
+	used     []bool
+	busy     []int
+	events   []completionEvent // binary min-heap ordered like container/heap
+	runs     []taskRun
+	pending  []int // indexes of runs with unplaced tasks, queue order
+	groups   []groupState
+	groupIdx map[groupKey]int
+	cats     map[string]catEstimate
+	bins     []resources.Vector
+}
 
 // EstimateScale implements the paper's Algorithm 1. It simulates the
 // execution of the workflow over one resource-initialization cycle:
 // running tasks free their allocations at their predicted completion
 // times, waiting tasks are dispatched into freed capacity (and may
 // themselves complete within the window), and the final balance
-// decides the scaling action.
+// decides the scaling action. It is a convenience wrapper allocating a
+// fresh Planner; long-lived callers should hold a Planner and call its
+// method to reuse the scratch state across cycles.
 func EstimateScale(in EstimateInput) Decision {
+	var p Planner
+	return p.EstimateScale(in)
+}
+
+// EstimateScale evaluates Algorithm 1 on the planner's scratch state.
+// Decisions are byte-identical to ReferenceEstimateScale: the grouped
+// simulation replays the exact placement and event sequence of the
+// per-task form, it just skips work that provably cannot change it.
+func (p *Planner) EstimateScale(in EstimateInput) Decision {
 	if in.DefaultCycle <= 0 {
 		in.DefaultCycle = 30 * time.Second
 	}
-	// Per-worker simulated free capacity, discounted by the caller's
-	// preemption hedge. Vector.Scale is integer-only, so components
-	// scale individually.
-	pools := make([]resources.Vector, len(in.Workers))
-	index := make(map[string]int, len(in.Workers))
+	p.reset(len(in.Workers))
+
 	for i, w := range in.Workers {
-		pools[i] = discountCapacity(w.Capacity, in.CapacityDiscount)
-		index[w.ID] = i
+		p.pools = append(p.pools, discountCapacity(w.Capacity, in.CapacityDiscount))
+		p.index[w.ID] = i
+		p.used = append(p.used, false)
+		p.busy = append(p.busy, 0)
 	}
 
-	events := &eventQueue{}
 	var maxRemaining time.Duration
 	for _, t := range in.Running {
-		wi, ok := index[t.WorkerID]
+		wi, ok := p.index[t.WorkerID]
 		if !ok {
 			// Task on a draining or unknown worker: its capacity is
 			// not part of the active pool.
 			continue
 		}
-		pools[wi] = pools[wi].Sub(t.Allocated)
-		rem, known := remainingTime(in, t)
+		p.pools[wi] = p.pools[wi].Sub(t.Allocated)
+		p.busy[wi]++
+		rem, known := p.remainingTime(in, t)
 		if !known || rem > in.InitTime {
 			if rem > maxRemaining {
 				maxRemaining = rem
 			}
 			continue // holds its allocation past the window
 		}
-		heap.Push(events, completionEvent{at: rem, worker: wi, alloc: t.Allocated})
+		p.pushEvent(completionEvent{at: rem, worker: wi, alloc: t.Allocated})
 	}
 
-	// Waiting tasks in queue order with their predicted sizes.
-	type pendingTask struct {
-		res    resources.Vector
-		known  bool
-		exec   time.Duration
-		hasExc bool
-		placed bool
-	}
-	waiting := make([]pendingTask, len(in.Waiting))
-	for i, t := range in.Waiting {
-		pt := pendingTask{}
-		if !t.Resources.IsZero() {
-			pt.res, pt.known = t.Resources, true
-		} else if in.Estimator != nil {
-			if v, ok := in.Estimator.EstimateResources(t.Category); ok && !v.IsZero() {
-				pt.res, pt.known = v, true
-			}
-		}
-		if in.Estimator != nil {
-			if d, ok := in.Estimator.EstimateExecTime(t.Category); ok {
-				pt.exec, pt.hasExc = d, true
-			}
-		}
-		waiting[i] = pt
-	}
+	p.buildRuns(in)
 
-	// tryDispatch places waiting tasks into current free capacity at
-	// simulated time at, mirroring the master's policy: known sizes
-	// first-fit, unknown sizes exclusively on an idle worker.
-	used := make([]bool, len(pools)) // worker fully dedicated (exclusive)
-	busy := make([]int, len(pools))  // live task count per worker
-	for _, t := range in.Running {
-		if wi, ok := index[t.WorkerID]; ok {
-			busy[wi]++
-		}
-	}
-	// Re-derive busy decrements through events: track per event.
-	// (completionEvent frees one task's allocation on its worker.)
-	tryDispatch := func(at time.Duration) {
-		for i := range waiting {
-			pt := &waiting[i]
-			if pt.placed {
-				continue
-			}
-			placedAt := -1
-			if pt.known {
-				for wi := range pools {
-					if used[wi] {
-						continue
-					}
-					if pt.res.Fits(pools[wi]) {
-						placedAt = wi
-						break
-					}
+	// Initial dispatch pass at t=0: walk the runs in queue order,
+	// first-fit over all pools with per-key resume pointers.
+	for ri := range p.runs {
+		r := &p.runs[ri]
+		g := &p.groups[r.group]
+		for r.count > 0 {
+			wi := g.poolPtr
+			if r.key.known {
+				for wi < len(p.pools) && (p.used[wi] || !r.key.res.Fits(p.pools[wi])) {
+					wi++
 				}
 			} else {
-				for wi := range pools {
-					if busy[wi] == 0 && !used[wi] {
-						placedAt = wi
-						break
-					}
+				for wi < len(p.pools) && (p.busy[wi] != 0 || p.used[wi]) {
+					wi++
 				}
 			}
-			if placedAt < 0 {
-				continue
+			g.poolPtr = wi
+			if wi == len(p.pools) {
+				break
 			}
-			pt.placed = true
-			busy[placedAt]++
-			alloc := pt.res
-			if !pt.known {
-				alloc = pools[placedAt] // whole remaining (idle) worker
-				used[placedAt] = true
-			}
-			pools[placedAt] = pools[placedAt].Sub(alloc)
-			if pt.hasExc && at+pt.exec <= in.InitTime {
-				heap.Push(events, completionEvent{at: at + pt.exec, worker: placedAt, alloc: alloc})
+			if r.key.known {
+				p.placeBatch(in, r, wi, 0, &maxRemaining)
 			} else {
-				rem := at + pt.exec
-				if !pt.hasExc {
-					rem = in.InitTime + in.DefaultCycle
-				}
-				if rem > maxRemaining {
-					maxRemaining = rem
-				}
+				p.placeOneExclusive(in, r, wi, 0, &maxRemaining)
 			}
 		}
+		if r.count > 0 {
+			p.pending = append(p.pending, ri)
+		}
 	}
+	minKnown, haveKnown, unknownPending := p.pendingBounds()
 
-	tryDispatch(0)
-	for events.Len() > 0 {
-		ev := heap.Pop(events).(completionEvent)
+	for len(p.events) > 0 {
+		ev := p.popEvent()
 		if ev.at > in.InitTime {
 			break
 		}
-		pools[ev.worker] = pools[ev.worker].Add(ev.alloc)
-		busy[ev.worker]--
-		used[ev.worker] = false
-		tryDispatch(ev.at)
+		w := ev.worker
+		p.pools[w] = p.pools[w].Add(ev.alloc)
+		p.busy[w]--
+		p.used[w] = false
+		// Only worker w gained capacity (or idleness) since every
+		// pending run last failed against the whole fleet, so only w
+		// can accept a task now. Skip the pass outright if even the
+		// component-wise minimum pending request cannot fit.
+		if !(haveKnown && minKnown.Fits(p.pools[w])) &&
+			!(unknownPending && p.busy[w] == 0) {
+			continue
+		}
+		changed := false
+		for _, ri := range p.pending {
+			r := &p.runs[ri]
+			if r.count == 0 {
+				continue
+			}
+			if r.key.known {
+				if !p.used[w] && r.key.res.Fits(p.pools[w]) {
+					p.placeBatch(in, r, w, ev.at, &maxRemaining)
+					changed = true
+				}
+			} else if p.busy[w] == 0 && !p.used[w] {
+				p.placeOneExclusive(in, r, w, ev.at, &maxRemaining)
+				changed = true
+			}
+		}
+		if changed {
+			p.compactPending()
+			minKnown, haveKnown, unknownPending = p.pendingBounds()
+		}
 	}
 
 	unplaced := 0
-	for _, pt := range waiting {
-		if !pt.placed {
-			unplaced++
-		}
+	for _, ri := range p.pending {
+		unplaced += p.runs[ri].count
 	}
 	idle := 0
-	for wi := range pools {
-		if busy[wi] == 0 {
+	for wi := range p.pools {
+		if p.busy[wi] == 0 {
 			idle++
 		}
 	}
@@ -279,35 +307,260 @@ func EstimateScale(in EstimateInput) Decision {
 	}
 
 	// Shortage: first-fit pack the unplaced tasks onto hypothetical
-	// new workers (paper line 25, WorkerRequired).
-	var bins []resources.Vector
-	for i, pt := range waiting {
-		if pt.placed {
-			continue
-		}
-		res := waiting[i].res
-		if !pt.known || !res.Fits(in.WorkerTemplate) {
+	// new workers (paper line 25, WorkerRequired). Bins only shrink,
+	// so each key resumes from the first bin that has not rejected it.
+	p.bins = p.bins[:0]
+	for _, ri := range p.pending {
+		r := &p.runs[ri]
+		res := r.key.res
+		if !r.key.known || !res.Fits(in.WorkerTemplate) {
 			// Unknown-size tasks run exclusively; oversized estimates
 			// are clamped to a whole worker.
 			res = in.WorkerTemplate
 		}
-		placed := false
-		for b := range bins {
-			if res.Fits(bins[b]) {
-				bins[b] = bins[b].Sub(res)
-				placed = true
-				break
+		g := &p.groups[r.group]
+		for i := 0; i < r.count; i++ {
+			b := g.binPtr
+			for b < len(p.bins) && !res.Fits(p.bins[b]) {
+				b++
 			}
-		}
-		if !placed {
-			bins = append(bins, in.WorkerTemplate.Sub(res))
+			g.binPtr = b
+			if b == len(p.bins) {
+				p.bins = append(p.bins, in.WorkerTemplate.Sub(res))
+			} else {
+				p.bins[b] = p.bins[b].Sub(res)
+			}
 		}
 	}
 	return Decision{
-		ScaleChange:     len(bins),
+		ScaleChange:     len(p.bins),
 		NextCycle:       in.InitTime,
 		UnplacedWaiting: unplaced,
 	}
+}
+
+// reset prepares the scratch state for a fresh evaluation.
+func (p *Planner) reset(workers int) {
+	p.pools = p.pools[:0]
+	p.used = p.used[:0]
+	p.busy = p.busy[:0]
+	p.events = p.events[:0]
+	p.runs = p.runs[:0]
+	p.pending = p.pending[:0]
+	p.groups = p.groups[:0]
+	p.bins = p.bins[:0]
+	if p.index == nil {
+		p.index = make(map[string]int, workers)
+		p.groupIdx = make(map[groupKey]int)
+		p.cats = make(map[string]catEstimate)
+	} else {
+		clear(p.index)
+		clear(p.groupIdx)
+		clear(p.cats)
+	}
+}
+
+// catEstimate memoizes the estimator's per-category answers; the
+// estimator is assumed pure within one evaluation.
+func (p *Planner) catEstimate(in EstimateInput, cat string) catEstimate {
+	if ce, ok := p.cats[cat]; ok {
+		return ce
+	}
+	var ce catEstimate
+	if in.Estimator != nil {
+		ce.res, ce.resOK = in.Estimator.EstimateResources(cat)
+		ce.exec, ce.execOK = in.Estimator.EstimateExecTime(cat)
+	}
+	p.cats[cat] = ce
+	return ce
+}
+
+// remainingTime predicts how much longer a running task needs, via the
+// memoized per-category execution time.
+func (p *Planner) remainingTime(in EstimateInput, t wq.Task) (time.Duration, bool) {
+	ce := p.catEstimate(in, t.Category)
+	if !ce.execOK {
+		return 0, false
+	}
+	elapsed := in.Now.Sub(t.StartedAt)
+	rem := ce.exec - elapsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
+// buildRuns compresses the waiting queue into maximal runs of
+// identically predicted tasks, preserving queue order.
+func (p *Planner) buildRuns(in EstimateInput) {
+	for i := range in.Waiting {
+		t := &in.Waiting[i]
+		var key groupKey
+		if !t.Resources.IsZero() {
+			key.res, key.known = t.Resources, true
+			ce := p.catEstimate(in, t.Category)
+			key.exec, key.hasExc = ce.exec, ce.execOK
+		} else {
+			ce := p.catEstimate(in, t.Category)
+			if ce.resOK && !ce.res.IsZero() {
+				key.res, key.known = ce.res, true
+			}
+			key.exec, key.hasExc = ce.exec, ce.execOK
+		}
+		if !key.hasExc {
+			key.exec = 0
+		}
+		if n := len(p.runs); n > 0 && p.runs[n-1].key == key {
+			p.runs[n-1].count++
+			continue
+		}
+		gi, ok := p.groupIdx[key]
+		if !ok {
+			gi = len(p.groups)
+			p.groups = append(p.groups, groupState{})
+			p.groupIdx[key] = gi
+		}
+		p.runs = append(p.runs, taskRun{key: key, group: gi, count: 1})
+	}
+}
+
+// placeBatch places as many tasks of the run as fit on pool wi at
+// simulated time at — the exact sequence of single placements the
+// per-task form performs, collapsed into one capacity division.
+func (p *Planner) placeBatch(in EstimateInput, r *taskRun, wi int, at time.Duration, maxRemaining *time.Duration) {
+	res := r.key.res
+	k := r.count
+	// Only strictly positive components bound the batch; Fits already
+	// held once, so the quotients are ≥ 1.
+	if res.MilliCPU > 0 {
+		if q := int(p.pools[wi].MilliCPU / res.MilliCPU); q < k {
+			k = q
+		}
+	}
+	if res.MemoryMB > 0 {
+		if q := int(p.pools[wi].MemoryMB / res.MemoryMB); q < k {
+			k = q
+		}
+	}
+	if res.DiskMB > 0 {
+		if q := int(p.pools[wi].DiskMB / res.DiskMB); q < k {
+			k = q
+		}
+	}
+	for i := 0; i < k; i++ {
+		p.busy[wi]++
+		p.pools[wi] = p.pools[wi].Sub(res)
+		p.finishPlacement(in, r.key, wi, at, res, maxRemaining)
+	}
+	r.count -= k
+}
+
+// placeOneExclusive dedicates the idle pool wi to one unknown-size
+// task of the run.
+func (p *Planner) placeOneExclusive(in EstimateInput, r *taskRun, wi int, at time.Duration, maxRemaining *time.Duration) {
+	alloc := p.pools[wi] // whole remaining (idle) worker
+	p.used[wi] = true
+	p.busy[wi]++
+	p.pools[wi] = p.pools[wi].Sub(alloc)
+	p.finishPlacement(in, r.key, wi, at, alloc, maxRemaining)
+	r.count--
+}
+
+// finishPlacement replays the per-task epilogue: queue a completion
+// event when the task finishes inside the window, otherwise extend the
+// predicted busy horizon.
+func (p *Planner) finishPlacement(in EstimateInput, key groupKey, wi int, at time.Duration, alloc resources.Vector, maxRemaining *time.Duration) {
+	if key.hasExc && at+key.exec <= in.InitTime {
+		p.pushEvent(completionEvent{at: at + key.exec, worker: wi, alloc: alloc})
+		return
+	}
+	rem := at + key.exec
+	if !key.hasExc {
+		rem = in.InitTime + in.DefaultCycle
+	}
+	if rem > *maxRemaining {
+		*maxRemaining = rem
+	}
+}
+
+// compactPending drops fully placed runs from the pending list.
+func (p *Planner) compactPending() {
+	out := p.pending[:0]
+	for _, ri := range p.pending {
+		if p.runs[ri].count > 0 {
+			out = append(out, ri)
+		}
+	}
+	p.pending = out
+}
+
+// pendingBounds summarizes the pending runs for the per-event early
+// exit: the component-wise minimum of the known requests (if even that
+// cannot fit a freed pool, no known task can) and whether any
+// unknown-size task still waits for an idle worker.
+func (p *Planner) pendingBounds() (minKnown resources.Vector, haveKnown, unknownPending bool) {
+	for _, ri := range p.pending {
+		r := &p.runs[ri]
+		if !r.key.known {
+			unknownPending = true
+			continue
+		}
+		if !haveKnown {
+			minKnown, haveKnown = r.key.res, true
+			continue
+		}
+		if r.key.res.MilliCPU < minKnown.MilliCPU {
+			minKnown.MilliCPU = r.key.res.MilliCPU
+		}
+		if r.key.res.MemoryMB < minKnown.MemoryMB {
+			minKnown.MemoryMB = r.key.res.MemoryMB
+		}
+		if r.key.res.DiskMB < minKnown.DiskMB {
+			minKnown.DiskMB = r.key.res.DiskMB
+		}
+	}
+	return minKnown, haveKnown, unknownPending
+}
+
+// pushEvent and popEvent implement the same binary heap as
+// container/heap over the typed slice (identical sift directions and
+// tie handling), so the event order — and therefore every dispatch
+// decision — matches the reference exactly, without interface boxing.
+func (p *Planner) pushEvent(e completionEvent) {
+	p.events = append(p.events, e)
+	j := len(p.events) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(p.events[j].at < p.events[i].at) {
+			break
+		}
+		p.events[i], p.events[j] = p.events[j], p.events[i]
+		j = i
+	}
+}
+
+func (p *Planner) popEvent() completionEvent {
+	n := len(p.events) - 1
+	p.events[0], p.events[n] = p.events[n], p.events[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && p.events[j2].at < p.events[j1].at {
+			j = j2
+		}
+		if !(p.events[j].at < p.events[i].at) {
+			break
+		}
+		p.events[i], p.events[j] = p.events[j], p.events[i]
+		i = j
+	}
+	e := p.events[n]
+	p.events = p.events[:n]
+	return e
 }
 
 // discountCapacity shrinks a capacity vector by fraction d in [0, 1).

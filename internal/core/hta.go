@@ -108,6 +108,10 @@ type Autoscaler struct {
 	recentKills []time.Time
 	lastStale   time.Time
 
+	// planner holds Algorithm 1's reusable scratch state so the
+	// per-cycle estimate allocates nothing in steady state.
+	planner Planner
+
 	cycleTimer    simclock.Timer
 	started       bool
 	shutdown      bool
@@ -513,7 +517,7 @@ func (a *Autoscaler) decide() Decision {
 		estimator = a.mon
 	}
 	a.pruneKills(a.eng.Now())
-	return EstimateScale(EstimateInput{
+	return a.planner.EstimateScale(EstimateInput{
 		Now:              a.eng.Now(),
 		InitTime:         initTime,
 		DefaultCycle:     a.cfg.DefaultCycle,

@@ -2,6 +2,7 @@ package kubesim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hta/internal/resources"
@@ -21,6 +22,7 @@ func (c *Cluster) addNode() *Node {
 		EmptySince:  now,
 	}
 	c.nodes[n.Name] = n
+	c.nodeDirty = true
 	c.recordEvent("node/"+n.Name, ReasonNodeReady, "node is ready")
 	c.notifyNode(Added, n)
 	return n
@@ -28,6 +30,8 @@ func (c *Cluster) addNode() *Node {
 
 func (c *Cluster) removeNode(n *Node) {
 	delete(c.nodes, n.Name)
+	delete(c.podsByNode, n.Name)
+	c.nodeDirty = true
 	c.recordEvent("node/"+n.Name, ReasonNodeRemoved, "empty node removed")
 	c.notifyNode(Deleted, n)
 }
@@ -36,29 +40,48 @@ func (c *Cluster) removeNode(n *Node) {
 // autoscaler loop: reserve machines for unschedulable pods (batched
 // per loop iteration, so same-batch nodes share provisioning latency,
 // matching the paper's observation in §IV-B) and release nodes that
-// have been empty longer than ScaleDownDelay.
+// have been empty longer than ScaleDownDelay. Both sweeps share one
+// node-roster snapshot per sync; the reference path re-sorts before
+// the scale-down sweep, as the pre-index controller did.
 func (c *Cluster) cloudControllerOnce() {
-	c.scaleUpForPending()
-	c.scaleDownEmpty()
+	nodes := c.sortedNodes()
+	c.scaleUpForPending(nodes)
+	if c.cfg.NaiveScheduling {
+		nodes = c.naiveSortedNodes()
+	}
+	c.scaleDownEmpty(nodes)
 }
 
-func (c *Cluster) scaleUpForPending() {
-	var unsched []*Pod
-	for _, p := range c.pods {
-		if p.Phase == PodPending && p.NodeName == "" && p.UnschedulableSeen {
-			// A node of the standard shape must be able to host the
-			// pod at all, or provisioning would never help.
-			if p.Resources.Fits(c.cfg.NodeAllocatable) {
+func (c *Cluster) scaleUpForPending(nodes []*Node) {
+	unsched := c.pendingScratch[:0]
+	if c.cfg.NaiveScheduling {
+		for _, p := range c.pods {
+			if p.Phase == PodPending && p.NodeName == "" && p.UnschedulableSeen {
+				// A node of the standard shape must be able to host the
+				// pod at all, or provisioning would never help.
+				if p.Resources.Fits(c.cfg.NodeAllocatable) {
+					unsched = append(unsched, p)
+				}
+			}
+		}
+	} else {
+		for _, p := range c.pendingPods {
+			if p.UnschedulableSeen && p.Resources.Fits(c.cfg.NodeAllocatable) {
 				unsched = append(unsched, p)
 			}
 		}
 	}
+	// Deterministic queue order: the bin-packed node estimate below is
+	// order-sensitive for mixed pod sizes.
+	sort.Slice(unsched, func(i, j int) bool { return unsched[i].UID < unsched[j].UID })
+	c.pendingScratch = unsched
+	defer c.releaseScratch(unsched)
 	if len(unsched) == 0 {
 		return
 	}
 	// Nodes already being reserved will absorb part of the pending
 	// demand; only provision the remainder.
-	needed := c.nodesNeededFor(unsched) - c.provisioning
+	needed := c.nodesNeededFor(nodes, unsched) - c.provisioning
 	room := c.cfg.MaxNodes - len(c.nodes) - c.provisioning
 	if needed > room {
 		needed = room
@@ -95,19 +118,13 @@ func (c *Cluster) scaleUpForPending() {
 // used, e.g. a node that just came up) and then onto hypothetical
 // empty nodes of the configured shape, returning only the count of
 // new nodes required.
-func (c *Cluster) nodesNeededFor(pods []*Pod) int {
+func (c *Cluster) nodesNeededFor(nodes []*Node, pods []*Pod) int {
 	var existing []resources.Vector
-	for _, n := range c.sortedNodes() {
+	for _, n := range nodes {
 		if !n.Ready {
 			continue
 		}
-		free := n.Allocatable
-		for _, q := range c.pods {
-			if q.NodeName == n.Name && !q.Terminal() {
-				free = free.Sub(q.Resources)
-			}
-		}
-		existing = append(existing, free)
+		existing = append(existing, c.nodeFree(n))
 	}
 	var bins []resources.Vector // free space per hypothetical new node
 	for _, p := range pods {
@@ -137,9 +154,9 @@ func (c *Cluster) nodesNeededFor(pods []*Pod) int {
 	return len(bins)
 }
 
-func (c *Cluster) scaleDownEmpty() {
+func (c *Cluster) scaleDownEmpty(nodes []*Node) {
 	now := c.eng.Now()
-	for _, n := range c.sortedNodes() {
+	for _, n := range nodes {
 		if len(c.nodes)+c.provisioning <= c.cfg.MinNodes {
 			return
 		}
@@ -182,8 +199,19 @@ func (c *Cluster) failNode(name, reason string) error {
 		return fmt.Errorf("kubesim: node %q not found", name)
 	}
 	var victims []string
-	for _, p := range c.ListPods(nil) {
-		if p.NodeName == name && !p.Terminal() {
+	if c.cfg.NaiveScheduling {
+		for _, p := range c.ListPods(nil) {
+			if p.NodeName == name && !p.Terminal() {
+				victims = append(victims, p.Name)
+			}
+		}
+	} else {
+		bound := make([]*Pod, 0, len(c.podsByNode[name]))
+		for _, p := range c.podsByNode[name] {
+			bound = append(bound, p)
+		}
+		sort.Slice(bound, func(i, j int) bool { return bound[i].UID < bound[j].UID })
+		for _, p := range bound {
 			victims = append(victims, p.Name)
 		}
 	}

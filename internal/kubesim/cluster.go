@@ -61,6 +61,12 @@ type Config struct {
 	ScaleDownDelay time.Duration
 	// Seed drives all stochastic latencies.
 	Seed int64
+	// NaiveScheduling switches the control plane to the retained
+	// reference implementations of the scheduling predicates and
+	// sweeps (full pod-store scans, fresh node sorts per pass). The
+	// decisions are identical to the indexed fast path; the flag
+	// exists for differential tests and benchmark baselines.
+	NaiveScheduling bool
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +131,21 @@ type Cluster struct {
 	services     map[string]*Service
 	statefulsets map[string]*StatefulSet
 
+	// Incremental scheduling indexes. podsByNode holds the live
+	// (non-terminal) pods bound to each node; podsByLabel holds every
+	// stored pod under each of its label pairs (labels are immutable
+	// after CreatePod); pendingPods holds Pending pods not yet bound.
+	// nodeList caches the age-sorted node roster and is invalidated on
+	// node add/remove. The naive reference path (Config.NaiveScheduling)
+	// ignores all four and rescans the stores.
+	podsByNode  map[string]map[string]*Pod
+	podsByLabel map[string]map[string]*Pod
+	pendingPods map[string]*Pod
+	nodeList    []*Node
+	nodeDirty   bool
+
+	pendingScratch []*Pod // reused by scheduleOnce/scaleUpForPending
+
 	uid     int64
 	nodeSeq int
 
@@ -151,6 +172,9 @@ func NewCluster(eng *simclock.Engine, cfg Config) *Cluster {
 		nodes:        make(map[string]*Node),
 		services:     make(map[string]*Service),
 		statefulsets: make(map[string]*StatefulSet),
+		podsByNode:   make(map[string]map[string]*Pod),
+		podsByLabel:  make(map[string]map[string]*Pod),
+		pendingPods:  make(map[string]*Pod),
 		pulls:        make(map[string][]func()),
 	}
 	for i := 0; i < cfg.InitialNodes; i++ {
@@ -177,6 +201,13 @@ func (c *Cluster) Stop() {
 
 // Config returns the effective configuration (defaults applied).
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetNaiveScheduling switches the control plane between the indexed
+// read paths and the retained naive reference forms at runtime. Index
+// maintenance is unconditional, so the switch is valid at any point in
+// a cluster's life; benchmarks use it to build large fixtures with the
+// indexed paths before timing the naive ones.
+func (c *Cluster) SetNaiveScheduling(naive bool) { c.cfg.NaiveScheduling = naive }
 
 // Clock returns the cluster's simulation clock.
 func (c *Cluster) Clock() simclock.Clock { return c.eng }
@@ -260,8 +291,81 @@ func (c *Cluster) CreatePod(spec PodSpec) (Pod, error) {
 		usage:     spec.Usage,
 	}
 	c.pods[spec.Name] = p
+	c.indexPod(p)
 	c.notifyPod(Added, p, "")
 	return p.DeepCopy(), nil
+}
+
+// labelKey composes the podsByLabel index key for one label pair.
+func labelKey(k, v string) string { return k + "\x00" + v }
+
+// indexPod registers a freshly stored pod in the label and pending
+// indexes. Pod labels are immutable after creation, so membership only
+// changes at create/delete time.
+func (c *Cluster) indexPod(p *Pod) {
+	for k, v := range p.Labels {
+		key := labelKey(k, v)
+		m := c.podsByLabel[key]
+		if m == nil {
+			m = make(map[string]*Pod)
+			c.podsByLabel[key] = m
+		}
+		m[p.Name] = p
+	}
+	if p.Phase == PodPending && p.NodeName == "" {
+		c.pendingPods[p.Name] = p
+	}
+}
+
+// unindexPod removes a pod from the label and pending indexes at
+// deletion time.
+func (c *Cluster) unindexPod(p *Pod) {
+	for k, v := range p.Labels {
+		key := labelKey(k, v)
+		if m := c.podsByLabel[key]; m != nil {
+			delete(m, p.Name)
+			if len(m) == 0 {
+				delete(c.podsByLabel, key)
+			}
+		}
+	}
+	delete(c.pendingPods, p.Name)
+}
+
+// release removes a formerly live, bound pod from its node's
+// incremental accounting. Callers invoke it exactly once, at the
+// pod's live→terminal (or live→deleted) transition.
+func (c *Cluster) release(p *Pod) {
+	if p.NodeName == "" {
+		return
+	}
+	if n, ok := c.nodes[p.NodeName]; ok {
+		n.Allocated = n.Allocated.Sub(p.Resources)
+		n.livePods--
+	}
+	if m := c.podsByNode[p.NodeName]; m != nil {
+		delete(m, p.Name)
+		if len(m) == 0 {
+			delete(c.podsByNode, p.NodeName)
+		}
+	}
+}
+
+// selectorBucket returns the smallest label-index bucket covering a
+// non-empty selector; every pod matching the selector is in it. A nil
+// return means no stored pod matches.
+func (c *Cluster) selectorBucket(selector map[string]string) map[string]*Pod {
+	var smallest map[string]*Pod
+	for k, v := range selector {
+		m := c.podsByLabel[labelKey(k, v)]
+		if len(m) == 0 {
+			return nil
+		}
+		if smallest == nil || len(m) < len(smallest) {
+			smallest = m
+		}
+	}
+	return smallest
 }
 
 // DeletePod removes a pod. A running pod is killed (its node is freed
@@ -277,6 +381,7 @@ func (c *Cluster) DeletePod(name string) error {
 		c.recordEvent("pod/"+name, ReasonKilling, "stopping container")
 	}
 	c.unbind(p)
+	c.unindexPod(p)
 	delete(c.pods, name)
 	c.notifyPod(Deleted, p, reason)
 	return nil
@@ -294,6 +399,7 @@ func (c *Cluster) MarkPodSucceeded(name string) error {
 	}
 	p.Phase = PodSucceeded
 	p.FinishedAt = c.eng.Now()
+	c.release(p)
 	c.freeNodeOf(p)
 	c.recordEvent("pod/"+name, ReasonCompleted, "container exited 0")
 	c.notifyPod(Modified, p, ReasonCompleted)
@@ -310,12 +416,22 @@ func (c *Cluster) GetPod(name string) (Pod, bool) {
 }
 
 // ListPods returns copies of all pods matching the selector (nil
-// selects everything), sorted by creation then name.
+// selects everything), sorted by creation then name. With a non-empty
+// selector the lookup walks only the smallest matching label bucket
+// instead of the whole store.
 func (c *Cluster) ListPods(selector map[string]string) []Pod {
 	var out []Pod
-	for _, p := range c.pods {
-		if p.MatchesSelector(selector) {
-			out = append(out, p.DeepCopy())
+	if len(selector) == 0 || c.cfg.NaiveScheduling {
+		for _, p := range c.pods {
+			if p.MatchesSelector(selector) {
+				out = append(out, p.DeepCopy())
+			}
+		}
+	} else {
+		for _, p := range c.selectorBucket(selector) {
+			if p.MatchesSelector(selector) {
+				out = append(out, p.DeepCopy())
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
@@ -326,13 +442,11 @@ func (c *Cluster) ListPods(selector map[string]string) []Pod {
 
 // Nodes returns copies of all nodes sorted by name sequence.
 func (c *Cluster) Nodes() []Node {
-	var out []Node
-	for _, n := range c.nodes {
+	nodes := c.sortedNodes()
+	out := make([]Node, 0, len(nodes))
+	for _, n := range nodes {
 		out = append(out, n.DeepCopy())
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].CreatedAt.Before(out[j].CreatedAt) || (out[i].CreatedAt.Equal(out[j].CreatedAt) && out[i].Name < out[j].Name)
-	})
 	return out
 }
 
@@ -366,13 +480,16 @@ func (c *Cluster) ReadyNodeNames() []string {
 
 // PodsOnNode returns the count of non-terminal pods bound to the node.
 func (c *Cluster) PodsOnNode(name string) int {
-	n := 0
-	for _, p := range c.pods {
-		if p.NodeName == name && !p.Terminal() {
-			n++
+	if c.cfg.NaiveScheduling {
+		n := 0
+		for _, p := range c.pods {
+			if p.NodeName == name && !p.Terminal() {
+				n++
+			}
 		}
+		return n
 	}
-	return n
+	return len(c.podsByNode[name])
 }
 
 // TotalAllocatable returns the summed allocatable of ready nodes.
@@ -485,14 +602,23 @@ func (c *Cluster) PodUsage(name string) resources.Vector {
 func (c *Cluster) AvgCPUUtilization(selector map[string]string) (float64, int) {
 	var usedMilli, reqMilli int64
 	n := 0
-	for _, p := range c.pods {
+	sample := func(p *Pod) {
 		if !p.MatchesSelector(selector) || p.Phase != PodRunning {
-			continue
+			return
 		}
 		n++
 		reqMilli += p.Resources.MilliCPU
 		if p.usage != nil {
 			usedMilli += p.usage().MilliCPU
+		}
+	}
+	if len(selector) == 0 || c.cfg.NaiveScheduling {
+		for _, p := range c.pods {
+			sample(p)
+		}
+	} else {
+		for _, p := range c.selectorBucket(selector) {
+			sample(p)
 		}
 	}
 	if reqMilli == 0 {

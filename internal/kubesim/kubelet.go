@@ -22,6 +22,13 @@ func (c *Cluster) SetPullFault(hook func(node, image string, attempt int) PullFa
 // of its lifecycle: pull the container image if the node does not
 // have it ("No Container Image" in the paper's worker-pod lifecycle),
 // then start the container after a short delay.
+//
+// Node.Allocated and the live-pod count were already charged at bind
+// time (requests are reserved the moment the scheduler binds, exactly
+// as kube-scheduler accounts them), so the Pulling→Started transitions
+// below deliberately leave the incremental accounting untouched; the
+// charge is reversed once, in Cluster.release, when the pod leaves the
+// live set.
 func (c *Cluster) kubeletStart(p *Pod, n *Node) {
 	if n.Images[p.Image] {
 		c.containerStart(p, n)

@@ -1,0 +1,65 @@
+package kubesim
+
+import (
+	"sort"
+
+	"hta/internal/resources"
+)
+
+// This file retains the pre-index control-plane primitives verbatim.
+// A cluster built with Config.NaiveScheduling routes every scheduling
+// predicate and sweep through them, giving differential tests and
+// benchmarks a reference whose decisions the indexed fast path must
+// reproduce byte-for-byte: the naive forms recompute node occupancy by
+// scanning the entire pod store and re-sort the node roster on every
+// pass, which is exactly the O(pending × nodes × pods) behaviour the
+// indexes remove.
+
+// naiveNodeIsEmpty scans the whole pod store for a live pod bound to
+// the node.
+func (c *Cluster) naiveNodeIsEmpty(n *Node) bool {
+	for _, p := range c.pods {
+		if p.NodeName == n.Name && !p.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// naiveNodeFree recomputes the node's free capacity by subtracting
+// every live bound pod's request from its allocatable.
+func (c *Cluster) naiveNodeFree(n *Node) resources.Vector {
+	free := n.Allocatable
+	for _, q := range c.pods {
+		if q.NodeName == n.Name && !q.Terminal() {
+			free = free.Sub(q.Resources)
+		}
+	}
+	return free
+}
+
+// naiveSortedNodes rebuilds and sorts the node roster from scratch.
+func (c *Cluster) naiveSortedNodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// naivePendingUnbound scans the whole pod store for Pending unbound
+// pods, appending them to out.
+func (c *Cluster) naivePendingUnbound(out []*Pod) []*Pod {
+	for _, p := range c.pods {
+		if p.Phase == PodPending && p.NodeName == "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

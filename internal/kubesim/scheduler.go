@@ -4,16 +4,24 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"hta/internal/resources"
 )
 
 // nodeIsEmpty reports whether no live pod is bound to the node.
 func (c *Cluster) nodeIsEmpty(n *Node) bool {
-	for _, p := range c.pods {
-		if p.NodeName == n.Name && !p.Terminal() {
-			return false
-		}
+	if c.cfg.NaiveScheduling {
+		return c.naiveNodeIsEmpty(n)
 	}
-	return true
+	return n.livePods == 0
+}
+
+// nodeFree returns the node's unallocated capacity.
+func (c *Cluster) nodeFree(n *Node) resources.Vector {
+	if c.cfg.NaiveScheduling {
+		return c.naiveNodeFree(n)
+	}
+	return n.Allocatable.Sub(n.Allocated)
 }
 
 // freeNodeOf updates the hosting node's emptiness stamp after a pod
@@ -37,8 +45,33 @@ func (c *Cluster) unbind(p *Pod) {
 	if !p.Terminal() {
 		p.Phase = PodFailed
 		p.FinishedAt = c.eng.Now()
+		c.release(p)
 	}
 	c.freeNodeOf(p)
+}
+
+// pendingUnbound returns the Pending, not-yet-bound pods in UID order,
+// reusing the cluster's scratch slice.
+func (c *Cluster) pendingUnbound() []*Pod {
+	pending := c.pendingScratch[:0]
+	if c.cfg.NaiveScheduling {
+		pending = c.naivePendingUnbound(pending)
+	} else {
+		for _, p := range c.pendingPods {
+			pending = append(pending, p)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].UID < pending[j].UID })
+	c.pendingScratch = pending
+	return pending
+}
+
+// releaseScratch drops the pod references held by the pending scratch
+// slice so deleted pods can be collected.
+func (c *Cluster) releaseScratch(pending []*Pod) {
+	for i := range pending {
+		pending[i] = nil
+	}
 }
 
 // scheduleOnce is the kube-scheduler sync loop: bind pending pods to
@@ -51,14 +84,7 @@ func (c *Cluster) scheduleOnce() {
 		c.reconcileStatefulSet(ss)
 	}
 
-	var pending []*Pod
-	for _, p := range c.pods {
-		if p.Phase == PodPending && p.NodeName == "" {
-			pending = append(pending, p)
-		}
-	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].UID < pending[j].UID })
-
+	pending := c.pendingUnbound()
 	nodes := c.sortedNodes()
 	for _, p := range pending {
 		placed := false
@@ -79,36 +105,51 @@ func (c *Cluster) scheduleOnce() {
 			c.notifyPod(Modified, p, ReasonFailedScheduling)
 		}
 	}
+	c.releaseScratch(pending)
 }
 
+// sortedNodes returns the node roster sorted by creation time then
+// name. The fast path serves a cached slice invalidated on node
+// add/remove; a rebuild allocates a fresh backing array so callers
+// holding an older snapshot can keep iterating it safely.
 func (c *Cluster) sortedNodes() []*Node {
-	out := make([]*Node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		out = append(out, n)
+	if c.cfg.NaiveScheduling {
+		return c.naiveSortedNodes()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
-			return out[i].CreatedAt.Before(out[j].CreatedAt)
+	if c.nodeDirty || c.nodeList == nil {
+		out := make([]*Node, 0, len(c.nodes))
+		for _, n := range c.nodes {
+			out = append(out, n)
 		}
-		return out[i].Name < out[j].Name
-	})
-	return out
+		sort.Slice(out, func(i, j int) bool {
+			if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+				return out[i].CreatedAt.Before(out[j].CreatedAt)
+			}
+			return out[i].Name < out[j].Name
+		})
+		c.nodeList = out
+		c.nodeDirty = false
+	}
+	return c.nodeList
 }
 
 func (c *Cluster) fitsOnNode(p *Pod, n *Node) bool {
-	free := n.Allocatable
-	for _, q := range c.pods {
-		if q.NodeName == n.Name && !q.Terminal() {
-			free = free.Sub(q.Resources)
-		}
-	}
-	return p.Resources.Fits(free)
+	return p.Resources.Fits(c.nodeFree(n))
 }
 
 func (c *Cluster) bind(p *Pod, n *Node) {
 	p.NodeName = n.Name
 	p.ScheduledAt = c.eng.Now()
 	n.EmptySince = time.Time{}
+	n.Allocated = n.Allocated.Add(p.Resources)
+	n.livePods++
+	m := c.podsByNode[n.Name]
+	if m == nil {
+		m = make(map[string]*Pod)
+		c.podsByNode[n.Name] = m
+	}
+	m[p.Name] = p
+	delete(c.pendingPods, p.Name)
 	c.recordEvent("pod/"+p.Name, ReasonScheduled, "bound to "+n.Name)
 	c.notifyPod(Modified, p, ReasonScheduled)
 	c.kubeletStart(p, n)

@@ -130,14 +130,22 @@ func (p *Pod) Terminal() bool { return p.Phase == PodSucceeded || p.Phase == Pod
 type Node struct {
 	Name        string
 	Allocatable resources.Vector
-	Ready       bool
-	CreatedAt   time.Time
-	ReadyAt     time.Time
+	// Allocated is the summed resource requests of live (non-terminal)
+	// pods bound to the node, maintained incrementally on bind and
+	// release so scheduling predicates never rescan the pod store.
+	Allocated resources.Vector
+	Ready     bool
+	CreatedAt time.Time
+	ReadyAt   time.Time
 	// Images lists container images already present on the node.
 	Images map[string]bool
 	// EmptySince is the time the node last became free of pods; zero
 	// while occupied.
 	EmptySince time.Time
+
+	// livePods counts the non-terminal pods bound to the node; kept in
+	// lockstep with Allocated.
+	livePods int
 }
 
 // DeepCopy returns a copy safe to hand to clients.

@@ -68,7 +68,9 @@ func (ws *WorkerSet) LivePods() []Pod {
 	return out
 }
 
-// Reconcile creates or deletes pods to match the desired count.
+// Reconcile creates or deletes pods to match the desired count. The
+// periodic sync lists through the cluster's label index, so its cost
+// scales with this set's pod count rather than the whole store.
 func (ws *WorkerSet) Reconcile() {
 	pods := ws.c.ListPods(ws.Selector())
 	var live []Pod

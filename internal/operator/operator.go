@@ -105,6 +105,10 @@ type Operator struct {
 	cfg Config
 	mon *monitor.Monitor
 
+	// planner carries Algorithm 1's reusable scratch state; it is
+	// touched only by resize, which runs on the Run loop goroutine.
+	planner core.Planner
+
 	mu       sync.Mutex
 	pods     map[string]*podState
 	seq      int
@@ -370,7 +374,7 @@ func (o *Operator) resize(ctx context.Context) time.Duration {
 		workers = append(workers, core.WorkerInfo{ID: d.ID, Capacity: d.Capacity})
 	}
 	initTime, _ := o.InitTime()
-	dec := core.EstimateScale(core.EstimateInput{
+	dec := o.planner.EstimateScale(core.EstimateInput{
 		Now:            time.Now(),
 		InitTime:       initTime,
 		DefaultCycle:   o.cfg.Cycle,
