@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos] [-json]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery]
+//	         [-json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -json additionally runs the scale benchmarks (10k-task dispatch
 // storm, parallel-vs-serial sweep, and the paired indexed-vs-naive
 // control-plane benchmarks), writing their wall-clock results to
-// BENCH_3.json, and the E-F fault-injection experiment, writing its
-// summary to BENCH_2.json; combine with -runs none to run only them.
-// (BENCH_1.json is the pre-control-plane-scaling historical record.)
+// BENCH_3.json, the E-F fault-injection experiment, writing its
+// summary to BENCH_2.json, and the E-G control-plane crash-recovery
+// experiment, writing its summary to BENCH_4.json; combine with
+// -runs none to run only them. (BENCH_1.json is the
+// pre-control-plane-scaling historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // the invocation ran — the standard way to find the next control-plane
@@ -41,7 +43,7 @@ func main() {
 // writers fire on every path (os.Exit skips defers).
 func run() int {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream,chaos",
+	runs := flag.String("runs", "fig2,fig4,fig6,fig10,fig11,ablations,sweeps,stream,chaos,recovery",
 		"comma-separated experiments to run")
 	csvDir := flag.String("csv", "", "directory to export per-run CSV series into")
 	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
@@ -98,6 +100,7 @@ func run() int {
 		{"sweeps", func() (fmt.Stringer, error) { return experiments.SweepInitLatency(*seed) }},
 		{"stream", func() (fmt.Stringer, error) { return experiments.Stream(*seed) }},
 		{"chaos", func() (fmt.Stringer, error) { return experiments.ChaosEF(*seed) }},
+		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoveryEG(*seed) }},
 	}
 
 	var page *report.Page
@@ -138,6 +141,10 @@ func run() int {
 		}
 		if err := runChaosBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos bench: %v\n", err)
+			failed = true
+		}
+		if err := runRecoveryBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "recovery bench: %v\n", err)
 			failed = true
 		}
 	}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hta/internal/experiments"
+)
+
+// recoveryBenchFile is where -json writes the E-G crash-recovery
+// summary.
+const recoveryBenchFile = "BENCH_4.json"
+
+// recoveryBenchRow mirrors one E-G table row for machine consumption.
+type recoveryBenchRow struct {
+	Component   string  `json:"component"` // "none" = no-crash baseline
+	Planned     int     `json:"planned_kills"`
+	Kills       int     `json:"delivered_kills"`
+	RuntimeS    float64 `json:"runtime_s"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Rescued     int     `json:"rescued_tasks"`
+	Fenced      int     `json:"fenced_attempts"`
+	Requeued    int     `json:"requeued_unrescued"`
+	Replayed    int     `json:"replayed_records"`
+	Skipped     int     `json:"skipped_rules"`
+	Corrections int     `json:"reconcile_corrections"`
+	Requeues    int     `json:"requeues"`
+	Quarantined int     `json:"quarantined"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Goodput     float64 `json:"goodput"`
+}
+
+type recoveryBenchReport struct {
+	Seed      int64              `json:"seed"`
+	WallMS    float64            `json:"wall_ms"`
+	BaselineS float64            `json:"baseline_s"`
+	Rows      []recoveryBenchRow `json:"rows"`
+}
+
+// runRecoveryBench executes experiment E-G (control-plane crash
+// recovery on the multistage workflow) and writes the summary to
+// BENCH_4.json.
+func runRecoveryBench(seed int64) error {
+	start := time.Now()
+	eg, err := experiments.RecoveryEG(seed)
+	if err != nil {
+		return err
+	}
+	rep := recoveryBenchReport{
+		Seed:      seed,
+		WallMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		BaselineS: eg.Baseline.Seconds(),
+	}
+	for _, row := range eg.Rows {
+		rep.Rows = append(rep.Rows, recoveryBenchRow{
+			Component:   row.Component,
+			Planned:     row.Planned,
+			Kills:       row.Kills,
+			RuntimeS:    row.Runtime.Seconds(),
+			OverheadPct: row.OverheadPct,
+			Rescued:     row.Rescued,
+			Fenced:      row.Fenced,
+			Requeued:    row.Requeued,
+			Replayed:    row.Replayed,
+			Skipped:     row.Skipped,
+			Corrections: row.Corrections,
+			Requeues:    row.Requeues,
+			Quarantined: row.Quarantined,
+			Submitted:   row.Submitted,
+			Completed:   row.Completed,
+			Goodput:     row.Goodput,
+		})
+	}
+	f, err := os.Create(recoveryBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("recovery E-G results written to %s\n", recoveryBenchFile)
+	return nil
+}

@@ -48,6 +48,8 @@ func main() {
 	initial := flag.Int("initial-workers", 3, "warm-up fleet size")
 	cycle := flag.Duration("cycle", 30*time.Second, "planning interval")
 	file := flag.String("f", "", "Makeflow workflow to execute (optional)")
+	state := flag.String("state", "",
+		"persist learned state (category estimates, init time) to this file and resume from it on restart")
 	flag.Parse()
 
 	if *kubeAPI == "" || *image == "" {
@@ -80,6 +82,7 @@ func main() {
 		MaxWorkers:       *maxWorkers,
 		Cycle:            *cycle,
 		InitTimeFallback: 160 * time.Second,
+		StatePath:        *state,
 		Logf:             log.Printf,
 	})
 	if err != nil {

@@ -5,6 +5,12 @@
 //
 //	wqmaster -addr 127.0.0.1:9123 -f workflow.mf
 //	wqmaster -exec 'echo hello' -n 10
+//
+// With -txn-log the master journals every rule transition to an
+// append-only transaction log and, when restarted on the same log,
+// replays it to skip rules that already completed — the crash-recovery
+// workflow of real Makeflow. Rules that were submitted but unfinished
+// when the previous master died are resubmitted (at-least-once).
 package main
 
 import (
@@ -29,6 +35,8 @@ func main() {
 	execCmd := flag.String("exec", "", "run this shell command as a bag of tasks instead of a workflow")
 	n := flag.Int("n", 1, "number of copies of -exec to run")
 	cores := flag.Float64("task-cores", 1, "declared cores per -exec task")
+	txnLog := flag.String("txn-log", "",
+		"journal rule transitions to this append-only file and resume from it on restart")
 	flag.Parse()
 
 	if *file == "" && *execCmd == "" {
@@ -60,6 +68,11 @@ func main() {
 			r.Task.Tag, r.Task.WorkerID, r.Task.ExecWall, c, g.Len())
 	})
 	runner := flow.NewRunner(g, adapter, specFor)
+	if *txnLog != "" {
+		if err := resumeFromLog(runner, g, *txnLog); err != nil {
+			log.Fatal(err)
+		}
+	}
 	runner.OnAllDone(func() { close(done) })
 	runner.Start()
 
@@ -80,6 +93,43 @@ func main() {
 				s.Waiting, s.Running, s.Done, s.Workers)
 		}
 	}
+}
+
+// resumeFromLog replays an existing transaction log into the graph,
+// then attaches the log file as the runner's journal. A restarted
+// master holds no tasks, so rules that were submitted but never
+// finished are left Pending and resubmitted by the frontier walk
+// (at-least-once); only completions recorded in the log are skipped.
+// A torn tail (the crash landed mid-record) is discarded by replay.
+func resumeFromLog(runner *flow.Runner, g *dag.Graph, path string) error {
+	if f, err := os.Open(path); err == nil {
+		rep, rerr := makeflow.ReplayLog(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		resubmit := len(rep.InFlight)
+		rep.InFlight = nil
+		rr, err := flow.Recover(g, rep, nil, nil)
+		if err != nil {
+			return err
+		}
+		if rr.ReplayedRecords > 0 {
+			log.Printf("resumed from %s: %d records, %d rules already done, %d resubmitted",
+				path, rr.ReplayedRecords, rr.CompletedRules, resubmit)
+		}
+		if rep.Truncated {
+			log.Printf("txn log %s had a torn tail; recovered to the last complete record", path)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	sink, err := makeflow.OpenFileSink(path)
+	if err != nil {
+		return err
+	}
+	runner.SetLog(sink)
+	return nil
 }
 
 func buildWorkload(file, execCmd string, n int, cores float64) (*dag.Graph, flow.SpecFunc, error) {

@@ -40,40 +40,24 @@ func main() {
 		TaskTimeout: *timeout,
 	}
 
-	// Self-healing connection loop: a master restart or transient
-	// network partition must not kill the whole worker fleet, so lost
-	// connections are retried with jittered exponential backoff until
-	// the reconnect window (measured from the last healthy moment)
-	// expires. A clean drain still exits — a drained worker that
-	// reconnected would never be reaped by the operator.
-	bo := wire.NewBackoff(time.Second, 30*time.Second)
+	// Self-healing connection loop (wire.RunWorker): a master restart
+	// or transient network partition must not kill the whole worker
+	// fleet, so lost connections are retried with jittered exponential
+	// backoff until the reconnect window (measured from the last
+	// healthy moment) expires. The backoff resets only once the master
+	// acks the registration handshake, and commands running when the
+	// connection drops keep executing — the master rescues the
+	// attempts when the worker reconnects. A clean drain exits — a
+	// drained worker that reconnected would never be reaped by the
+	// operator.
 	start := time.Now()
-	lastHealthy := start
-	for {
-		w, err := wire.Connect(*master, cfg)
-		if err != nil {
-			if *reconnect <= 0 || time.Since(lastHealthy) > *reconnect {
-				log.Fatalf("worker %s: connect %s: %v", *id, *master, err)
-			}
-			d := bo.Next()
-			log.Printf("worker %s: connect %s failed (%v); retrying in %v",
-				*id, *master, err, d.Round(time.Millisecond))
-			time.Sleep(d)
-			continue
-		}
-		bo.Reset()
-		log.Printf("worker %s connected to %s (%.1f cores, %d MB)", *id, *master, *cores, *memory)
-		err = w.Wait()
-		lastHealthy = time.Now()
-		if err == nil {
-			log.Printf("worker drained cleanly after %v", time.Since(start).Round(time.Second))
-			return
-		}
-		if *reconnect <= 0 {
-			log.Fatalf("worker exited after %v: %v", time.Since(start).Round(time.Second), err)
-		}
-		d := bo.Next()
-		log.Printf("worker %s: connection lost (%v); reconnecting in %v", *id, err, d.Round(time.Millisecond))
-		time.Sleep(d)
+	err := wire.RunWorker(*master, cfg, wire.RunOptions{
+		ReconnectWindow: *reconnect,
+		Backoff:         wire.NewBackoff(time.Second, 30*time.Second),
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("worker %s exited after %v: %v", *id, time.Since(start).Round(time.Second), err)
 	}
+	log.Printf("worker %s drained cleanly after %v", *id, time.Since(start).Round(time.Second))
 }

@@ -5,7 +5,11 @@
 // bandwidth degradation — each wired into the simulation through the
 // small hooks the components expose (kubesim.PreemptNode and
 // SetPullFault, wq.KillWorker, netsim.SetDegradation), so a fault
-// plan is orthogonal to the scenario it runs against.
+// plan is orthogonal to the scenario it runs against. Control-plane
+// kill processes target the coordinators themselves — makeflow
+// runner, wq master, operator — through a harness-provided
+// ControlPlane that crashes the component and restarts it from its
+// durable state.
 //
 // Determinism: the injector draws from its own seeded RNG on the
 // single-threaded event engine, so a fixed (plan, scenario, seed)
@@ -64,16 +68,68 @@ type EgressPlan struct {
 	Factor  float64 // capacity multiplier in (0, 1] while degraded
 }
 
+// Component identifies one control-plane process the injector can
+// kill. Unlike node or worker faults, a control-plane kill targets the
+// coordinator itself — the makeflow runner, the wq master, or the
+// autoscaling operator — and the harness is responsible for restarting
+// the component from its durable state.
+type Component int
+
+const (
+	ComponentMakeflow Component = iota
+	ComponentMaster
+	ComponentOperator
+)
+
+func (c Component) String() string {
+	switch c {
+	case ComponentMakeflow:
+		return "makeflow"
+	case ComponentMaster:
+		return "master"
+	case ComponentOperator:
+		return "operator"
+	}
+	return "unknown"
+}
+
+// ControlPlaneKillPlan is one component's kill process: a Poisson
+// stream of crash-and-restart events, optionally capped.
+type ControlPlaneKillPlan struct {
+	// MeanInterval is the Poisson mean between kills. 0 = off.
+	MeanInterval time.Duration
+	// MaxKills stops the process after this many *delivered* kills
+	// (0 = unlimited). Attempts the harness refuses — component already
+	// down, workload finished — do not count against the cap.
+	MaxKills int
+}
+
+// ControlPlanePlan selects which control-plane components get killed,
+// each with an independent kill process.
+type ControlPlanePlan struct {
+	Makeflow ControlPlaneKillPlan
+	Master   ControlPlaneKillPlan
+	Operator ControlPlaneKillPlan
+}
+
+// Enabled reports whether any component kill process is armed.
+func (p ControlPlanePlan) Enabled() bool {
+	return p.Makeflow.MeanInterval > 0 ||
+		p.Master.MeanInterval > 0 ||
+		p.Operator.MeanInterval > 0
+}
+
 // Plan is a full fault plan. Zero-valued processes are disabled, so
 // the zero Plan injects nothing.
 type Plan struct {
 	// Seed drives the injector's private RNG.
 	Seed int64
 
-	Preemption  PreemptionPlan
-	WorkerCrash WorkerCrashPlan
-	ImagePull   ImagePullPlan
-	Egress      EgressPlan
+	Preemption   PreemptionPlan
+	WorkerCrash  WorkerCrashPlan
+	ImagePull    ImagePullPlan
+	Egress       EgressPlan
+	ControlPlane ControlPlanePlan
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -82,7 +138,8 @@ func (p Plan) Enabled() bool {
 		(len(p.Preemption.Windows) > 0 && p.Preemption.WindowMeanInterval > 0) ||
 		p.WorkerCrash.MeanInterval > 0 ||
 		p.ImagePull.FailProb > 0 || p.ImagePull.SlowProb > 0 ||
-		(len(p.Egress.Windows) > 0 && p.Egress.Factor > 0 && p.Egress.Factor < 1)
+		(len(p.Egress.Windows) > 0 && p.Egress.Factor > 0 && p.Egress.Factor < 1) ||
+		p.ControlPlane.Enabled()
 }
 
 // Cluster is the slice of kubesim the injector drives.
@@ -108,6 +165,15 @@ type EgressLink interface {
 	SetDegradation(factor float64)
 }
 
+// ControlPlane is the harness-side slice the control-plane kill
+// process drives. CrashComponent must kill the component and arrange
+// its restart from durable state; it reports whether the kill was
+// actually delivered (false when the component is already down or the
+// workload has finished — refused kills do not count).
+type ControlPlane interface {
+	CrashComponent(Component) bool
+}
+
 // Stats counts the faults an injector has delivered.
 type Stats struct {
 	Preemptions   int
@@ -115,6 +181,9 @@ type Stats struct {
 	PullFailures  int
 	PullSlowdowns int
 	EgressWindows int
+	MakeflowKills int
+	MasterKills   int
+	OperatorKills int
 }
 
 // Injector runs a Plan against attached components. All methods must
@@ -127,6 +196,7 @@ type Injector struct {
 	cluster Cluster
 	master  Master
 	link    EgressLink
+	cp      ControlPlane
 
 	started bool
 	stopped bool
@@ -164,6 +234,10 @@ func (in *Injector) AttachMaster(m Master) { in.master = m }
 // AttachLink wires the egress-degradation process to a link.
 func (in *Injector) AttachLink(l EgressLink) { in.link = l }
 
+// AttachControlPlane wires the control-plane kill processes to a
+// harness that can crash and restart coordinator components.
+func (in *Injector) AttachControlPlane(cp ControlPlane) { in.cp = cp }
+
 // Start arms every fault process the plan enables for the attached
 // components.
 func (in *Injector) Start() {
@@ -194,6 +268,18 @@ func (in *Injector) Start() {
 	}
 	if in.master != nil && in.plan.WorkerCrash.MeanInterval > 0 {
 		in.poissonLoop(in.plan.WorkerCrash.MeanInterval, time.Time{}, in.crashOne)
+	}
+	if in.cp != nil {
+		cp := in.plan.ControlPlane
+		if cp.Makeflow.MeanInterval > 0 {
+			in.killLoop(cp.Makeflow, ComponentMakeflow)
+		}
+		if cp.Master.MeanInterval > 0 {
+			in.killLoop(cp.Master, ComponentMaster)
+		}
+		if cp.Operator.MeanInterval > 0 {
+			in.killLoop(cp.Operator, ComponentOperator)
+		}
 	}
 	if in.link != nil && in.plan.Egress.Factor > 0 && in.plan.Egress.Factor < 1 {
 		for _, w := range in.plan.Egress.Windows {
@@ -259,6 +345,41 @@ func (in *Injector) poissonLoop(mean time.Duration, until time.Time, fn func()) 
 				return
 			}
 			fn()
+			arm()
+		})
+	}
+	arm()
+}
+
+// killLoop is the bounded Poisson kill process for one control-plane
+// component: it keeps drawing inter-arrival times until MaxKills kills
+// have been *delivered* (refused attempts re-arm without counting), so
+// an experiment can ask for exactly N mid-run restarts.
+func (in *Injector) killLoop(p ControlPlaneKillPlan, comp Component) {
+	lt := &loopTimer{}
+	in.timers = append(in.timers, lt)
+	delivered := 0
+	var arm func()
+	arm = func() {
+		d := time.Duration(in.rng.Exp(float64(p.MeanInterval)))
+		lt.tmr = in.eng.After(d, "chaos-kill-"+comp.String(), func() {
+			if in.stopped {
+				return
+			}
+			if in.cp.CrashComponent(comp) {
+				delivered++
+				switch comp {
+				case ComponentMakeflow:
+					in.stats.MakeflowKills++
+				case ComponentMaster:
+					in.stats.MasterKills++
+				case ComponentOperator:
+					in.stats.OperatorKills++
+				}
+			}
+			if p.MaxKills > 0 && delivered >= p.MaxKills {
+				return
+			}
 			arm()
 		})
 	}

@@ -103,6 +103,81 @@ func TestChaosWorkerCrashKillsBusyWorker(t *testing.T) {
 	inj.Stop()
 }
 
+// fakeControlPlane records delivered kills and can refuse a component.
+type fakeControlPlane struct {
+	eng    *simclock.Engine
+	refuse map[Component]bool
+	log    []string
+}
+
+func (f *fakeControlPlane) CrashComponent(c Component) bool {
+	if f.refuse[c] {
+		return false
+	}
+	f.log = append(f.log, fmt.Sprintf("%s %s", f.eng.Now().Format("15:04:05"), c))
+	return true
+}
+
+func runControlPlaneKills(seed int64, refuse map[Component]bool) (Stats, []string) {
+	eng := simclock.NewEngine(t0)
+	cp := &fakeControlPlane{eng: eng, refuse: refuse}
+	inj := New(eng, Plan{
+		Seed: seed,
+		ControlPlane: ControlPlanePlan{
+			Makeflow: ControlPlaneKillPlan{MeanInterval: 10 * time.Minute, MaxKills: 2},
+			Master:   ControlPlaneKillPlan{MeanInterval: 15 * time.Minute, MaxKills: 1},
+			Operator: ControlPlaneKillPlan{MeanInterval: 5 * time.Minute, MaxKills: 3},
+		},
+	})
+	inj.AttachControlPlane(cp)
+	inj.Start()
+	eng.RunUntil(t0.Add(6 * time.Hour))
+	inj.Stop()
+	return inj.Stats(), cp.log
+}
+
+func TestChaosControlPlaneKillsBoundedAndDeterministic(t *testing.T) {
+	s1, log1 := runControlPlaneKills(42, nil)
+	s2, log2 := runControlPlaneKills(42, nil)
+	if s1 != s2 || fmt.Sprint(log1) != fmt.Sprint(log2) {
+		t.Fatalf("same seed diverged:\n%+v %v\n%+v %v", s1, log1, s2, log2)
+	}
+	// Six hours at these means is far beyond every cap: each process
+	// must deliver exactly MaxKills and then disarm.
+	if s1.MakeflowKills != 2 || s1.MasterKills != 1 || s1.OperatorKills != 3 {
+		t.Fatalf("kills = %+v, want caps 2/1/3 reached exactly", s1)
+	}
+	if len(log1) != 6 {
+		t.Fatalf("delivered log has %d entries, want 6: %v", len(log1), log1)
+	}
+}
+
+func TestChaosControlPlaneRefusedKillsDoNotCount(t *testing.T) {
+	s, log := runControlPlaneKills(42, map[Component]bool{ComponentMaster: true})
+	if s.MasterKills != 0 {
+		t.Fatalf("refused kills counted: %+v", s)
+	}
+	// The other processes are unaffected by the refusals.
+	if s.MakeflowKills != 2 || s.OperatorKills != 3 {
+		t.Fatalf("kills = %+v, want 2 makeflow and 3 operator", s)
+	}
+	for _, line := range log {
+		if line[len(line)-len("master"):] == "master" {
+			t.Fatalf("refused master kill appeared in delivered log: %v", log)
+		}
+	}
+}
+
+func TestChaosControlPlanePlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	p := Plan{ControlPlane: ControlPlanePlan{Master: ControlPlaneKillPlan{MeanInterval: time.Minute}}}
+	if !p.Enabled() {
+		t.Fatal("control-plane-only plan reports disabled")
+	}
+}
+
 type fakeLink struct{ factors []float64 }
 
 func (f *fakeLink) SetDegradation(v float64) { f.factors = append(f.factors, v) }

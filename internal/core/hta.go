@@ -120,6 +120,12 @@ type Autoscaler struct {
 	warmupOver    bool
 	onDone        func()
 
+	// down marks the window between Crash and Restore (see
+	// snapshot.go): subscriptions stay registered but are ignored, the
+	// way events published while a controller process is dead never
+	// reach it.
+	down bool
+
 	// Decisions records every resize decision for observability.
 	Decisions []DecisionRecord
 }
@@ -211,6 +217,12 @@ func (a *Autoscaler) Start() error {
 // where the first of each new category still runs exclusively and is
 // measured (paper §IV-A).
 func (a *Autoscaler) Submit(spec wq.TaskSpec) int {
+	if a.down {
+		// No controller to hold tasks back: clients talk straight to the
+		// master (Restore reconciles everSubmitted from the master's
+		// submission count).
+		return a.master.Submit(spec)
+	}
 	a.everSubmitted = true
 	if a.cfg.DisableEstimator || a.warmupOver || !spec.Resources.IsZero() || a.mon.Known(spec.Category) {
 		return a.master.Submit(spec)
@@ -251,6 +263,9 @@ func (a *Autoscaler) Shutdown(onDone func()) {
 }
 
 func (a *Autoscaler) onTaskComplete(r wq.Result) {
+	if a.down {
+		return
+	}
 	a.mon.Observe(r.Task)
 	a.warmupOver = true
 	// Release any held tasks of the now-measured category.
@@ -310,6 +325,9 @@ func (a *Autoscaler) createWorkerPod() {
 }
 
 func (a *Autoscaler) onPodEvent(ev kubesim.PodWatchEvent) {
+	if a.down {
+		return
+	}
 	name := ev.Pod.Name
 	st, mine := a.pods[name]
 	if !mine {
@@ -400,6 +418,9 @@ func (a *Autoscaler) capacityDiscount(liveWorkers int) float64 {
 // measured); without this, a poison probe would strand its category
 // forever.
 func (a *Autoscaler) onTaskFailed(t wq.Task) {
+	if a.down {
+		return
+	}
 	if a.probeActive[t.Category] && !a.mon.Known(t.Category) {
 		delete(a.probeActive, t.Category)
 		if hs := a.held[t.Category]; len(hs) > 0 {

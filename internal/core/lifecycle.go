@@ -52,6 +52,31 @@ func (lt *LifecycleTracker) onPod(ev kubesim.PodWatchEvent) {
 	lt.samples = append(lt.samples, d)
 }
 
+// TrackerState is the serializable form of the tracker's
+// measurements, for control-plane checkpoints.
+type TrackerState struct {
+	// Latest is the current estimate; 0 means unmeasured (or marked
+	// stale), in which case Latest() serves the fallback.
+	Latest  time.Duration
+	Samples []time.Duration
+}
+
+// ExportState returns a deep copy of the tracker's measurements.
+func (lt *LifecycleTracker) ExportState() TrackerState {
+	return TrackerState{
+		Latest:  lt.latest,
+		Samples: append([]time.Duration(nil), lt.samples...),
+	}
+}
+
+// ImportState replaces the tracker's measurements with the exported
+// state (the fallback and selector are construction-time and keep
+// their current values).
+func (lt *LifecycleTracker) ImportState(st TrackerState) {
+	lt.latest = st.Latest
+	lt.samples = append([]time.Duration(nil), st.Samples...)
+}
+
 // MarkStale discards the current initialization-time estimate:
 // Latest returns the fallback again until a fresh cold-start sample
 // arrives. HTA calls this after a failure burst, when the last

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/workload"
+)
+
+func TestRestoreAdoptsPodsStartedDuringDowntime(t *testing.T) {
+	s := newStack(t, kubesim.Config{InitialNodes: 3, MaxNodes: 10}, Config{InitialWorkers: 3})
+	// Crash before the worker pods come up: their Started events fire
+	// into a dead controller and are lost.
+	st := s.a.Crash()
+	s.eng.RunFor(5 * time.Minute)
+	if got := len(s.master.Workers()); got != 0 {
+		t.Fatalf("workers registered while controller down = %d, want 0", got)
+	}
+	running := 0
+	for _, p := range s.cluster.ListPods(map[string]string{"app": "wq-worker"}) {
+		if p.Phase == kubesim.PodRunning {
+			running++
+		}
+	}
+	if running != 3 {
+		t.Fatalf("running worker pods = %d, want 3", running)
+	}
+
+	corrections := s.a.Restore(st)
+	if corrections != 3 {
+		t.Fatalf("corrections = %d, want 3 (one adoption per pod)", corrections)
+	}
+	if got := len(s.master.Workers()); got != 3 {
+		t.Fatalf("workers after restore = %d, want 3 (adopted, not recreated)", got)
+	}
+	// Idempotence: restoring the same checkpoint again finds nothing to
+	// fix and must not double-register anything.
+	st2 := s.a.Crash()
+	if c := s.a.Restore(st2); c != 0 {
+		t.Fatalf("second restore corrections = %d, want 0", c)
+	}
+	if got := s.a.WorkerPodCount(); got != 3 {
+		t.Fatalf("pod count after second restore = %d, want 3", got)
+	}
+}
+
+func TestRestoreRemovesWorkersWhosePodVanished(t *testing.T) {
+	s := newStack(t, kubesim.Config{InitialNodes: 3, MaxNodes: 10}, Config{InitialWorkers: 2})
+	s.eng.RunFor(5 * time.Minute)
+	if got := len(s.master.Workers()); got != 2 {
+		t.Fatalf("workers = %d, want 2", got)
+	}
+	victim := s.master.Workers()[0]
+	st := s.a.Crash()
+	if err := s.cluster.DeletePod(victim); err != nil {
+		t.Fatal(err)
+	}
+	s.eng.RunFor(time.Minute)
+	if got := len(s.master.Workers()); got != 2 {
+		t.Fatalf("master noticed deletion while controller down: %d workers", got)
+	}
+	if c := s.a.Restore(st); c != 1 {
+		t.Fatalf("corrections = %d, want 1 (vanished worker removed)", c)
+	}
+	if got := len(s.master.Workers()); got != 1 {
+		t.Fatalf("workers after restore = %d, want 1", got)
+	}
+}
+
+func TestCrashRestoreKeepsLearnedStateAndFinishesWorkload(t *testing.T) {
+	s := newStack(t, kubesim.Config{InitialNodes: 3, MaxNodes: 10}, Config{InitialWorkers: 3})
+	specs := workload.UniformParams{N: 40, Category: "x", Exec: 2 * time.Minute, Seed: 9}.Specs()
+	s.eng.RunFor(time.Minute)
+	for _, spec := range specs {
+		s.a.Submit(spec)
+	}
+	// Run until the category is measured mid-workload.
+	s.eng.RunWhile(func() bool {
+		return !s.a.Monitor().Known("x") && s.eng.Elapsed() < time.Hour
+	})
+	if !s.a.Monitor().Known("x") {
+		t.Fatal("category never measured")
+	}
+	est, _ := s.a.Monitor().EstimateResources("x")
+
+	st := s.a.Crash()
+	s.eng.RunFor(30 * time.Second)
+	s.a.Restore(st)
+
+	if !s.a.Monitor().Known("x") {
+		t.Fatal("restore lost the measured category")
+	}
+	if got, _ := s.a.Monitor().EstimateResources("x"); got != est {
+		t.Fatalf("estimate changed across restart: %v -> %v", est, got)
+	}
+	deadline := t0.Add(4 * time.Hour)
+	s.eng.RunWhile(func() bool {
+		return s.master.CompletedCount() < len(specs) && s.eng.Now().Before(deadline)
+	})
+	if got := s.master.CompletedCount(); got != len(specs) {
+		t.Fatalf("completed = %d/%d after restart", got, len(specs))
+	}
+	if sub := s.master.SubmittedCount(); sub != len(specs) {
+		t.Fatalf("submitted = %d, want %d (no double submission)", sub, len(specs))
+	}
+}

@@ -78,6 +78,11 @@ type RunResult struct {
 	// Chaos counts the faults the injector delivered (zero value when
 	// the run had no fault plan).
 	Chaos chaos.Stats
+	// Recovery aggregates crash/recovery activity: the master's
+	// task-level counters (rescues, fences, unrescued requeues) plus,
+	// for runs with control-plane kills, the harness's restart and
+	// replay counters.
+	Recovery metrics.RecoveryCounters
 
 	// CategoryOutstanding tracks waiting+running tasks per category
 	// over time (Fig. 10a's stage profile), when requested.
@@ -273,6 +278,7 @@ func attachChaos(eng *simclock.Engine, plan *chaos.Plan, cluster *kubesim.Cluste
 func captureFailures(res *RunResult, master *wq.Master, inj *chaos.Injector) {
 	res.Failures = master.FailureStats()
 	res.Submitted = master.SubmittedCount()
+	res.Recovery = master.RecoveryStats()
 	if inj != nil {
 		res.Chaos = inj.Stats()
 	}

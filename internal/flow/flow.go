@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hta/internal/dag"
+	"hta/internal/makeflow"
 	"hta/internal/wq"
 )
 
@@ -41,13 +42,15 @@ type SpecFunc func(n dag.Node) wq.TaskSpec
 // the TCP master delivers them from per-connection readers, the
 // simulated master from the event loop.
 type Runner struct {
-	mu     sync.Mutex
-	g      *dag.Graph
-	sched  Scheduler
-	spec   SpecFunc
-	onDone []func()
-	done   bool
-	failed error
+	mu       sync.Mutex
+	g        *dag.Graph
+	sched    Scheduler
+	spec     SpecFunc
+	log      makeflow.LogSink // nil = no journal
+	onDone   []func()
+	done     bool
+	detached bool
+	failed   error
 }
 
 // NewRunner prepares a runner; Start submits the initial frontier.
@@ -58,6 +61,37 @@ func NewRunner(g *dag.Graph, sched Scheduler, spec SpecFunc) *Runner {
 		fn.OnTaskFailed(r.onTaskFailed)
 	}
 	return r
+}
+
+// SetLog journals every rule transition to the sink (the Makeflow
+// transaction log). Install it before Start; a journal write failure
+// fails the workflow (a crash-consistent engine must not run ahead of
+// its log).
+func (r *Runner) SetLog(sink makeflow.LogSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = sink
+}
+
+// Detach permanently disconnects the runner from its scheduler
+// subscriptions: completions and failures delivered after Detach are
+// ignored. A restarted engine detaches the dead incarnation's runner
+// (subscriptions on the master cannot be removed) before starting a
+// new one on the same master.
+func (r *Runner) Detach() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.detached = true
+}
+
+// journal appends one transition; the caller holds r.mu.
+func (r *Runner) journal(state makeflow.TxnState, id string) {
+	if r.log == nil {
+		return
+	}
+	if err := r.log.Append(state, id); err != nil {
+		r.fail(fmt.Errorf("transaction log: %w", err))
+	}
 }
 
 // OnAllDone subscribes to workflow completion. The callback runs on
@@ -82,9 +116,14 @@ func (r *Runner) Err() error {
 	return r.failed
 }
 
-// Start submits the graph's ready frontier.
+// Start submits the graph's ready frontier. A graph carrying failed
+// nodes from recovery finishes with the failure recorded instead of
+// stalling on them.
 func (r *Runner) Start() {
 	r.mu.Lock()
+	if n := r.g.Counts()[dag.Failed]; n > 0 && r.failed == nil {
+		r.fail(fmt.Errorf("%d node(s) recovered in failed state", n))
+	}
 	fire := r.submitReady()
 	r.mu.Unlock()
 	for _, fn := range fire {
@@ -114,12 +153,14 @@ func (r *Runner) submitReady() []func() {
 					r.fail(err)
 					return nil
 				}
+				r.journal(makeflow.TxnLocal, id)
 				progressed = true
 				continue
 			}
 			spec := r.spec(n)
 			spec.Tag = id
 			r.sched.Submit(spec)
+			r.journal(makeflow.TxnSubmit, id)
 		}
 		if !progressed {
 			break
@@ -150,6 +191,10 @@ func (r *Runner) maybeFinish() []func() {
 
 func (r *Runner) onComplete(res wq.Result) {
 	r.mu.Lock()
+	if r.detached {
+		r.mu.Unlock()
+		return
+	}
 	id := res.Task.Tag
 	if r.g.State(id) != dag.Running {
 		r.mu.Unlock()
@@ -160,6 +205,7 @@ func (r *Runner) onComplete(res wq.Result) {
 		r.mu.Unlock()
 		return
 	}
+	r.journal(makeflow.TxnDone, id)
 	fire := r.submitReady()
 	r.mu.Unlock()
 	for _, fn := range fire {
@@ -173,6 +219,10 @@ func (r *Runner) onComplete(res wq.Result) {
 // semantics of a poison task.
 func (r *Runner) onTaskFailed(t wq.Task) {
 	r.mu.Lock()
+	if r.detached {
+		r.mu.Unlock()
+		return
+	}
 	id := t.Tag
 	if r.g.State(id) != dag.Running {
 		r.mu.Unlock()
@@ -183,6 +233,7 @@ func (r *Runner) onTaskFailed(t wq.Task) {
 		r.mu.Unlock()
 		return
 	}
+	r.journal(makeflow.TxnFail, id)
 	r.fail(fmt.Errorf("node %s failed permanently after %d attempts", id, t.Attempts))
 	fire := r.maybeFinish()
 	r.mu.Unlock()

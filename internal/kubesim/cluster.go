@@ -226,6 +226,15 @@ func (c *Cluster) recordEvent(object, reason, message string) {
 	})
 }
 
+// RecordEvent appends a controller-authored event to the cluster's
+// event log, the way an operator posts Events against the objects it
+// manages (kubectl describe visibility). HTA uses it to surface
+// crash-recovery activity: reattached workers, adopted pods,
+// reconcile corrections.
+func (c *Cluster) RecordEvent(object, reason, message string) {
+	c.recordEvent(object, reason, message)
+}
+
 // Events returns the full control-plane event log.
 func (c *Cluster) Events() []Event { return append([]Event(nil), c.events...) }
 

@@ -1,0 +1,121 @@
+package makeflow
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	s := NewMemorySink()
+	s.Append(TxnSubmit, "rule1:a")
+	s.Append(TxnSubmit, "rule2:b")
+	s.Append(TxnDone, "rule1:a")
+	s.Append(TxnLocal, "rule3:c")
+	s.Append(TxnSubmit, "rule4:d")
+	s.Append(TxnFail, "rule4:d")
+	rep, err := ReplayLog(bytes.NewReader(s.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(rep.Done, ","); got != "rule1:a,rule3:c" {
+		t.Fatalf("Done = %q", got)
+	}
+	if got := strings.Join(rep.InFlight, ","); got != "rule2:b" {
+		t.Fatalf("InFlight = %q", got)
+	}
+	if got := strings.Join(rep.Failed, ","); got != "rule4:d" {
+		t.Fatalf("Failed = %q", got)
+	}
+	if rep.Records != 6 || rep.Truncated {
+		t.Fatalf("Records=%d Truncated=%v", rep.Records, rep.Truncated)
+	}
+}
+
+// TestReplayTornTail verifies that a crash mid-append — the final
+// record has no newline — discards only the torn record.
+func TestReplayTornTail(t *testing.T) {
+	s := NewMemorySink()
+	s.Append(TxnSubmit, "a")
+	s.Append(TxnDone, "a")
+	log := append(s.Bytes(), []byte("submit b-torn-midw")...) // no '\n'
+	rep, err := ReplayLog(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("torn tail not flagged")
+	}
+	if len(rep.Done) != 1 || rep.Done[0] != "a" || len(rep.InFlight) != 0 {
+		t.Fatalf("recovered state wrong: %+v", rep)
+	}
+}
+
+// TestReplayCorruptMiddle verifies that a malformed record stops
+// replay at the last consistent prefix rather than erroring or
+// applying later records out of context.
+func TestReplayCorruptMiddle(t *testing.T) {
+	log := "submit a\ndone a\n\x00\x7fjunk\nsubmit c\n"
+	rep, err := ReplayLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("corruption not flagged")
+	}
+	if len(rep.Done) != 1 || len(rep.InFlight) != 0 {
+		t.Fatalf("prefix not consistent: %+v", rep)
+	}
+	if rep.Records != 2 {
+		t.Fatalf("Records = %d, want 2", rep.Records)
+	}
+}
+
+// TestReplayLastStateWins verifies a resubmitted rule (fail then
+// submit again then done) lands in Done only.
+func TestReplayLastStateWins(t *testing.T) {
+	log := "submit a\nfail a\nsubmit a\ndone a\n"
+	rep, err := ReplayLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Done) != 1 || len(rep.Failed) != 0 || len(rep.InFlight) != 0 {
+		t.Fatalf("last state did not win: %+v", rep)
+	}
+}
+
+func TestFileSinkAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.txn")
+	s, err := OpenFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(TxnSubmit, "a")
+	s.Append(TxnDone, "a")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen appends after the existing records, no second header.
+	s2, err := OpenFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Append(TxnSubmit, "b")
+	s2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), LogHeader); n != 1 {
+		t.Fatalf("header written %d times", n)
+	}
+	rep, err := ReplayLog(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Done) != 1 || len(rep.InFlight) != 1 || rep.InFlight[0] != "b" {
+		t.Fatalf("reopened log replay wrong: %+v", rep)
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+// RecoveryCounters aggregates control-plane crash/recovery activity
+// across one run: how often each component restarted and how much
+// state the recovery machinery carried across the restarts. The wq
+// master fills the task-level counters; the experiment harness fills
+// the restart and replay counters.
+type RecoveryCounters struct {
+	// MakeflowRestarts, MasterRestarts and OperatorRestarts count
+	// crash/restart cycles delivered to each component.
+	MakeflowRestarts int
+	MasterRestarts   int
+	OperatorRestarts int
+
+	// RescuedTasks counts running tasks re-adopted from reattaching
+	// workers after a master restart instead of being rescheduled.
+	RescuedTasks int
+	// FencedAttempts counts stale in-flight attempts rejected by the
+	// generation fence (the task had been superseded while the worker
+	// was away).
+	FencedAttempts int
+	// RequeuedUnrescued counts running tasks whose worker never
+	// reattached within the rescue window; they are retried with
+	// backoff, without consuming a retry-budget slot.
+	RequeuedUnrescued int
+	// ReplayedRecords counts transaction-log records applied by
+	// makeflow restarts.
+	ReplayedRecords int
+	// SkippedRules counts DAG rules recovery completed from the journal
+	// (work not redone).
+	SkippedRules int
+	// ReconcileCorrections counts divergences a restarted autoscaler or
+	// operator fixed while reconciling its persisted state against the
+	// live cluster (adopted pods, re-registered workers, reset drains).
+	ReconcileCorrections int
+}
+
+// Restarts returns the total restarts across all components.
+func (c RecoveryCounters) Restarts() int {
+	return c.MakeflowRestarts + c.MasterRestarts + c.OperatorRestarts
+}
+
+// Add accumulates o into c.
+func (c *RecoveryCounters) Add(o RecoveryCounters) {
+	c.MakeflowRestarts += o.MakeflowRestarts
+	c.MasterRestarts += o.MasterRestarts
+	c.OperatorRestarts += o.OperatorRestarts
+	c.RescuedTasks += o.RescuedTasks
+	c.FencedAttempts += o.FencedAttempts
+	c.RequeuedUnrescued += o.RequeuedUnrescued
+	c.ReplayedRecords += o.ReplayedRecords
+	c.SkippedRules += o.SkippedRules
+	c.ReconcileCorrections += o.ReconcileCorrections
+}

@@ -56,6 +56,14 @@ type Config struct {
 	// InitTimeFallback seeds the initialization-time estimate before
 	// the first measured cold start (default 160 s).
 	InitTimeFallback time.Duration
+	// StatePath, when set, persists the operator's learned state —
+	// per-category resource estimates, the measured initialization
+	// time, and the pod-name sequence — as JSON at this path, and
+	// reloads it on startup. A restarted operator then resumes with
+	// its estimates intact instead of re-learning every category from
+	// scratch. Checkpoints are written atomically (temp file + rename),
+	// so a crash mid-write leaves the previous checkpoint readable.
+	StatePath string
 	// Logf, when set, receives operator activity lines.
 	Logf func(format string, args ...any)
 }
@@ -126,6 +134,9 @@ func New(cfg Config) (*Operator, error) {
 		cfg:  cfg,
 		mon:  monitor.New(monitor.Config{}),
 		pods: make(map[string]*podState),
+	}
+	if err := o.loadState(); err != nil {
+		return nil, err
 	}
 	cfg.Master.OnComplete(o.onTaskComplete)
 	return o, nil
@@ -217,9 +228,15 @@ func (o *Operator) Run(ctx context.Context) error {
 				}
 				continue
 			}
-			o.handlePodEvent(ev)
+			if o.handlePodEvent(ev) {
+				// A fresh init-time measurement is worth checkpointing
+				// immediately — it is the scarcest signal the operator
+				// learns.
+				o.saveState()
+			}
 		case <-timer.C:
 			next := o.resize(ctx)
+			o.saveState()
 			timer.Reset(next)
 		}
 	}
@@ -292,7 +309,9 @@ func (o *Operator) bumpSeqLocked(name string) {
 	}
 }
 
-func (o *Operator) handlePodEvent(ev kubeclient.PodEvent) {
+// handlePodEvent updates the roster from one watch event and reports
+// whether a new init-time measurement was taken (worth checkpointing).
+func (o *Operator) handlePodEvent(ev kubeclient.PodEvent) bool {
 	name := ev.Pod.Metadata.Name
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -312,6 +331,7 @@ func (o *Operator) handlePodEvent(ev kubeclient.PodEvent) {
 				o.initTime = d
 				o.measured = true
 				o.cfg.Logf("operator: measured init time %v from %s", d.Round(time.Millisecond), name)
+				return true
 			}
 		}
 	case kubeclient.WatchDeleted:
@@ -319,6 +339,7 @@ func (o *Operator) handlePodEvent(ev kubeclient.PodEvent) {
 			delete(o.pods, name)
 		}
 	}
+	return false
 }
 
 func (o *Operator) createWorkerPod(ctx context.Context) error {

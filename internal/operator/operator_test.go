@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -305,6 +306,138 @@ func TestOperatorRewatchesAfterWatchDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool { return r.op.WorkerPods() == 1 }, "deletion after rewatch")
+}
+
+// TestOperatorRestartResumesLearnedState kills the operator process
+// (context cancel) mid-life and starts a fresh incarnation against the
+// same cluster, master, and state file: the new operator must load the
+// learned category estimates and measured init time from its
+// checkpoint, adopt the surviving pods, and not double-scale the
+// fleet.
+func TestOperatorRestartResumesLearnedState(t *testing.T) {
+	srv := kubetest.NewServer()
+	defer srv.Close()
+	client, err := kubeclient.New(kubeclient.Config{BaseURL: srv.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	// The kubelet outlives both operator incarnations, like a real
+	// node agent outlives a control-plane restart.
+	kctx, kcancel := context.WithCancel(context.Background())
+	defer kcancel()
+	startKubelet(t, kctx, srv, client, master.Addr())
+
+	statePath := filepath.Join(t.TempDir(), "operator-state.json")
+	cfg := Config{
+		Client: client, Master: master,
+		WorkerImage:      "wq-worker:latest",
+		WorkerResources:  resources.New(2, 2048, 10000),
+		InitialWorkers:   2,
+		MinWorkers:       2, // keep the fleet alive across the restart
+		MaxWorkers:       4,
+		Cycle:            100 * time.Millisecond,
+		InitTimeFallback: 300 * time.Millisecond,
+		StatePath:        statePath,
+	}
+
+	op1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go op1.Run(ctx1)
+	waitFor(t, func() bool { return master.Stats().Workers == 2 }, "initial fleet")
+
+	for i := 0; i < 4; i++ {
+		master.Submit("sleep 0.2", "persist", resources.New(1, 128, 1))
+	}
+	waitFor(t, func() bool { return master.Stats().Done == 4 }, "first batch")
+	waitFor(t, func() bool { return op1.Monitor().Known("persist") }, "category learned")
+	waitFor(t, func() bool {
+		d, measured := op1.InitTime()
+		return measured && d > 0
+	}, "init time measured")
+	// Wait for a checkpoint carrying the learned category (written on
+	// the next resize cycle at the latest).
+	waitFor(t, func() bool {
+		data, err := os.ReadFile(statePath)
+		return err == nil && strings.Contains(string(data), "persist")
+	}, "checkpoint written")
+	wantInit, _ := op1.InitTime()
+	wantEstimate, _ := op1.Monitor().EstimateResources("persist")
+
+	cancel1() // the operator process dies; pods and master survive
+	podsBefore := srv.PodCount()
+	if podsBefore == 0 {
+		t.Fatal("no pods survived the operator kill")
+	}
+
+	op2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learned state is available immediately after New, before Run:
+	// the checkpoint, not live traffic, is the source.
+	if !op2.Monitor().Known("persist") {
+		t.Fatal("restarted operator forgot the learned category")
+	}
+	if gotInit, measured := op2.InitTime(); !measured || gotInit != wantInit {
+		t.Errorf("restarted init time = %v measured=%v, want %v measured", gotInit, measured, wantInit)
+	}
+	if got, ok := op2.Monitor().EstimateResources("persist"); !ok || got != wantEstimate {
+		t.Errorf("restarted estimate = %+v, want %+v", got, wantEstimate)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go op2.Run(ctx2)
+	// The new incarnation adopts the surviving pods instead of
+	// creating a second fleet next to them.
+	waitFor(t, func() bool { return op2.WorkerPods() == podsBefore }, "pod adoption")
+	time.Sleep(3 * cfg.Cycle) // a few cycles to catch double-scaling
+	if got := srv.PodCount(); got != podsBefore {
+		t.Errorf("pod count %d after restart, want %d (no double-scale)", got, podsBefore)
+	}
+
+	// And the loop still works: new tasks complete on the adopted fleet.
+	for i := 0; i < 4; i++ {
+		master.Submit("sleep 0.1", "persist", resources.New(1, 128, 1))
+	}
+	waitFor(t, func() bool { return master.Stats().Done == 8 }, "post-restart batch")
+}
+
+// TestOperatorToleratesCorruptState starts against a torn checkpoint:
+// the operator must log and start fresh, never fail construction.
+func TestOperatorToleratesCorruptState(t *testing.T) {
+	srv := kubetest.NewServer()
+	defer srv.Close()
+	client, _ := kubeclient.New(kubeclient.Config{BaseURL: srv.URL()})
+	master, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(statePath, []byte(`{"monitor":{"categories":[{"cat`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	op, err := New(Config{
+		Client: client, Master: master,
+		WorkerImage: "wq-worker:latest",
+		StatePath:   statePath,
+	})
+	if err != nil {
+		t.Fatalf("corrupt checkpoint bricked the operator: %v", err)
+	}
+	if op.Monitor().Known("anything") {
+		t.Error("corrupt checkpoint produced learned state")
+	}
 }
 
 func TestOperatorConfigValidation(t *testing.T) {

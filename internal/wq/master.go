@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"hta/internal/metrics"
 	"hta/internal/netsim"
 	"hta/internal/resources"
 	"hta/internal/simclock"
@@ -71,7 +72,18 @@ type Master struct {
 
 	retry        RetryPolicy
 	retryPending map[int]simclock.Timer // task ID -> backoff timer
+	retryResume  map[int]time.Time      // task ID -> backoff deadline (for Snapshot)
 	fstats       FailureStats
+
+	// Crash/restore state (see snapshot.go): epoch counts restarts,
+	// rescuable holds running tasks awaiting their worker's reattach,
+	// down marks the window between Crash and Restore.
+	epoch       int
+	rescuable   map[int]struct{}
+	rescueTmr   simclock.Timer
+	down        bool
+	downSubmits []TaskSpec
+	rec         metrics.RecoveryCounters
 
 	dispatchPending bool
 	completeCount   int
@@ -133,6 +145,7 @@ func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 		waiting:      newWaitQueue(),
 		workers:      make(map[string]*simWorker),
 		retryPending: make(map[int]simclock.Timer),
+		retryResume:  make(map[int]time.Time),
 		lastPassRev:  ^uint64(0),
 	}
 }
@@ -204,8 +217,15 @@ func (m *Master) recycleRunningTask(rt *runningTask) {
 	m.rtFree = append(m.rtFree, rt)
 }
 
-// Submit enqueues a task and returns its ID.
+// Submit enqueues a task and returns its ID. While the master is down
+// (between Crash and Restore) submissions buffer and are replayed —
+// with fresh IDs — when the master comes back; 0 is returned for
+// them, like a scheduler deferring a task internally.
 func (m *Master) Submit(spec TaskSpec) int {
+	if m.down {
+		m.downSubmits = append(m.downSubmits, spec)
+		return 0
+	}
 	m.nextID++
 	t := m.allocTask()
 	*t = Task{
@@ -528,6 +548,7 @@ func (m *Master) Cancel(id int) error {
 		if tmr, pending := m.retryPending[id]; pending {
 			tmr.Stop()
 			delete(m.retryPending, id)
+			delete(m.retryResume, id)
 		} else {
 			m.waiting.Remove(id, t.Resources)
 		}
@@ -613,6 +634,7 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 	t.WorkerID = w.id
 	t.StartedAt = m.eng.Now()
 	t.Attempts++
+	t.Gen++
 	t.Allocated = alloc
 	t.Exclusive = exclusive
 	rt := m.newRunningTask()
@@ -761,7 +783,7 @@ type Stats struct {
 // incremental aggregates.
 func (m *Master) Stats() Stats {
 	return Stats{
-		Waiting:         m.waiting.Len() + len(m.retryPending),
+		Waiting:         m.waiting.Len() + len(m.retryPending) + len(m.rescuable),
 		Running:         m.runningCount,
 		Complete:        m.completeCount,
 		Quarantined:     m.fstats.Quarantined,

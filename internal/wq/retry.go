@@ -95,14 +95,27 @@ func (m *Master) QuarantinedCount() int { return m.fstats.Quarantined }
 // delayed resubmission, or reports that the caller should requeue it
 // immediately (returned true).
 func (m *Master) failAttempt(t *Task) (requeueNow bool) {
+	return m.failAttemptCharged(t, true)
+}
+
+// failAttemptCharged is failAttempt with the budget charge optional:
+// a task whose worker died while the master itself was down is not at
+// fault, so the rescue-window expiry retries it with backoff without
+// consuming a retry-budget slot (charge=false skips the quarantine
+// check, never the backoff).
+func (m *Master) failAttemptCharged(t *Task, charge bool) (requeueNow bool) {
 	t.Allocated = resources.Zero
 	t.Exclusive = false
-	if m.retry.MaxAttempts > 0 && t.Attempts >= m.retry.MaxAttempts {
+	if charge && m.retry.MaxAttempts > 0 && t.Attempts >= m.retry.MaxAttempts {
 		m.quarantine(t)
 		return false
 	}
 	t.State = TaskWaiting
-	if d := m.retry.backoff(t.Attempts); d > 0 {
+	failures := t.Attempts
+	if failures < 1 {
+		failures = 1
+	}
+	if d := m.retry.backoff(failures); d > 0 {
 		m.scheduleRetry(t, d)
 		return false
 	}
@@ -130,8 +143,10 @@ func (m *Master) quarantine(t *Task) {
 // the queue; Stats counts it and Cancel stops the timer.
 func (m *Master) scheduleRetry(t *Task, d time.Duration) {
 	id := t.ID
+	m.retryResume[id] = m.eng.Now().Add(d)
 	m.retryPending[id] = m.eng.After(d, "wq-retry", func() {
 		delete(m.retryPending, id)
+		delete(m.retryResume, id)
 		m.enqueueFront([]int{id})
 	})
 }

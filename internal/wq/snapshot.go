@@ -1,0 +1,369 @@
+package wq
+
+// Crash consistency for the simulated master. Snapshot captures the
+// master's durable state (the journal a real master would keep);
+// Crash models the process dying — workers detach and keep executing
+// on their own — and Restore rebuilds the same object in place, so
+// every component holding a *Master pointer (autoscaler, flow runner,
+// samplers) survives the restart like clients reconnecting to a
+// rebooted service.
+//
+// Running tasks are not rescheduled on restart: they enter a rescue
+// window during which a reattaching worker reporting the matching
+// in-flight attempt (same worker, same generation) resumes it where
+// it left off. Attempts superseded while the worker was away are
+// fenced by the generation counter; tasks whose worker never returns
+// are retried with backoff after the window, without consuming a
+// retry-budget slot (the downtime was not the task's fault).
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hta/internal/metrics"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+)
+
+// RetryResume is one task sitting out a retry backoff at snapshot
+// time, with its resume deadline.
+type RetryResume struct {
+	ID     int
+	Resume time.Time
+}
+
+// Snapshot is the master's durable state: every task record, the
+// waiting-queue order, pending retry deadlines, accounting totals and
+// failure counters. It is a deep copy — mutating the master after
+// Snapshot does not alter it.
+type Snapshot struct {
+	Epoch         int
+	NextID        int
+	CompleteCount int
+	Tasks         []Task // every task record, ordered by ID
+	QueueOrder    []int  // waiting-queue dispatch order
+	RetryResume   []RetryResume
+	Failures      FailureStats
+}
+
+// InflightTask is one task a detached worker still holds: the attempt
+// generation it received and the execution time left at detach.
+type InflightTask struct {
+	ID        int
+	Gen       int
+	Remaining time.Duration
+}
+
+// WorkerReattach is everything needed to reattach one worker after a
+// master restart — what a real worker reports in its reconnect
+// handshake. Draining records that a drain was requested before the
+// crash (informational: the drain request died with the master and is
+// re-issued by the autoscaler's reconcile, not by AttachWorker).
+type WorkerReattach struct {
+	ID         string
+	Capacity   resources.Vector
+	DetachedAt time.Time
+	Draining   bool
+	Inflight   []InflightTask
+}
+
+// Snapshot captures the master's durable state without disturbing it.
+func (m *Master) Snapshot() Snapshot {
+	snap := Snapshot{
+		Epoch:         m.epoch,
+		NextID:        m.nextID,
+		CompleteCount: m.completeCount,
+		Failures:      m.fstats,
+		QueueOrder:    m.waiting.QueueOrder(),
+	}
+	ids := make([]int, 0, len(m.tasks))
+	for id := range m.tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	snap.Tasks = make([]Task, 0, len(ids))
+	for _, id := range ids {
+		snap.Tasks = append(snap.Tasks, *m.tasks[id])
+	}
+	for id, at := range m.retryResume {
+		snap.RetryResume = append(snap.RetryResume, RetryResume{ID: id, Resume: at})
+	}
+	sort.Slice(snap.RetryResume, func(i, j int) bool { return snap.RetryResume[i].ID < snap.RetryResume[j].ID })
+	return snap
+}
+
+// Crash models the master process dying: it returns the state a
+// journal would have persisted plus, for the simulation's benefit,
+// the reattach records of every connected worker (real workers carry
+// this state themselves and report it when they reconnect). The
+// master object is reset in place and refuses submissions until
+// Restore. Workers keep executing their tasks while the master is
+// down — their in-flight records carry the execution time remaining
+// at detach. Crash while already down is a no-op.
+func (m *Master) Crash() (Snapshot, []WorkerReattach) {
+	if m.down {
+		return Snapshot{}, nil
+	}
+	snap := m.Snapshot()
+	now := m.eng.Now()
+	workers := make([]WorkerReattach, 0, len(m.workerOrder))
+	for _, wid := range m.workerOrder {
+		w := m.workers[wid]
+		wr := WorkerReattach{
+			ID:         w.id,
+			Capacity:   w.pool.Capacity(),
+			DetachedAt: now,
+			Draining:   w.draining,
+		}
+		tids := make([]int, 0, len(w.running))
+		for tid := range w.running {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			rt := w.running[tid]
+			t := rt.task
+			remaining := t.Profile.ExecDuration
+			if rt.executing {
+				if remaining -= now.Sub(rt.execStart); remaining < 0 {
+					remaining = 0
+				}
+			}
+			wr.Inflight = append(wr.Inflight, InflightTask{ID: tid, Gen: t.Gen, Remaining: remaining})
+			// Stop the attempt's master-side machinery without the lost-
+			// work accounting of stopTask: the attempt itself lives on at
+			// the worker.
+			if rt.inTr != nil {
+				rt.inTr.Cancel()
+				rt.inTr = nil
+			}
+			if rt.outTr != nil {
+				rt.outTr.Cancel()
+				rt.outTr = nil
+			}
+			rt.execTmr.Stop()
+			rt.abortTmr.Stop()
+			rt.aborted = true
+		}
+		names := make([]string, 0, len(w.fetches))
+		for name := range w.fetches {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			w.fetches[name].Cancel()
+		}
+		workers = append(workers, wr)
+	}
+	for _, tmr := range m.retryPending {
+		tmr.Stop()
+	}
+	m.rescueTmr.Stop()
+
+	m.nextID = 0
+	m.tasks = make(map[int]*Task)
+	m.taskSlab = nil
+	m.waiting = newWaitQueue()
+	m.rtFree = nil
+	m.workers = make(map[string]*simWorker)
+	m.workerOrder = nil
+	m.idle = nil
+	m.retryPending = make(map[int]simclock.Timer)
+	m.retryResume = make(map[int]time.Time)
+	m.rescuable = nil
+	m.fstats = FailureStats{}
+	m.completeCount = 0
+	m.runningCount, m.idleCount, m.drainingCount = 0, 0, 0
+	m.totalCap, m.totalUsed, m.busyUsage = resources.Zero, resources.Zero, resources.Zero
+	m.rev++
+	m.down = true
+	return snap, workers
+}
+
+// Restore rebuilds the master from a snapshot — the restarted process
+// replaying its journal. Waiting tasks re-enter the queue in their
+// former dispatch order, retry backoffs re-arm for their remaining
+// delay, and every formerly running task enters the rescue window:
+// for rescueWindow, a reattaching worker may resume it (AttachWorker);
+// afterwards survivors are requeued with backoff, budget unchanged.
+// Submissions buffered during the downtime are replayed last. The
+// epoch advances by one restart.
+func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
+	m.down = false
+	m.epoch = snap.Epoch + 1
+	m.nextID = snap.NextID
+	m.completeCount = snap.CompleteCount
+	m.fstats = snap.Failures
+	for i := range snap.Tasks {
+		t := m.allocTask()
+		*t = snap.Tasks[i]
+		m.tasks[t.ID] = t
+	}
+	for _, id := range snap.QueueOrder {
+		t := m.tasks[id]
+		m.waiting.Push(id, t.Priority, t.Resources)
+	}
+	now := m.eng.Now()
+	for _, rr := range snap.RetryResume {
+		d := rr.Resume.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		m.scheduleRetry(m.tasks[rr.ID], d)
+	}
+	m.rescuable = make(map[int]struct{})
+	for i := range snap.Tasks {
+		if snap.Tasks[i].State == TaskRunning {
+			m.rescuable[snap.Tasks[i].ID] = struct{}{}
+		}
+	}
+	if len(m.rescuable) > 0 {
+		if rescueWindow < 0 {
+			rescueWindow = 0
+		}
+		m.rescueTmr = m.eng.After(rescueWindow, "wq-rescue-window", m.expireRescue)
+	}
+	pending := m.downSubmits
+	m.downSubmits = nil
+	for _, spec := range pending {
+		m.Submit(spec)
+	}
+	m.rev++
+	m.scheduleDispatch()
+}
+
+// Epoch returns the number of restarts this master has survived.
+func (m *Master) Epoch() int { return m.epoch }
+
+// Down reports whether the master is crashed (between Crash and
+// Restore).
+func (m *Master) Down() bool { return m.down }
+
+// RecoveryStats returns the rescue/fence counters accumulated across
+// the master's restarts.
+func (m *Master) RecoveryStats() metrics.RecoveryCounters { return m.rec }
+
+// AttachWorker reattaches a worker after a restart: AddWorker plus
+// rescue of the in-flight attempts it reports. An attempt resumes
+// only when the restored record still shows the task running on this
+// worker at the same generation; anything else — task completed,
+// requeued and redispatched, or quarantined while the worker was away
+// — is fenced and dropped (the worker discards the stale attempt).
+// Rescued attempts finish after their remaining execution time minus
+// the downtime already elapsed since detach; they do not consume a
+// new retry-budget slot and are not fast-abort armed (their original
+// dispatch deadline died with the old master).
+func (m *Master) AttachWorker(w WorkerReattach) error {
+	if m.down {
+		return fmt.Errorf("wq: master is down; Restore before AttachWorker")
+	}
+	if err := m.AddWorker(w.ID, w.Capacity); err != nil {
+		return err
+	}
+	sw := m.workers[w.ID]
+	downFor := m.eng.Now().Sub(w.DetachedAt)
+	if downFor < 0 {
+		downFor = 0
+	}
+	for _, it := range w.Inflight {
+		t, ok := m.tasks[it.ID]
+		if !ok || t.State != TaskRunning || t.WorkerID != w.ID || t.Gen != it.Gen {
+			m.rec.FencedAttempts++
+			continue
+		}
+		if _, pending := m.rescuable[it.ID]; !pending {
+			m.rec.FencedAttempts++
+			continue
+		}
+		delete(m.rescuable, it.ID)
+		remaining := it.Remaining - downFor
+		if remaining < 0 {
+			remaining = 0
+		}
+		m.rescue(sw, t, remaining)
+	}
+	if len(m.rescuable) == 0 {
+		m.rescueTmr.Stop()
+	}
+	return nil
+}
+
+// rescue resumes a running task on its reattached worker for the
+// remaining execution time. Attempts and Gen are untouched: this is
+// the same attempt continuing, not a redispatch.
+func (m *Master) rescue(w *simWorker, t *Task, remaining time.Duration) {
+	if err := w.pool.Acquire(t.Allocated); err != nil {
+		// The reported allocation no longer fits (inconsistent reattach
+		// record); treat it like an unrescued task rather than corrupt
+		// the pool accounting.
+		m.rec.FencedAttempts++
+		if m.failAttemptCharged(t, false) {
+			m.enqueueFront([]int{t.ID})
+		}
+		return
+	}
+	if len(w.running) == 0 && !w.draining {
+		m.idleCount--
+	}
+	m.runningCount++
+	m.totalUsed = m.totalUsed.Add(t.Allocated)
+	rt := m.newRunningTask()
+	rt.task, rt.worker = t, w
+	rt.aborted = false
+	rt.pending = 0
+	w.running[t.ID] = rt
+	rt.executing = true
+	rt.execStart = m.eng.Now()
+	rt.execUsage = t.Profile.Usage().Min(t.Allocated)
+	m.busyUsage = m.busyUsage.Add(rt.execUsage)
+	rt.execTmr = m.eng.After(remaining, "wq-exec", rt.execDone)
+	m.rec.RescuedTasks++
+}
+
+// expireRescue requeues every running task whose worker did not
+// reattach within the rescue window. The lost attempt is charged to
+// the master's downtime, not the task: backoff applies, the retry
+// budget does not.
+func (m *Master) expireRescue() {
+	ids := make([]int, 0, len(m.rescuable))
+	for id := range m.rescuable {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	m.rescuable = nil
+	var requeued []int
+	for _, id := range ids {
+		t := m.tasks[id]
+		m.rec.RequeuedUnrescued++
+		m.fstats.Requeues++
+		if m.failAttemptCharged(t, false) {
+			requeued = append(requeued, id)
+		}
+	}
+	m.enqueueFront(requeued)
+}
+
+// CompletedTags returns the Tag of every completed task, ordered by
+// task ID — the master-side completion record a restarted workflow
+// engine folds into its journal replay (flow.Recover's extraDone).
+func (m *Master) CompletedTags() []string { return m.tagsInState(TaskComplete) }
+
+// QuarantinedTags returns the Tag of every permanently failed task,
+// ordered by task ID (flow.Recover's extraFailed).
+func (m *Master) QuarantinedTags() []string { return m.tagsInState(TaskQuarantined) }
+
+func (m *Master) tagsInState(st TaskState) []string {
+	ids := make([]int, 0, len(m.tasks))
+	for id, t := range m.tasks {
+		if t.State == st {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	tags := make([]string, 0, len(ids))
+	for _, id := range ids {
+		tags = append(tags, m.tasks[id].Tag)
+	}
+	return tags
+}

@@ -113,6 +113,11 @@ type Task struct {
 	State    TaskState
 	WorkerID string // worker currently (or last) hosting the task
 	Attempts int    // dispatch count, >1 after requeues
+	// Gen is the attempt generation, bumped on every dispatch. After a
+	// master restart it fences stale attempts: a reattaching worker
+	// reporting an in-flight task is only allowed to resume it when its
+	// generation matches the restored record (see AttachWorker).
+	Gen int
 
 	SubmittedAt time.Time
 	StartedAt   time.Time // last dispatch time

@@ -70,6 +70,20 @@ type MasterConfig struct {
 	// (heartbeat or result) is older than this; its tasks requeue.
 	// 0 disables liveness checking.
 	HeartbeatTimeout time.Duration
+	// ReattachGrace parks a disconnected worker's running tasks for
+	// this long before requeueing them: if the worker reconnects
+	// within the grace window still reporting the attempts in flight,
+	// they are rescued (resume as the same attempt) instead of being
+	// rescheduled. 0 requeues immediately (the pre-recovery
+	// behaviour).
+	ReattachGrace time.Duration
+}
+
+// parkedWorker holds a disconnected worker's in-flight allocations
+// while the reattach grace window runs.
+type parkedWorker struct {
+	tasks map[int]resources.Vector
+	timer *time.Timer
 }
 
 // Master is a TCP Work Queue master.
@@ -83,6 +97,9 @@ type Master struct {
 	waiting    []int
 	workers    map[string]*workerConn
 	order      []string
+	parked     map[string]*parkedWorker
+	rescued    int
+	fenced     int
 	onComplete []func(Result)
 	closed     bool
 	done       chan struct{}
@@ -104,6 +121,7 @@ func ListenConfig(addr string, cfg MasterConfig) (*Master, error) {
 		cfg:     cfg,
 		tasks:   make(map[int]*Task),
 		workers: make(map[string]*workerConn),
+		parked:  make(map[string]*parkedWorker),
 		done:    make(chan struct{}),
 	}
 	m.wg.Add(1)
@@ -164,6 +182,10 @@ func (m *Master) Close() error {
 	for _, w := range m.workers {
 		conns = append(conns, w)
 	}
+	for _, p := range m.parked {
+		p.timer.Stop()
+	}
+	m.parked = make(map[string]*parkedWorker)
 	m.mu.Unlock()
 	err := m.ln.Close()
 	for _, w := range conns {
@@ -336,9 +358,54 @@ func (m *Master) serve(c *conn) {
 		_ = c.close()
 		return
 	}
+	// Reconnect: rescue the attempts this worker still has in flight
+	// and the master still has parked for it. Everything else the
+	// worker reports is superseded and fenced off via drop_ids.
+	reported := make(map[int]bool, len(reg.InflightIDs))
+	for _, id := range reg.InflightIDs {
+		reported[id] = true
+	}
+	if p, ok := m.parked[w.id]; ok {
+		delete(m.parked, w.id)
+		p.timer.Stop()
+		var requeued []int
+		ids := make([]int, 0, len(p.tasks))
+		for id := range p.tasks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			t := m.tasks[id]
+			if reported[id] && t != nil && t.Status == StatusRunning && t.WorkerID == w.id {
+				_ = w.pool.Acquire(p.tasks[id])
+				w.running[id] = p.tasks[id]
+				m.rescued++
+				continue
+			}
+			if t != nil && t.Status == StatusRunning && t.WorkerID == w.id {
+				t.Status = StatusWaiting
+				t.WorkerID = ""
+				t.Allocated = resources.Zero
+				requeued = append(requeued, id)
+			}
+		}
+		m.waiting = append(requeued, m.waiting...)
+	}
+	var drop []int
+	for _, id := range reg.InflightIDs {
+		if _, rescued := w.running[id]; !rescued {
+			drop = append(drop, id)
+			m.fenced++
+		}
+	}
+	sort.Ints(drop)
 	m.workers[w.id] = w
 	m.order = append(m.order, w.id)
 	m.mu.Unlock()
+	if err := c.write(Frame{Type: TypeRegisterAck, WorkerID: w.id, DropIDs: drop}); err != nil {
+		m.disconnect(w)
+		return
+	}
 	m.dispatch()
 
 	for {
@@ -382,11 +449,14 @@ func (m *Master) handleResult(w *workerConn, f Frame) {
 	m.dispatch()
 }
 
-// disconnect requeues the worker's running tasks and removes it.
+// disconnect removes a worker whose connection ended. With a reattach
+// grace configured, its running tasks are parked first — still
+// assigned, awaiting the worker's reconnect — and only requeued when
+// the grace window expires; otherwise they requeue immediately.
 func (m *Master) disconnect(w *workerConn) {
 	_ = w.conn.close()
 	m.mu.Lock()
-	if _, ok := m.workers[w.id]; !ok {
+	if m.workers[w.id] != w {
 		m.mu.Unlock()
 		return
 	}
@@ -396,6 +466,17 @@ func (m *Master) disconnect(w *workerConn) {
 			m.order = append(m.order[:i], m.order[i+1:]...)
 			break
 		}
+	}
+	if m.cfg.ReattachGrace > 0 && len(w.running) > 0 && !w.draining && !m.closed {
+		id := w.id
+		p := &parkedWorker{tasks: make(map[int]resources.Vector, len(w.running))}
+		for tid, alloc := range w.running {
+			p.tasks[tid] = alloc
+		}
+		p.timer = time.AfterFunc(m.cfg.ReattachGrace, func() { m.expireParked(id, p) })
+		m.parked[id] = p
+		m.mu.Unlock()
+		return
 	}
 	var requeued []int
 	for id := range w.running {
@@ -409,6 +490,48 @@ func (m *Master) disconnect(w *workerConn) {
 	m.waiting = append(requeued, m.waiting...)
 	m.mu.Unlock()
 	m.dispatch()
+}
+
+// expireParked requeues a parked worker's tasks after the reattach
+// grace window passed without a reconnect.
+func (m *Master) expireParked(workerID string, p *parkedWorker) {
+	m.mu.Lock()
+	if m.parked[workerID] != p {
+		m.mu.Unlock()
+		return // the worker reconnected (or Close cleared the park)
+	}
+	delete(m.parked, workerID)
+	var requeued []int
+	for id := range p.tasks {
+		t := m.tasks[id]
+		if t == nil || t.Status != StatusRunning || t.WorkerID != workerID {
+			continue
+		}
+		t.Status = StatusWaiting
+		t.WorkerID = ""
+		t.Allocated = resources.Zero
+		requeued = append(requeued, id)
+	}
+	sort.Ints(requeued)
+	m.waiting = append(requeued, m.waiting...)
+	m.mu.Unlock()
+	m.dispatch()
+}
+
+// RescuedCount returns how many in-flight attempts reconnecting
+// workers resumed instead of being rescheduled.
+func (m *Master) RescuedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rescued
+}
+
+// FencedCount returns how many reported in-flight attempts were
+// rejected at reconnect (superseded while the worker was away).
+func (m *Master) FencedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fenced
 }
 
 // dispatch assigns waiting tasks to workers: known requirements

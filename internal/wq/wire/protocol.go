@@ -9,7 +9,15 @@
 // "type" discriminator:
 //
 //	worker → master: register, result, heartbeat
-//	master → worker: task, drain
+//	master → worker: register_ack, task, drain
+//
+// Registration is a two-way handshake: the master admits the worker
+// with a register_ack frame (a reconnecting worker is not healthy
+// until the ack arrives — a listener that accepts and drops the
+// connection must not reset reconnect backoff). A reconnecting worker
+// reports the task IDs still executing from its previous connection;
+// the master rescues the attempts it still has parked for that worker
+// and tells it to drop the rest via the ack's drop_ids.
 package wire
 
 import (
@@ -22,11 +30,12 @@ import (
 
 // Message types.
 const (
-	TypeRegister  = "register"
-	TypeResult    = "result"
-	TypeTask      = "task"
-	TypeDrain     = "drain"
-	TypeHeartbeat = "heartbeat"
+	TypeRegister    = "register"
+	TypeRegisterAck = "register_ack"
+	TypeResult      = "result"
+	TypeTask        = "task"
+	TypeDrain       = "drain"
+	TypeHeartbeat   = "heartbeat"
 )
 
 // Frame is the wire message envelope. Unused fields are omitted per
@@ -39,6 +48,15 @@ type Frame struct {
 	Cores    int64  `json:"cores,omitempty"`     // millicores
 	MemoryMB int64  `json:"memory_mb,omitempty"` // MB
 	DiskMB   int64  `json:"disk_mb,omitempty"`   // MB
+	// InflightIDs are the tasks still executing from the worker's
+	// previous connection (reconnect handshake).
+	InflightIDs []int `json:"inflight_ids,omitempty"`
+
+	// register_ack
+	// DropIDs are reported in-flight attempts the master no longer
+	// wants (superseded while the worker was away); the worker cancels
+	// them and discards their results.
+	DropIDs []int `json:"drop_ids,omitempty"`
 
 	// task
 	TaskID   int    `json:"task_id,omitempty"`

@@ -210,14 +210,16 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestDuplicateWorkerIDRejected(t *testing.T) {
 	m, _ := newPair(t, 1, resources.New(1, 256, 10))
-	w2, err := Connect(m.Addr(), WorkerConfig{ID: "w1", Capacity: resources.New(1, 256, 10)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w2.Close()
-	// The duplicate is dropped by the master.
-	if err := w2.Wait(); err == nil {
-		t.Error("duplicate worker should be disconnected with an error")
+	// The master drops the duplicate without an ack, so the handshake
+	// fails and the error surfaces at Connect.
+	w2, err := Connect(m.Addr(), WorkerConfig{
+		ID:               "w1",
+		Capacity:         resources.New(1, 256, 10),
+		HandshakeTimeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		w2.Close()
+		t.Error("duplicate worker should be rejected during the handshake")
 	}
 	if got := m.Stats().Workers; got != 1 {
 		t.Errorf("workers = %d, want 1", got)

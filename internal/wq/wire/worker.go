@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"os/exec"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,24 +25,34 @@ type WorkerConfig struct {
 	// HeartbeatInterval is the liveness-frame period (default 10 s;
 	// negative disables heartbeats).
 	HeartbeatInterval time.Duration
+	// HandshakeTimeout bounds the wait for the master's register_ack
+	// (default 5 s). A dial that succeeds but never acks counts as a
+	// failed connection attempt.
+	HandshakeTimeout time.Duration
 }
 
-// Worker executes task commands received from a wire.Master.
+// Worker executes task commands received from a wire.Master. A Worker
+// outlives its TCP connection: when the connection drops, running
+// commands keep executing and their results are buffered; a
+// subsequent Connect re-registers with the still-running task IDs so
+// the master can rescue the attempts instead of rescheduling them.
 type Worker struct {
-	cfg  WorkerConfig
-	conn *conn
+	cfg WorkerConfig
 
 	mu       sync.Mutex
+	conn     *conn         // current connection; nil while disconnected
+	connDone chan struct{} // closed when the current connection's loop exits
 	running  map[int]context.CancelFunc
+	pending  []Frame // results not yet delivered to any master
 	draining bool
-	done     chan struct{}
-	wg       sync.WaitGroup
+	finished bool // clean drain: terminal
 	err      error
+	wg       sync.WaitGroup
 }
 
-// Connect dials the master and registers. The worker starts serving
-// immediately; Wait blocks until it exits (drain or disconnect).
-func Connect(addr string, cfg WorkerConfig) (*Worker, error) {
+// NewWorker validates the configuration and returns a disconnected
+// worker; call Connect to register with a master.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("wire: worker needs an ID")
 	}
@@ -54,52 +65,142 @@ func Connect(addr string, cfg WorkerConfig) (*Worker, error) {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = 10 * time.Second
 	}
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial master: %w", err)
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
 	}
-	w := &Worker{
+	return &Worker{
 		cfg:     cfg,
-		conn:    newConn(raw),
 		running: make(map[int]context.CancelFunc),
-		done:    make(chan struct{}),
-	}
-	if err := w.conn.write(Frame{
-		Type:     TypeRegister,
-		WorkerID: cfg.ID,
-		Cores:    cfg.Capacity.MilliCPU,
-		MemoryMB: cfg.Capacity.MemoryMB,
-		DiskMB:   cfg.Capacity.DiskMB,
-	}); err != nil {
-		_ = w.conn.close()
+	}, nil
+}
+
+// Connect dials the master and registers. The worker starts serving
+// immediately; Wait blocks until it exits (drain or disconnect).
+func Connect(addr string, cfg WorkerConfig) (*Worker, error) {
+	w, err := NewWorker(cfg)
+	if err != nil {
 		return nil, err
 	}
-	go w.loop()
-	if cfg.HeartbeatInterval > 0 {
-		go w.heartbeatLoop(cfg.HeartbeatInterval)
+	if err := w.Connect(addr); err != nil {
+		return nil, err
 	}
 	return w, nil
 }
 
-func (w *Worker) heartbeatLoop(interval time.Duration) {
+// Connect establishes a (new) connection to the master: dial,
+// register — reporting any tasks still executing from a previous
+// connection — and wait for the master's ack. Attempts the ack names
+// in drop_ids are canceled; buffered results are flushed. Connect
+// returns an error if the worker already drained cleanly, if it still
+// has a live connection, or if the handshake fails.
+func (w *Worker) Connect(addr string) error {
+	w.mu.Lock()
+	if w.finished {
+		w.mu.Unlock()
+		return fmt.Errorf("wire: worker %q already drained", w.cfg.ID)
+	}
+	if w.conn != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("wire: worker %q already connected", w.cfg.ID)
+	}
+	inflight := make([]int, 0, len(w.running))
+	for id := range w.running {
+		inflight = append(inflight, id)
+	}
+	w.mu.Unlock()
+	sort.Ints(inflight)
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial master: %w", err)
+	}
+	c := newConn(raw)
+	if err := c.write(Frame{
+		Type:        TypeRegister,
+		WorkerID:    w.cfg.ID,
+		Cores:       w.cfg.Capacity.MilliCPU,
+		MemoryMB:    w.cfg.Capacity.MemoryMB,
+		DiskMB:      w.cfg.Capacity.DiskMB,
+		InflightIDs: inflight,
+	}); err != nil {
+		_ = c.close()
+		return err
+	}
+	// The connection is not healthy until the master admits us: wait
+	// for the ack under a deadline so a half-open master can't hang
+	// the reconnect loop.
+	_ = raw.SetReadDeadline(time.Now().Add(w.cfg.HandshakeTimeout))
+	ack, err := c.read()
+	if err != nil {
+		_ = c.close()
+		return fmt.Errorf("wire: handshake: %w", err)
+	}
+	if ack.Type != TypeRegisterAck {
+		_ = c.close()
+		return fmt.Errorf("wire: handshake: unexpected %q frame", ack.Type)
+	}
+	_ = raw.SetReadDeadline(time.Time{})
+
+	w.mu.Lock()
+	for _, id := range ack.DropIDs {
+		if cancel, ok := w.running[id]; ok {
+			cancel() // superseded attempt; its late result is dropped below
+			delete(w.running, id)
+		}
+	}
+	drop := make(map[int]bool, len(ack.DropIDs))
+	for _, id := range ack.DropIDs {
+		drop[id] = true
+	}
+	pending := w.pending
+	w.pending = nil
+	w.conn = c
+	connDone := make(chan struct{})
+	w.connDone = connDone
+	w.mu.Unlock()
+
+	for _, res := range pending {
+		if drop[res.TaskID] {
+			continue
+		}
+		if err := c.write(res); err != nil {
+			break
+		}
+	}
+	go w.loop(c, connDone)
+	if w.cfg.HeartbeatInterval > 0 {
+		go w.heartbeatLoop(c, connDone, w.cfg.HeartbeatInterval)
+	}
+	return nil
+}
+
+func (w *Worker) heartbeatLoop(c *conn, connDone chan struct{}, interval time.Duration) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
-		case <-w.done:
+		case <-connDone:
 			return
 		case <-tick.C:
-			if err := w.conn.write(Frame{Type: TypeHeartbeat}); err != nil {
+			if err := c.write(Frame{Type: TypeHeartbeat}); err != nil {
 				return
 			}
 		}
 	}
 }
 
-// Wait blocks until the worker exits and returns its terminal error
-// (nil after a clean drain).
+// Wait blocks until the current connection ends and returns the
+// worker's state: nil after a clean drain, the connection error
+// otherwise (the caller may then Connect again to resume).
 func (w *Worker) Wait() error {
-	<-w.done
+	w.mu.Lock()
+	ch := w.connDone
+	w.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.err
 }
 
@@ -109,23 +210,33 @@ func (w *Worker) Close() error {
 	for _, cancel := range w.running {
 		cancel()
 	}
+	c := w.conn
 	w.mu.Unlock()
-	return w.conn.close()
+	if c != nil {
+		return c.close()
+	}
+	return nil
 }
 
-func (w *Worker) loop() {
-	defer close(w.done)
+func (w *Worker) loop(c *conn, connDone chan struct{}) {
+	defer close(connDone)
 	for {
-		f, err := w.conn.read()
+		f, err := c.read()
 		if err != nil {
 			w.mu.Lock()
-			draining := w.draining && len(w.running) == 0
-			w.mu.Unlock()
-			if !draining {
+			if w.conn == c {
+				w.conn = nil
+			}
+			if w.draining && len(w.running) == 0 {
+				w.finished = true
+				w.err = nil
+			} else {
+				// Running commands keep executing; their results buffer
+				// until the next Connect.
 				w.err = err
 			}
-			w.wg.Wait()
-			_ = w.conn.close()
+			w.mu.Unlock()
+			_ = c.close()
 			return
 		}
 		switch f.Type {
@@ -138,7 +249,14 @@ func (w *Worker) loop() {
 			w.mu.Unlock()
 			if idle {
 				w.wg.Wait()
-				_ = w.conn.close()
+				w.mu.Lock()
+				if w.conn == c {
+					w.conn = nil
+				}
+				w.finished = true
+				w.err = nil
+				w.mu.Unlock()
+				_ = c.close()
 				return
 			}
 		}
@@ -159,12 +277,23 @@ func (w *Worker) startTask(f Frame) {
 		defer cancel()
 		res := w.execute(ctx, f)
 		w.mu.Lock()
+		if _, mine := w.running[f.TaskID]; !mine {
+			// Dropped by a reconnect ack while executing: discard.
+			w.mu.Unlock()
+			return
+		}
 		delete(w.running, f.TaskID)
 		drainingIdle := w.draining && len(w.running) == 0
+		c := w.conn
 		w.mu.Unlock()
-		_ = w.conn.write(res)
-		if drainingIdle {
-			_ = w.conn.close()
+		delivered := c != nil && c.write(res) == nil
+		if !delivered {
+			w.mu.Lock()
+			w.pending = append(w.pending, res)
+			w.mu.Unlock()
+		}
+		if drainingIdle && c != nil {
+			_ = c.close()
 		}
 	}()
 }
