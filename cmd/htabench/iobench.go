@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"hta/internal/experiments"
+	"hta/internal/netsim"
+	"hta/internal/simclock"
+)
+
+// ioBenchFile is where -json writes the data-plane scaling results:
+// the E-H fleet sweep and the paired indexed-vs-reference link
+// benchmark.
+const ioBenchFile = "BENCH_5.json"
+
+// ioBenchRow is one E-H cell or one link-benchmark measurement.
+type ioBenchRow struct {
+	Name        string  `json:"name"`
+	Scaler      string  `json:"scaler,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Tasks       int     `json:"tasks,omitempty"`
+	RuntimeS    float64 `json:"runtime_s,omitempty"`
+	Completed   int     `json:"completed,omitempty"`
+	Submitted   int     `json:"submitted,omitempty"`
+	PeakWorkers int     `json:"peak_workers,omitempty"`
+	AvgMBps     float64 `json:"avg_mbps,omitempty"`
+	Transfers   int     `json:"transfers,omitempty"`
+	WallMS      float64 `json:"wall_ms,omitempty"`
+	// Speedup is indexed-vs-reference for the paired link rows.
+	Speedup float64 `json:"speedup_vs_reference,omitempty"`
+}
+
+type ioBenchReport struct {
+	Seed       int64        `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Benchmarks []ioBenchRow `json:"benchmarks"`
+}
+
+// runIOBench executes the E-H fleet sweep (1k/5k/10k workers, HTA vs
+// pinned HPA) and the 10k-concurrent-transfer link benchmark against
+// both netsim implementations, writing the results to BENCH_5.json.
+func runIOBench(seed int64) error {
+	rep := ioBenchReport{Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	start := time.Now()
+	sweep, err := experiments.IOScaleEH(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, ioBenchRow{
+		Name:   "IOScaleEH",
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+	for _, row := range sweep.Rows {
+		rep.Benchmarks = append(rep.Benchmarks, ioBenchRow{
+			Name:        fmt.Sprintf("EH/%s/W=%d", row.Scaler, row.Workers),
+			Scaler:      row.Scaler,
+			Workers:     row.Workers,
+			Tasks:       row.Tasks,
+			RuntimeS:    row.Runtime.Seconds(),
+			Completed:   row.Completed,
+			Submitted:   row.Submitted,
+			PeakWorkers: row.PeakWorkers,
+			AvgMBps:     row.AvgMBps,
+		})
+	}
+
+	link, err := benchLinkScalePair()
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, link...)
+
+	f, err := os.Create(ioBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("io-benchmark results written to %s\n", ioBenchFile)
+	return nil
+}
+
+// benchLinkScalePair mirrors internal/netsim's BenchmarkLinkScale —
+// ramp a link to 10k concurrent transfers, then churn to 20k total —
+// once per implementation, and verifies the two simulations reach the
+// same outcome before reporting the speedup.
+func benchLinkScalePair() ([]ioBenchRow, error) {
+	const (
+		width = 10000
+		total = 20000
+	)
+	run := func(reference bool) (float64, netsim.Stats, error) {
+		start := time.Now()
+		eng := simclock.NewEngine(experiments.SimStart)
+		var l *netsim.Link
+		if reference {
+			l = netsim.NewReferenceLink(eng, 1000, 0)
+		} else {
+			l = netsim.NewLink(eng, 1000, 0)
+		}
+		started := 0
+		var startOne func()
+		startOne = func() {
+			size := float64(started%97)*3.5 + 1
+			started++
+			l.Start(size, func() {
+				if started < total {
+					startOne()
+				}
+			})
+		}
+		for i := 0; i < width; i++ {
+			startOne()
+		}
+		eng.Run()
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		s := l.Stats()
+		if s.Completed != total {
+			return 0, s, fmt.Errorf("link scale completed %d of %d (reference=%v)", s.Completed, total, reference)
+		}
+		return ms, s, nil
+	}
+	indexedMS, indexedStats, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	referenceMS, referenceStats, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	// Equal simulated outcomes: the speedup only counts if both
+	// implementations moved the same bytes over the same busy time.
+	if math.Abs(indexedStats.DeliveredMB-referenceStats.DeliveredMB) > 1e-6*indexedStats.DeliveredMB {
+		return nil, fmt.Errorf("delivered MB diverges: indexed %v, reference %v",
+			indexedStats.DeliveredMB, referenceStats.DeliveredMB)
+	}
+	if diff := indexedStats.BusyTime - referenceStats.BusyTime; diff < -time.Duration(total) || diff > time.Duration(total) {
+		return nil, fmt.Errorf("busy time diverges: indexed %v, reference %v",
+			indexedStats.BusyTime, referenceStats.BusyTime)
+	}
+	return []ioBenchRow{
+		{
+			Name: "LinkScale", Transfers: total, WallMS: indexedMS,
+			AvgMBps: indexedStats.AvgBandwidth, Speedup: referenceMS / indexedMS,
+		},
+		{
+			Name: "LinkScaleReference", Transfers: total, WallMS: referenceMS,
+			AvgMBps: referenceStats.AvgBandwidth,
+		},
+	}, nil
+}

@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io]
 //	         [-json] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The io run is experiment E-H — the Fig. 11 I/O-bound workload swept
+// to 1k/5k/10k-worker fleets — and is not in the default set: its
+// pinned-HPA cells simulate weeks of virtual time. Invoke it with
+// -runs io.
 //
 // -json additionally runs the scale benchmarks (10k-task dispatch
 // storm, parallel-vs-serial sweep, and the paired indexed-vs-naive
 // control-plane benchmarks), writing their wall-clock results to
 // BENCH_3.json, the E-F fault-injection experiment, writing its
-// summary to BENCH_2.json, and the E-G control-plane crash-recovery
-// experiment, writing its summary to BENCH_4.json; combine with
-// -runs none to run only them. (BENCH_1.json is the
-// pre-control-plane-scaling historical record.)
+// summary to BENCH_2.json, the E-G control-plane crash-recovery
+// experiment, writing its summary to BENCH_4.json, and the E-H fleet
+// sweep plus the paired indexed-vs-reference link benchmark, writing
+// their results to BENCH_5.json; combine with -runs none to run only
+// them. (BENCH_1.json is the pre-control-plane-scaling historical
+// record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // the invocation ran — the standard way to find the next control-plane
@@ -101,6 +108,7 @@ func run() int {
 		{"stream", func() (fmt.Stringer, error) { return experiments.Stream(*seed) }},
 		{"chaos", func() (fmt.Stringer, error) { return experiments.ChaosEF(*seed) }},
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoveryEG(*seed) }},
+		{"io", func() (fmt.Stringer, error) { return experiments.IOScaleEH(*seed) }},
 	}
 
 	var page *report.Page
@@ -145,6 +153,10 @@ func run() int {
 		}
 		if err := runRecoveryBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "recovery bench: %v\n", err)
+			failed = true
+		}
+		if err := runIOBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "io bench: %v\n", err)
 			failed = true
 		}
 	}

@@ -233,15 +233,32 @@ func (sm *sampler) shortageCores() float64 {
 }
 
 // newLink builds the master egress link, or nil when mbps is zero.
-func newLink(eng *simclock.Engine, mbps, contention, perTransfer float64) *netsim.Link {
+// reference selects the retained O(n)-per-event link implementation
+// (netsim.NewReferenceLink) for differential experiment runs.
+func newLink(eng *simclock.Engine, mbps, contention, perTransfer float64, reference bool) *netsim.Link {
 	if mbps <= 0 {
 		return nil
 	}
-	l := netsim.NewLink(eng, mbps, perTransfer)
+	var l *netsim.Link
+	if reference {
+		l = netsim.NewReferenceLink(eng, mbps, perTransfer)
+	} else {
+		l = netsim.NewLink(eng, mbps, perTransfer)
+	}
 	if contention > 0 && contention < 1 {
 		l.SetContention(contention)
 	}
 	return l
+}
+
+// samplePeriod returns the sampler tick for a run: the experiment's
+// override, or the default SampleInterval. Long large-fleet runs
+// override it because every tick walks the waiting queue.
+func samplePeriod(every time.Duration) time.Duration {
+	if every > 0 {
+		return every
+	}
+	return SampleInterval
 }
 
 // ErrTimeout reports a scenario that did not finish within its
@@ -313,6 +330,11 @@ type HTAOptions struct {
 	Retry wq.RetryPolicy
 	// Chaos, when set and enabled, injects faults into the run.
 	Chaos *chaos.Plan
+	// ReferenceLink routes the egress link through the retained
+	// walk-everything netsim implementation (differential runs).
+	ReferenceLink bool
+	// SampleEvery overrides the sampler period (0 = SampleInterval).
+	SampleEvery time.Duration
 }
 
 // RunHTA executes the workload through the full HTA stack.
@@ -326,7 +348,7 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	}
 	cluster := kubesim.NewCluster(eng, opt.Kube)
 	defer cluster.Stop()
-	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer, opt.ReferenceLink)
 	master := wq.NewMaster(eng, link)
 	master.SetPolicy(opt.Policy)
 	master.SetRetryPolicy(opt.Retry)
@@ -345,7 +367,7 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	if len(opt.Categories) > 0 {
 		sm.trackCategories(opt.Categories)
 	}
-	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	ticker := eng.Every(samplePeriod(opt.SampleEvery), "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
 
 	res := &RunResult{Name: name, Start: eng.Now()}
@@ -395,6 +417,11 @@ type HPAOptions struct {
 	Retry wq.RetryPolicy
 	// Chaos, when set and enabled, injects faults into the run.
 	Chaos *chaos.Plan
+	// ReferenceLink routes the egress link through the retained
+	// walk-everything netsim implementation (differential runs).
+	ReferenceLink bool
+	// SampleEvery overrides the sampler period (0 = SampleInterval).
+	SampleEvery time.Duration
 }
 
 // RunHPA executes the workload on an HPA-scaled worker fleet.
@@ -414,7 +441,7 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	}
 	cluster := kubesim.NewCluster(eng, opt.Kube)
 	defer cluster.Stop()
-	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer, opt.ReferenceLink)
 	master := wq.NewMaster(eng, link)
 	master.SetRetryPolicy(opt.Retry)
 	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
@@ -436,7 +463,7 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	if len(opt.Categories) > 0 {
 		sm.trackCategories(opt.Categories)
 	}
-	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	ticker := eng.Every(samplePeriod(opt.SampleEvery), "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
 
 	res := &RunResult{Name: name, Start: eng.Now()}
@@ -487,6 +514,11 @@ type StaticOptions struct {
 	// Chaos, when set and enabled, injects worker-crash and egress
 	// faults (no cluster exists in a static run).
 	Chaos *chaos.Plan
+	// ReferenceLink routes the egress link through the retained
+	// walk-everything netsim implementation (differential runs).
+	ReferenceLink bool
+	// SampleEvery overrides the sampler period (0 = SampleInterval).
+	SampleEvery time.Duration
 }
 
 // RunStatic executes the workload on a fixed fleet.
@@ -495,7 +527,7 @@ func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) 
 		opt.Timeout = 24 * time.Hour
 	}
 	eng := simclock.NewEngine(SimStart)
-	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer)
+	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer, opt.ReferenceLink)
 	master := wq.NewMaster(eng, link)
 	master.SetRetryPolicy(opt.Retry)
 	for i := 0; i < opt.Workers; i++ {
@@ -505,7 +537,7 @@ func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) 
 	}
 	inj := attachChaos(eng, opt.Chaos, nil, master, link)
 	sm := newSampler(master, nil, opt.Workers)
-	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	ticker := eng.Every(samplePeriod(opt.SampleEvery), "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
 
 	res := &RunResult{Name: name, Start: eng.Now()}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// ioScaleSmall is a shrunken E-H configuration: same cell structure
+// (HTA and pinned-HPA per fleet size), fleets small enough that a
+// cell runs in milliseconds.
+func ioScaleSmall() IOScaleConfig {
+	return IOScaleConfig{
+		Workers:        []int{3, 6},
+		TasksPerWorker: 2,
+		ExecMean:       10 * time.Second,
+		ExecJitter:     0.10,
+		InputMB:        5,
+		OutputMB:       1,
+		LinkMBps:       200,
+		PerTransfer:    50,
+		Seed:           7,
+	}
+}
+
+func TestIOScaleSmallDeterministic(t *testing.T) {
+	first, err := IOScaleEHWith(ioScaleSmall())
+	if err != nil {
+		t.Fatalf("IOScaleEHWith: %v", err)
+	}
+	if len(first.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(first.Rows))
+	}
+	for _, row := range first.Rows {
+		if row.Completed != row.Tasks || row.Submitted != row.Tasks {
+			t.Errorf("%s/W=%d: completed %d submitted %d, want %d",
+				row.Scaler, row.Workers, row.Completed, row.Submitted, row.Tasks)
+		}
+		if row.Runtime <= 0 {
+			t.Errorf("%s/W=%d: runtime %v", row.Scaler, row.Workers, row.Runtime)
+		}
+		if row.AvgMBps <= 0 {
+			t.Errorf("%s/W=%d: no link traffic recorded", row.Scaler, row.Workers)
+		}
+	}
+	second, err := IOScaleEHWith(ioScaleSmall())
+	if err != nil {
+		t.Fatalf("IOScaleEHWith (second): %v", err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("E-H not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestIOScaleReferenceLinkIdentical runs the small sweep through both
+// netsim implementations. The rendered reports must be byte-identical
+// and the raw rows must agree structurally; runtimes carry the same
+// ±1 ns-per-completion budget as the netsim differential suite (the
+// reference accumulates remaining bytes incrementally, so its
+// ceil-to-ns completion instants can flip by one nanosecond — see
+// internal/netsim/differential_test.go).
+func TestIOScaleReferenceLinkIdentical(t *testing.T) {
+	indexed, err := IOScaleEHWith(ioScaleSmall())
+	if err != nil {
+		t.Fatalf("indexed: %v", err)
+	}
+	refCfg := ioScaleSmall()
+	refCfg.Reference = true
+	reference, err := IOScaleEHWith(refCfg)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if got, want := reference.String(), indexed.String(); got != want {
+		t.Errorf("reference diverges from indexed:\n--- indexed ---\n%s\n--- reference ---\n%s", want, got)
+	}
+	for i := range indexed.Rows {
+		a, b := indexed.Rows[i], reference.Rows[i]
+		if a.Completed != b.Completed || a.Submitted != b.Submitted || a.PeakWorkers != b.PeakWorkers {
+			t.Errorf("row %d: indexed %+v, reference %+v", i, a, b)
+		}
+		budget := time.Duration(a.Completed + 1) // 1 ns per completion
+		if diff := a.Runtime - b.Runtime; diff < -budget || diff > budget {
+			t.Errorf("row %d: runtime indexed %v, reference %v (budget %v)", i, a.Runtime, b.Runtime, budget)
+		}
+		if a.AvgMBps != 0 && abs(a.AvgMBps-b.AvgMBps)/a.AvgMBps > 1e-6 {
+			t.Errorf("row %d: bandwidth indexed %v, reference %v", i, a.AvgMBps, b.AvgMBps)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

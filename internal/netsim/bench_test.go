@@ -35,3 +35,55 @@ func BenchmarkContendedTransfers(b *testing.B) {
 	}
 	e.Run()
 }
+
+// runLinkScale ramps up to width concurrent transfers and then churns:
+// every completion starts a replacement until total transfers have
+// been started, holding the active set near width throughout. This is
+// the regime the reference implementation handles in O(n) per event
+// and the virtual-time implementation in O(log n).
+func runLinkScale(mk func(*simclock.Engine, float64, float64) *Link, width, total int) Stats {
+	e := simclock.NewEngine(t0)
+	l := mk(e, 1000, 0)
+	started := 0
+	var churn func()
+	startOne := func() {
+		started++
+		l.Start(float64(started%97)*3.5+1, churn)
+	}
+	churn = func() {
+		if started < total {
+			startOne()
+		}
+	}
+	for i := 0; i < width; i++ {
+		startOne()
+	}
+	e.Run()
+	return l.Stats()
+}
+
+// BenchmarkLinkScale is the headline data-plane benchmark: 10k
+// concurrent transfers with churn on the virtual-time link.
+func BenchmarkLinkScale(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := runLinkScale(NewLink, 10_000, 20_000)
+		if s.Completed != 20_000 {
+			b.Fatalf("completed %d transfers, want 20000", s.Completed)
+		}
+	}
+}
+
+// BenchmarkLinkScaleReference runs the identical scenario on the
+// retained reference implementation. Like the Naive control-plane
+// baselines it is excluded from the CI bench smoke; htabench -runs io
+// records the measured speedup in BENCH_5.json.
+func BenchmarkLinkScaleReference(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := runLinkScale(NewReferenceLink, 10_000, 20_000)
+		if s.Completed != 20_000 {
+			b.Fatalf("completed %d transfers, want 20000", s.Completed)
+		}
+	}
+}

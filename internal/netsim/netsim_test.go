@@ -331,3 +331,132 @@ func TestSetContentionValidation(t *testing.T) {
 		}()
 	}
 }
+
+// forBothImpls runs a test against the indexed and the retained
+// reference implementation.
+func forBothImpls(t *testing.T, fn func(t *testing.T, mk func(*simclock.Engine, float64, float64) *Link)) {
+	t.Run("indexed", func(t *testing.T) { fn(t, NewLink) })
+	t.Run("reference", func(t *testing.T) { fn(t, NewReferenceLink) })
+}
+
+// TestReadsDoNotChurnTimers is the regression test for the read-path
+// fix: Remaining and Stats used to stop and re-arm the completion
+// timer (and re-rate every transfer) on a pure read. Reads must not
+// schedule anything, and completions must still fire correctly after
+// a burst of reads.
+func TestReadsDoNotChurnTimers(t *testing.T) {
+	forBothImpls(t, func(t *testing.T, mk func(*simclock.Engine, float64, float64) *Link) {
+		e := simclock.NewEngine(t0)
+		l := mk(e, 90, 0)
+		var done []int
+		trs := []*Transfer{
+			l.Start(100, func() { done = append(done, 0) }),
+			l.Start(200, func() { done = append(done, 1) }),
+			l.Start(300, func() { done = append(done, 2) }),
+		}
+		e.RunFor(time.Second)
+		before := e.Scheduled()
+		for i := 0; i < 100; i++ {
+			for _, tr := range trs {
+				tr.Remaining()
+				tr.Rate()
+			}
+			l.Stats()
+		}
+		if after := e.Scheduled(); after != before {
+			t.Fatalf("reads scheduled %d events", after-before)
+		}
+		if l.Active() != 3 {
+			t.Fatalf("reads changed active set: %d", l.Active())
+		}
+		// Advance partway and read again mid-flight.
+		e.RunFor(2 * time.Second)
+		mid := e.Scheduled()
+		s := l.Stats()
+		if !almost(s.DeliveredMB, 90*3, 1e-6) {
+			t.Fatalf("delivered after 3s = %v, want 270", s.DeliveredMB)
+		}
+		if e.Scheduled() != mid {
+			t.Fatalf("Stats scheduled events")
+		}
+		e.Run()
+		if want := []int{0, 1, 2}; len(done) != 3 || done[0] != want[0] || done[1] != want[1] || done[2] != want[2] {
+			t.Fatalf("completions after read burst = %v, want %v", done, want)
+		}
+		if got := l.Stats().Completed; got != 3 {
+			t.Fatalf("completed = %d", got)
+		}
+	})
+}
+
+// TestCompletionBatchOrderedByID pins the deterministic by-id
+// callback order for batches of simultaneous completions (now
+// produced by sort.Slice rather than an O(k²) bubble sort).
+func TestCompletionBatchOrderedByID(t *testing.T) {
+	forBothImpls(t, func(t *testing.T, mk func(*simclock.Engine, float64, float64) *Link) {
+		e := simclock.NewEngine(t0)
+		l := mk(e, 640, 0)
+		var order []int
+		const n = 64
+		for i := 0; i < n; i++ {
+			i := i
+			l.Start(10, func() { order = append(order, i) })
+		}
+		e.Run()
+		if len(order) != n {
+			t.Fatalf("completions = %d, want %d", len(order), n)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("completion %d was transfer %d; want ascending start order", i, got)
+			}
+		}
+	})
+}
+
+// TestReferenceBasics exercises the retained implementation's core
+// behaviours directly (the differential suite covers the rest).
+func TestReferenceBasics(t *testing.T) {
+	e := simclock.NewEngine(t0)
+	l := NewReferenceLink(e, 100, 0)
+	var d1, d2 time.Duration
+	l.Start(100, func() { d1 = e.Elapsed() })
+	l.Start(100, func() { d2 = e.Elapsed() })
+	e.Run()
+	if d1 != d2 || d1 != 2*time.Second {
+		t.Errorf("fair-share durations %v, %v; want both 2s", d1, d2)
+	}
+
+	e = simclock.NewEngine(t0)
+	l = NewReferenceLink(e, 100, 10) // cap binds: 10 MB/s each
+	var capped time.Duration
+	l.Start(50, func() { capped = e.Elapsed() })
+	l.Start(50, nil)
+	e.Run()
+	if capped != 5*time.Second {
+		t.Errorf("capped duration %v, want 5s", capped)
+	}
+
+	e = simclock.NewEngine(t0)
+	l = NewReferenceLink(e, 100, 0)
+	fired := false
+	tr := l.Start(100, func() { fired = true })
+	other := l.Start(100, nil)
+	e.RunFor(time.Second)
+	if !tr.Cancel() {
+		t.Fatal("cancel reported inactive")
+	}
+	if tr.Cancel() {
+		t.Fatal("second cancel succeeded")
+	}
+	e.Run()
+	if fired {
+		t.Error("canceled transfer ran its callback")
+	}
+	if rem := other.Remaining(); rem != 0 {
+		t.Errorf("surviving transfer remaining = %v", rem)
+	}
+	if got := l.Stats().Completed; got != 1 {
+		t.Errorf("completed = %d, want 1", got)
+	}
+}

@@ -37,6 +37,7 @@ type event struct {
 	gen      uint64 // incremented on recycle; Timers validate it
 	fn       func()
 	name     string
+	eng      *Engine
 	canceled bool
 	index    int // heap index, -1 once popped
 }
@@ -84,6 +85,7 @@ type Engine struct {
 	free      []*event // recycled events
 	seq       uint64
 	processed uint64
+	scheduled uint64
 }
 
 // NewEngine returns an Engine whose clock starts at start.
@@ -111,6 +113,11 @@ func (e *Engine) Pending() int {
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Scheduled returns the total number of events ever scheduled via
+// At/After/Every, including ones later canceled. Tests use the delta
+// across an operation to assert that read paths do not re-arm timers.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
 // Timer is a handle to a scheduled event; Stop cancels it. The zero
 // Timer is valid and Stop on it is a no-op, so a Timer field needs no
 // nil check. Timers are values — copying one is fine, and holding a
@@ -121,7 +128,11 @@ type Timer struct {
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
-// fired (and had not already been stopped).
+// fired (and had not already been stopped). The event is removed from
+// the queue eagerly — components that re-arm a timer on every state
+// change (the network model's completion timer) would otherwise bury
+// the queue in canceled entries and pay their log factor on every
+// pop.
 func (t Timer) Stop() bool {
 	ev := t.ev
 	if ev == nil || ev.gen != t.gen || ev.canceled {
@@ -132,6 +143,8 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	ev.canceled = true
+	heap.Remove(&ev.eng.events, ev.index)
+	ev.eng.recycle(ev)
 	return true
 }
 
@@ -167,8 +180,9 @@ func (e *Engine) At(at time.Time, name string, fn func()) Timer {
 		at = e.now
 	}
 	e.seq++
+	e.scheduled++
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn, ev.name = at, e.seq, fn, name
+	ev.at, ev.seq, ev.fn, ev.name, ev.eng = at, e.seq, fn, name, e
 	heap.Push(&e.events, ev)
 	return Timer{ev: ev, gen: ev.gen}
 }

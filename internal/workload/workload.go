@@ -173,6 +173,8 @@ type IOBoundParams struct {
 	CPUMilli   int64 // low: the tasks wait on the disk
 	MemMB      int64
 	DiskMB     int64
+	InputMB    float64 // per-task input streamed from the master
+	OutputMB   float64 // per-task result shipped back
 	Declared   bool
 	Seed       int64
 }
@@ -199,6 +201,8 @@ func (p IOBoundParams) Specs() []wq.TaskSpec {
 		spec := wq.TaskSpec{
 			Command:  fmt.Sprintf("dd if=/dev/sdb of=scratch.%d bs=1M", i),
 			Category: "io",
+			InputMB:  p.InputMB,
+			OutputMB: p.OutputMB,
 			Profile: wq.Profile{
 				ExecDuration: jitterDuration(rng, p.ExecMean, p.ExecJitter),
 				UsedCPUMilli: p.CPUMilli,

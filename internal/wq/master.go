@@ -236,7 +236,7 @@ func (m *Master) Submit(spec TaskSpec) int {
 	}
 	t.SharedInputs = append([]File(nil), spec.SharedInputs...)
 	m.tasks[t.ID] = t
-	m.waiting.Push(t.ID, t.Priority, t.Resources)
+	m.waiting.Push(t.ID, t.Priority, t.Resources, t.Category)
 	m.rev++
 	m.scheduleDispatch()
 	return t.ID
@@ -333,14 +333,6 @@ func (m *Master) KillWorker(id string) error {
 			requeued = append(requeued, t.ID)
 		}
 	}
-	names := make([]string, 0, len(w.fetches))
-	for name := range w.fetches {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		w.fetches[name].Cancel()
-	}
 	m.removeWorker(w)
 	// Requeue at the front in submission order: these are the oldest
 	// outstanding tasks.
@@ -380,6 +372,20 @@ func (m *Master) clearExecuting(rt *runningTask) float64 {
 }
 
 func (m *Master) removeWorker(w *simWorker) {
+	// Cancel shared-file fetches still in flight for this worker —
+	// they outlive the tasks that requested them (the file is cached
+	// for future tasks), so both the kill and drain paths would
+	// otherwise leave a dead worker consuming link capacity. Sorted
+	// name order keeps link bookkeeping deterministic.
+	names := make([]string, 0, len(w.fetches))
+	for name := range w.fetches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.fetches[name].Cancel()
+		delete(w.fetches, name)
+	}
 	delete(m.workers, w.id)
 	m.totalCap = m.totalCap.Sub(w.pool.Capacity())
 	m.totalUsed = m.totalUsed.Sub(w.pool.Used())
@@ -501,24 +507,67 @@ func (m *Master) dispatchOnce() {
 	// above for the whole pass: placements only shrink frees. A failed
 	// full roster scan refreshes it to the exact current value.
 	maxFree := m.maxFreeCapacity()
-	if m.waiting.unknownRes == 0 && !m.waiting.MinFits(maxFree) {
+	if m.queueStalled(maxFree) {
 		return
 	}
-	m.waiting.Scan(func(id int) (bool, resources.Vector) {
+	m.waiting.Scan(func(id int) (bool, resources.Vector, bool) {
 		t := m.tasks[id]
 		res, known := m.resolveResources(t)
 		if !known {
-			return m.placeExclusive(t), t.Resources
+			return m.placeExclusive(t), t.Resources, false
 		}
 		if !res.Fits(maxFree) {
-			return false, t.Resources
+			return false, t.Resources, false
 		}
 		placed, scanned, full := m.placeKnown(t, res)
 		if !placed && full {
 			maxFree = scanned
+			// With the refreshed exact bound, stop the pass once
+			// nothing left in the queue can be placed.
+			if m.queueStalled(maxFree) {
+				return false, t.Resources, true
+			}
 		}
-		return placed, t.Resources
+		return placed, t.Resources, false
 	})
+}
+
+// queueStalled reports that no waiting task can be placed on any
+// worker when maxFree bounds every worker's free capacity from above.
+// Declared requirements are bounded below by the queue's minReq;
+// undeclared tasks all place through their category's estimate, so
+// each waiting category is checked once. A category with no estimate
+// yet could still take the exclusive-placement path, which needs an
+// idle worker. Estimates cannot change mid-pass (the pass is a single
+// event), so the answer stays valid for the rest of the pass.
+func (m *Master) queueStalled(maxFree resources.Vector) bool {
+	if m.waiting.MinFits(maxFree) {
+		return false
+	}
+	if m.waiting.unknownRes == 0 {
+		return true
+	}
+	stalled := true
+	m.waiting.ForEachUnknownCategory(func(cat string, _ int) {
+		if !stalled {
+			return
+		}
+		var est resources.Vector
+		ok := false
+		if m.estimator != nil {
+			est, ok = m.estimator.EstimateResources(cat)
+		}
+		if ok && !est.IsZero() {
+			if est.Fits(maxFree) {
+				stalled = false
+			}
+			return
+		}
+		if m.idleCount > 0 {
+			stalled = false
+		}
+	})
+	return stalled
 }
 
 // maxFreeCapacity returns the component-wise maximum free capacity

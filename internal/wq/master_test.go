@@ -768,3 +768,65 @@ func TestPropertyPriorityCancelConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDrainCancelMidFetchFreesLink is the regression test for the
+// drain-path teardown leak: canceling the last task of a draining
+// worker completed the drain and removed the worker, but an in-flight
+// shared-file fetch kept consuming link capacity until it finished.
+func TestDrainCancelMidFetchFreesLink(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	link := netsim.NewLink(eng, 100, 0)
+	m := NewMaster(eng, link)
+	m.AddWorker("w1", resources.New(3, 12288, 100000))
+	spec := knownTask("a", 1, 10*time.Second)
+	spec.SharedInputs = []File{{Name: "db", SizeMB: 1000}}
+	id := m.Submit(spec)
+	eng.RunFor(2 * time.Second) // mid-fetch
+	if link.Active() != 1 {
+		t.Fatalf("active transfers = %d, want the in-flight fetch", link.Active())
+	}
+	drained := false
+	m.DrainWorker("w1", func() { drained = true })
+	if err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if link.Active() != 0 {
+		t.Errorf("removed worker still holds %d transfers", link.Active())
+	}
+	eng.Run()
+	if !drained {
+		t.Error("drain callback never fired")
+	}
+	if eng.Elapsed() != 2*time.Second {
+		t.Errorf("elapsed = %v, want 2s; a canceled fetch must not stretch the run", eng.Elapsed())
+	}
+}
+
+// TestKillWorkerMidFetchWaitersResolve kills a worker while two tasks
+// wait on the same shared-file fetch: the link frees immediately and
+// both tasks resolve by re-running on a replacement worker.
+func TestKillWorkerMidFetchWaitersResolve(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	link := netsim.NewLink(eng, 100, 0)
+	m := NewMaster(eng, link)
+	m.AddWorker("w1", resources.New(3, 12288, 100000))
+	spec := knownTask("a", 1, 10*time.Second)
+	spec.SharedInputs = []File{{Name: "db", SizeMB: 500}}
+	a := m.Submit(spec)
+	b := m.Submit(spec) // queues a waiter on the same in-flight fetch
+	eng.RunFor(2 * time.Second)
+	if err := m.KillWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if link.Active() != 0 {
+		t.Errorf("active transfers after kill = %d", link.Active())
+	}
+	m.AddWorker("w2", resources.New(3, 12288, 100000))
+	eng.Run()
+	for _, id := range []int{a, b} {
+		task, _ := m.Task(id)
+		if task.State != TaskComplete || task.WorkerID != "w2" || task.Attempts != 2 {
+			t.Errorf("task %d = %+v, want complete on w2 attempt 2", id, task)
+		}
+	}
+}

@@ -158,9 +158,9 @@ func (m *Master) enqueueFront(ids []int) {
 	if len(ids) == 0 {
 		return
 	}
-	m.waiting.PushFront(ids, func(id int) (int, resources.Vector) {
+	m.waiting.PushFront(ids, func(id int) (int, resources.Vector, string) {
 		t := m.tasks[id]
-		return t.Priority, t.Resources
+		return t.Priority, t.Resources, t.Category
 	})
 	m.rev++
 	m.scheduleDispatch()

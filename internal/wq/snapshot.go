@@ -202,7 +202,7 @@ func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
 	}
 	for _, id := range snap.QueueOrder {
 		t := m.tasks[id]
-		m.waiting.Push(id, t.Priority, t.Resources)
+		m.waiting.Push(id, t.Priority, t.Resources, t.Category)
 	}
 	now := m.eng.Now()
 	for _, rr := range snap.RetryResume {

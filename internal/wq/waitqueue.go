@@ -40,6 +40,16 @@ type waitQueue struct {
 	// pass can exit immediately.
 	minReq     resources.Vector
 	unknownRes int
+
+	// unknownCats counts the zero-declared waiting tasks per category
+	// and catOf remembers each such task's category for untracking.
+	// Undeclared tasks all place through their category's estimate (or
+	// the exclusive path when no estimate exists yet), so a handful of
+	// per-category checks extends the stalled-queue early exit to runs
+	// where nothing is declared — without them a 40k-task undeclared
+	// queue is walked end-to-end on every completion.
+	unknownCats map[string]int
+	catOf       map[int]string
 }
 
 type prioBucket struct {
@@ -50,10 +60,12 @@ type prioBucket struct {
 
 func newWaitQueue() *waitQueue {
 	return &waitQueue{
-		buckets: make(map[int]*prioBucket),
-		pos:     make(map[int]*prioBucket),
-		seq:     make(map[int]int64),
-		minReq:  maxVector,
+		buckets:     make(map[int]*prioBucket),
+		pos:         make(map[int]*prioBucket),
+		seq:         make(map[int]int64),
+		minReq:      maxVector,
+		unknownCats: make(map[string]int),
+		catOf:       make(map[int]string),
 	}
 }
 
@@ -74,12 +86,14 @@ func (q *waitQueue) bucket(prio int) *prioBucket {
 	return b
 }
 
-func (q *waitQueue) track(id int, prio int, declared resources.Vector) *prioBucket {
+func (q *waitQueue) track(id int, prio int, declared resources.Vector, cat string) *prioBucket {
 	b := q.bucket(prio)
 	q.pos[id] = b
 	q.n++
 	if declared.IsZero() {
 		q.unknownRes++
+		q.unknownCats[cat]++
+		q.catOf[id] = cat
 	} else {
 		q.minReq = q.minReq.Min(declared)
 	}
@@ -87,8 +101,8 @@ func (q *waitQueue) track(id int, prio int, declared resources.Vector) *prioBuck
 }
 
 // Push appends a task at the back of the queue.
-func (q *waitQueue) Push(id int, prio int, declared resources.Vector) {
-	b := q.track(id, prio, declared)
+func (q *waitQueue) Push(id int, prio int, declared resources.Vector, cat string) {
+	b := q.track(id, prio, declared, cat)
 	b.ids = append(b.ids, id)
 	q.seq[id] = q.nextSeq
 	q.nextSeq++
@@ -97,7 +111,7 @@ func (q *waitQueue) Push(id int, prio int, declared resources.Vector) {
 // PushFront requeues tasks at the front of the queue, preserving the
 // given order (the oldest outstanding work, e.g. tasks returned by a
 // killed worker).
-func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared resources.Vector)) {
+func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared resources.Vector, cat string)) {
 	if len(ids) == 0 {
 		return
 	}
@@ -106,8 +120,8 @@ func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared
 	q.frontSeq = base
 	perBucket := make(map[*prioBucket][]int)
 	for i, id := range ids {
-		prio, declared := prioOf(id)
-		b := q.track(id, prio, declared)
+		prio, declared, cat := prioOf(id)
+		b := q.track(id, prio, declared, cat)
 		q.seq[id] = base + int64(i)
 		perBucket[b] = append(perBucket[b], id)
 	}
@@ -139,6 +153,11 @@ func (q *waitQueue) untrack(id int, declared resources.Vector) {
 	q.n--
 	if declared.IsZero() {
 		q.unknownRes--
+		cat := q.catOf[id]
+		delete(q.catOf, id)
+		if q.unknownCats[cat]--; q.unknownCats[cat] == 0 {
+			delete(q.unknownCats, cat)
+		}
 	}
 	if q.n == 0 {
 		// Queue drained: the requirement bound resets exactly.
@@ -176,21 +195,37 @@ func (q *waitQueue) dropBucket(b *prioBucket) {
 // whether the task was placed; placed entries and tombstones are
 // compacted away as the scan walks each bucket. fn must not mutate
 // the queue (no Push/Remove) while the scan runs.
-func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector)) {
+//
+// fn's stop result ends the pass after the current task: on a
+// 10k-worker fleet a completion would otherwise walk tens of
+// thousands of provably-unplaceable tasks, so the dispatcher stops as
+// soon as its capacity bound rules the rest out. The unvisited
+// remainder is kept verbatim (tombstones included — their compaction
+// is deferred to a later pass).
+func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector, stop bool)) {
 	var emptied []*prioBucket
+	stopped := false
 	for _, prio := range q.prios {
+		if stopped {
+			break
+		}
 		b := q.buckets[prio]
 		live := b.ids[:0]
-		for _, id := range b.ids {
+		for i, id := range b.ids {
 			if q.pos[id] != b {
 				continue // tombstone
 			}
-			placed, declared := fn(id)
+			placed, declared, stop := fn(id)
 			if placed {
 				q.untrack(id, declared)
-				continue
+			} else {
+				live = append(live, id)
 			}
-			live = append(live, id)
+			if stop {
+				live = append(live, b.ids[i+1:]...)
+				stopped = true
+				break
+			}
 		}
 		// Zero the compacted tail so dropped ids do not pin the array.
 		for i := len(live); i < len(b.ids); i++ {
@@ -229,6 +264,15 @@ func (q *waitQueue) QueueOrder() []int {
 	}
 	sort.Slice(out, func(i, j int) bool { return q.seq[out[i]] < q.seq[out[j]] })
 	return out
+}
+
+// ForEachUnknownCategory visits the categories of zero-declared
+// waiting tasks with their counts. Iteration order is unspecified;
+// callers must compute order-independent results.
+func (q *waitQueue) ForEachUnknownCategory(fn func(cat string, n int)) {
+	for cat, n := range q.unknownCats {
+		fn(cat, n)
+	}
 }
 
 // MinFits reports whether the queue's requirement lower bound fits
