@@ -1,0 +1,321 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hta/internal/experiments"
+	"hta/internal/netsim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// engineBenchFile is where -json writes the event-core scaling
+// results: the lane-sharded engine against the retained reference
+// core, the 100k-worker dispatch and link cells, and the E-H
+// 50k/100k fleet extension.
+const engineBenchFile = "BENCH_6.json"
+
+// engineBenchRow is one paired engine measurement or one scale cell.
+type engineBenchRow struct {
+	Name      string  `json:"name"`
+	Events    int     `json:"events,omitempty"`
+	Tasks     int     `json:"tasks,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Transfers int     `json:"transfers,omitempty"`
+	RuntimeS  float64 `json:"runtime_s,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+	// Speedup is indexed-vs-reference for paired rows.
+	Speedup float64 `json:"speedup_vs_reference,omitempty"`
+}
+
+type engineBenchReport struct {
+	Seed       int64            `json:"seed"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Benchmarks []engineBenchRow `json:"benchmarks"`
+}
+
+// runEngineBench measures the lane-sharded engine against the
+// retained reference core on identical workloads — single-event
+// churn, batch scheduling, and the full dispatch storm — then runs
+// the 100k-worker / 1M-task headline cells and the E-H 50k/100k
+// sweep, writing everything to BENCH_6.json.
+func runEngineBench(seed int64) error {
+	rep := engineBenchReport{Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	pair, err := benchEngineThroughputPair(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, pair...)
+
+	dispatch, err := benchScaleDispatchPair(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, dispatch...)
+
+	link, err := benchLinkScale100k()
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, link)
+
+	start := time.Now()
+	sweep, err := experiments.IOScaleEHScale(seed)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, engineBenchRow{
+		Name:   "IOScaleEHScale",
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+	for _, row := range sweep.Rows {
+		rep.Benchmarks = append(rep.Benchmarks, engineBenchRow{
+			Name:     fmt.Sprintf("EH/%s/W=%d", row.Scaler, row.Workers),
+			Workers:  row.Workers,
+			Tasks:    row.Tasks,
+			RuntimeS: row.Runtime.Seconds(),
+		})
+	}
+
+	f, err := os.Create(engineBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("engine-benchmark results written to %s\n", engineBenchFile)
+	return nil
+}
+
+// bestOfRuns is how many times each paired wall-clock measurement is
+// repeated; the fastest run is reported. One-shot walls on a shared
+// machine wobble enough (±30% observed) that a speedup dividing two
+// of them is mostly noise; the minimum of three is stable.
+const bestOfRuns = 3
+
+// bestOf repeats a measurement returning (wall ms, simulated outcome)
+// and keeps the fastest wall, requiring the simulated outcome to be
+// identical across repeats.
+func bestOf[T comparable](run func() (float64, T, error)) (float64, T, error) {
+	var best float64
+	var outcome T
+	for i := 0; i < bestOfRuns; i++ {
+		ms, out, err := run()
+		if err != nil {
+			return 0, outcome, err
+		}
+		if i == 0 {
+			best, outcome = ms, out
+			continue
+		}
+		if out != outcome {
+			return 0, outcome, fmt.Errorf("repeat %d diverges: %v != %v", i, out, outcome)
+		}
+		if ms < best {
+			best = ms
+		}
+	}
+	return best, outcome, nil
+}
+
+// benchEngineThroughputPair mirrors internal/simclock's
+// BenchmarkEngineEventThroughput and BenchmarkEngineBatchThroughput
+// once per core: a churn of self-rescheduling timers, and the same
+// event count issued through AfterBatchN. Both cores must fire every
+// event and land on the same virtual instant before the speedup
+// counts.
+func benchEngineThroughputPair(seed int64) ([]engineBenchRow, error) {
+	const (
+		timers = 4096
+		events = 2_000_000
+		batch  = 64
+	)
+	single := func(reference bool) (float64, time.Time, error) {
+		start := time.Now()
+		eng := simclock.NewEngine(experiments.SimStart)
+		if reference {
+			eng = simclock.NewReferenceEngine(experiments.SimStart)
+		}
+		rng := simclock.NewRNG(seed)
+		fired := 0
+		var tick func()
+		tick = func() {
+			fired++
+			if fired+eng.Pending() < events {
+				eng.After(time.Duration(rng.Jitter(float64(time.Second), 0.5)), "tick", tick)
+			}
+		}
+		for i := 0; i < timers; i++ {
+			eng.After(time.Duration(rng.Jitter(float64(time.Second), 0.5)), "tick", tick)
+		}
+		eng.Run()
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if fired != events {
+			return 0, time.Time{}, fmt.Errorf("engine churn fired %d of %d (reference=%v)", fired, events, reference)
+		}
+		return ms, eng.Now(), nil
+	}
+	batched := func(reference bool) (float64, time.Time, error) {
+		start := time.Now()
+		eng := simclock.NewEngine(experiments.SimStart)
+		if reference {
+			eng = simclock.NewReferenceEngine(experiments.SimStart)
+		}
+		lane := eng.NewLane("bench")
+		rng := simclock.NewRNG(seed)
+		fired := 0
+		var wave func()
+		wave = func() {
+			fired++
+			if fired%batch != 0 || fired >= events {
+				return
+			}
+			eng.AfterBatchN(time.Duration(rng.Jitter(float64(time.Second), 0.5)), lane, "wave", batch, wave)
+		}
+		eng.AfterBatchN(0, lane, "wave", batch, wave)
+		eng.Run()
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if fired != events {
+			return 0, time.Time{}, fmt.Errorf("engine batch fired %d of %d (reference=%v)", fired, events, reference)
+		}
+		return ms, eng.Now(), nil
+	}
+	var rows []engineBenchRow
+	for _, b := range []struct {
+		name string
+		run  func(bool) (float64, time.Time, error)
+	}{
+		{"EngineEventThroughput", single},
+		{"EngineBatchThroughput", batched},
+	} {
+		run := b.run
+		indexedMS, indexedEnd, err := bestOf(func() (float64, time.Time, error) { return run(false) })
+		if err != nil {
+			return nil, err
+		}
+		referenceMS, referenceEnd, err := bestOf(func() (float64, time.Time, error) { return run(true) })
+		if err != nil {
+			return nil, err
+		}
+		if !indexedEnd.Equal(referenceEnd) {
+			return nil, fmt.Errorf("%s: final instant diverges: indexed %v, reference %v",
+				b.name, indexedEnd, referenceEnd)
+		}
+		rows = append(rows,
+			engineBenchRow{Name: b.name, Events: events, WallMS: indexedMS, Speedup: referenceMS / indexedMS},
+			engineBenchRow{Name: b.name + "Reference", Events: events, WallMS: referenceMS},
+		)
+	}
+	return rows, nil
+}
+
+// runDispatchStorm mirrors internal/wq's BenchmarkScaleDispatch: a
+// submit → dispatch → complete storm of known-size tasks over 4-core
+// workers. reference selects the retained engine core and the
+// retained linear placement scan together — the pre-rewrite
+// configuration.
+func runDispatchStorm(seed int64, reference bool, tasks, workers int) (float64, time.Duration, error) {
+	start := time.Now()
+	eng := simclock.NewEngine(experiments.SimStart)
+	if reference {
+		eng = simclock.NewReferenceEngine(experiments.SimStart)
+	}
+	m := wq.NewMaster(eng, nil)
+	m.SetNaivePlacement(reference)
+	for w := 0; w < workers; w++ {
+		if err := m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000)); err != nil {
+			return 0, 0, err
+		}
+	}
+	rng := simclock.NewRNG(seed)
+	for t := 0; t < tasks; t++ {
+		d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
+		m.Submit(wq.TaskSpec{
+			Category:  "bench",
+			Resources: resources.New(1, 1024, 100),
+			Profile:   wq.Profile{ExecDuration: d, UsedCPUMilli: 900, UsedMemoryMB: 512},
+		})
+	}
+	eng.Run()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if m.CompletedCount() != tasks {
+		return 0, 0, fmt.Errorf("dispatch storm completed %d of %d (reference=%v)", m.CompletedCount(), tasks, reference)
+	}
+	return ms, eng.Elapsed(), nil
+}
+
+// benchScaleDispatchPair runs the 10k-task storm on both cores
+// (asserting the simulations reach the same makespan) and the
+// 1M-task / 100k-worker headline cell on the lane-sharded core.
+func benchScaleDispatchPair(seed int64) ([]engineBenchRow, error) {
+	indexedMS, indexedSpan, err := bestOf(func() (float64, time.Duration, error) {
+		return runDispatchStorm(seed, false, 10_000, 500)
+	})
+	if err != nil {
+		return nil, err
+	}
+	referenceMS, referenceSpan, err := bestOf(func() (float64, time.Duration, error) {
+		return runDispatchStorm(seed, true, 10_000, 500)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if indexedSpan != referenceSpan {
+		return nil, fmt.Errorf("dispatch makespan diverges: indexed %v, reference %v", indexedSpan, referenceSpan)
+	}
+	bigMS, bigSpan, err := runDispatchStorm(seed, false, 1_000_000, 100_000)
+	if err != nil {
+		return nil, err
+	}
+	return []engineBenchRow{
+		{Name: "ScaleDispatch", Tasks: 10_000, Workers: 500, RuntimeS: indexedSpan.Seconds(),
+			WallMS: indexedMS, Speedup: referenceMS / indexedMS},
+		{Name: "ScaleDispatchReference", Tasks: 10_000, Workers: 500, RuntimeS: referenceSpan.Seconds(),
+			WallMS: referenceMS},
+		{Name: "ScaleDispatch100k", Tasks: 1_000_000, Workers: 100_000, RuntimeS: bigSpan.Seconds(),
+			WallMS: bigMS},
+	}, nil
+}
+
+// benchLinkScale100k runs the netsim headline cell: 100k concurrent
+// transfers with churn to 1M on one link (the 10k pair lives in
+// BENCH_5.json).
+func benchLinkScale100k() (engineBenchRow, error) {
+	const (
+		width = 100_000
+		total = 1_000_000
+	)
+	start := time.Now()
+	eng := simclock.NewEngine(experiments.SimStart)
+	l := netsim.NewLink(eng, 1000, 0)
+	started := 0
+	var startOne func()
+	startOne = func() {
+		size := float64(started%97)*3.5 + 1
+		started++
+		l.Start(size, func() {
+			if started < total {
+				startOne()
+			}
+		})
+	}
+	for i := 0; i < width; i++ {
+		startOne()
+	}
+	eng.Run()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if s := l.Stats(); s.Completed != total {
+		return engineBenchRow{}, fmt.Errorf("link scale 100k completed %d of %d", s.Completed, total)
+	}
+	return engineBenchRow{Name: "LinkScale100k", Transfers: total, WallMS: ms}, nil
+}

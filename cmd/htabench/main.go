@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io,ioscale]
 //	         [-json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The io run is experiment E-H — the Fig. 11 I/O-bound workload swept
 // to 1k/5k/10k-worker fleets — and is not in the default set: its
 // pinned-HPA cells simulate weeks of virtual time. Invoke it with
-// -runs io.
+// -runs io. The ioscale run extends the sweep to the 50k/100k-worker
+// fleets unlocked by the lane-sharded engine (months of virtual
+// time; -runs ioscale).
 //
 // -json additionally runs the scale benchmarks (10k-task dispatch
 // storm, parallel-vs-serial sweep, and the paired indexed-vs-naive
@@ -20,9 +22,11 @@
 // summary to BENCH_2.json, the E-G control-plane crash-recovery
 // experiment, writing its summary to BENCH_4.json, and the E-H fleet
 // sweep plus the paired indexed-vs-reference link benchmark, writing
-// their results to BENCH_5.json; combine with -runs none to run only
-// them. (BENCH_1.json is the pre-control-plane-scaling historical
-// record.)
+// their results to BENCH_5.json, and the engine-core pairs (event
+// churn, batch scheduling, dispatch storm) plus the 100k-worker
+// headline cells and the E-H 50k/100k extension, writing their
+// results to BENCH_6.json; combine with -runs none to run only them.
+// (BENCH_1.json is the pre-control-plane-scaling historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // the invocation ran — the standard way to find the next control-plane
@@ -109,6 +113,7 @@ func run() int {
 		{"chaos", func() (fmt.Stringer, error) { return experiments.ChaosEF(*seed) }},
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoveryEG(*seed) }},
 		{"io", func() (fmt.Stringer, error) { return experiments.IOScaleEH(*seed) }},
+		{"ioscale", func() (fmt.Stringer, error) { return experiments.IOScaleEHScale(*seed) }},
 	}
 
 	var page *report.Page
@@ -157,6 +162,10 @@ func run() int {
 		}
 		if err := runIOBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "io bench: %v\n", err)
+			failed = true
+		}
+		if err := runEngineBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
 			failed = true
 		}
 	}

@@ -232,6 +232,16 @@ func (sm *sampler) shortageCores() float64 {
 	return float64(milli) / 1000
 }
 
+// newEngine builds a run's event engine. reference selects the
+// retained container/heap core (simclock.NewReferenceEngine) for
+// differential experiment runs, mirroring newLink's reference switch.
+func newEngine(reference bool) *simclock.Engine {
+	if reference {
+		return simclock.NewReferenceEngine(SimStart)
+	}
+	return simclock.NewEngine(SimStart)
+}
+
 // newLink builds the master egress link, or nil when mbps is zero.
 // reference selects the retained O(n)-per-event link implementation
 // (netsim.NewReferenceLink) for differential experiment runs.
@@ -333,6 +343,9 @@ type HTAOptions struct {
 	// ReferenceLink routes the egress link through the retained
 	// walk-everything netsim implementation (differential runs).
 	ReferenceLink bool
+	// ReferenceEngine runs the whole scenario on the retained
+	// container/heap event core (differential runs).
+	ReferenceEngine bool
 	// SampleEvery overrides the sampler period (0 = SampleInterval).
 	SampleEvery time.Duration
 }
@@ -342,7 +355,7 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	if opt.Timeout == 0 {
 		opt.Timeout = 24 * time.Hour
 	}
-	eng := simclock.NewEngine(SimStart)
+	eng := newEngine(opt.ReferenceEngine)
 	if opt.Kube.Seed == 0 {
 		opt.Kube.Seed = 1
 	}
@@ -420,6 +433,9 @@ type HPAOptions struct {
 	// ReferenceLink routes the egress link through the retained
 	// walk-everything netsim implementation (differential runs).
 	ReferenceLink bool
+	// ReferenceEngine runs the whole scenario on the retained
+	// container/heap event core (differential runs).
+	ReferenceEngine bool
 	// SampleEvery overrides the sampler period (0 = SampleInterval).
 	SampleEvery time.Duration
 }
@@ -435,7 +451,7 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	if opt.InitialReplicas == 0 {
 		opt.InitialReplicas = 3
 	}
-	eng := simclock.NewEngine(SimStart)
+	eng := newEngine(opt.ReferenceEngine)
 	if opt.Kube.Seed == 0 {
 		opt.Kube.Seed = 1
 	}
@@ -517,6 +533,9 @@ type StaticOptions struct {
 	// ReferenceLink routes the egress link through the retained
 	// walk-everything netsim implementation (differential runs).
 	ReferenceLink bool
+	// ReferenceEngine runs the whole scenario on the retained
+	// container/heap event core (differential runs).
+	ReferenceEngine bool
 	// SampleEvery overrides the sampler period (0 = SampleInterval).
 	SampleEvery time.Duration
 }
@@ -526,7 +545,7 @@ func RunStatic(name string, wl Workload, opt StaticOptions) (*RunResult, error) 
 	if opt.Timeout == 0 {
 		opt.Timeout = 24 * time.Hour
 	}
-	eng := simclock.NewEngine(SimStart)
+	eng := newEngine(opt.ReferenceEngine)
 	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer, opt.ReferenceLink)
 	master := wq.NewMaster(eng, link)
 	master.SetRetryPolicy(opt.Retry)

@@ -50,6 +50,9 @@ type IOScaleConfig struct {
 	// Reference routes every cell's egress link through the retained
 	// walk-everything netsim implementation, for differential runs.
 	Reference bool
+	// ReferenceEngine runs every cell on the retained container/heap
+	// event core, for differential runs.
+	ReferenceEngine bool
 	// Timeout bounds each cell (0 = auto: generous for HTA, sized to
 	// the pinned-fleet serial runtime for HPA). SampleEvery overrides
 	// the sampler period (0 = auto-scaled to the cell's expected
@@ -100,6 +103,18 @@ type IOScaleReport struct {
 // IOScaleEH runs E-H with the default configuration.
 func IOScaleEH(seed int64) (*IOScaleReport, error) {
 	cfg := DefaultIOScale()
+	cfg.Seed = seed
+	return IOScaleEHWith(cfg)
+}
+
+// IOScaleEHScale runs the E-H extension cells unlocked by the
+// lane-sharded engine: W ∈ {50 000, 100 000} workers (up to 400k
+// tasks). The HPA baselines at these fleets simulate months of
+// virtual time, so the sweep lives behind `htabench -runs ioscale`
+// rather than the default set.
+func IOScaleEHScale(seed int64) (*IOScaleReport, error) {
+	cfg := DefaultIOScale()
+	cfg.Workers = []int{50000, 100000}
 	cfg.Seed = seed
 	return IOScaleEHWith(cfg)
 }
@@ -234,13 +249,14 @@ func runIOScaleCell(cfg IOScaleConfig, cell ioScaleCell) (*RunResult, error) {
 			timeout = expected
 		}
 		return RunHTA(cell.name, wl, HTAOptions{
-			Kube:          kube,
-			HTA:           core.Config{MaxWorkers: cell.workers},
-			LinkMBps:      cfg.LinkMBps,
-			PerTransfer:   cfg.PerTransfer,
-			Timeout:       timeout,
-			ReferenceLink: cfg.Reference,
-			SampleEvery:   cfg.sampleEvery(expected),
+			Kube:            kube,
+			HTA:             core.Config{MaxWorkers: cell.workers},
+			LinkMBps:        cfg.LinkMBps,
+			PerTransfer:     cfg.PerTransfer,
+			Timeout:         timeout,
+			ReferenceLink:   cfg.Reference,
+			ReferenceEngine: cfg.ReferenceEngine,
+			SampleEvery:     cfg.sampleEvery(expected),
 		})
 	}
 	// The HPA stays pinned at MinReplicas: task CPU (≈15 %) never
@@ -260,11 +276,12 @@ func runIOScaleCell(cfg IOScaleConfig, cell ioScaleCell) (*RunResult, error) {
 			MinReplicas:          3,
 			MaxReplicas:          cell.workers,
 		},
-		LinkMBps:      cfg.LinkMBps,
-		PerTransfer:   cfg.PerTransfer,
-		Timeout:       timeout,
-		ReferenceLink: cfg.Reference,
-		SampleEvery:   cfg.sampleEvery(expected),
+		LinkMBps:        cfg.LinkMBps,
+		PerTransfer:     cfg.PerTransfer,
+		Timeout:         timeout,
+		ReferenceLink:   cfg.Reference,
+		ReferenceEngine: cfg.ReferenceEngine,
+		SampleEvery:     cfg.sampleEvery(expected),
 	})
 }
 

@@ -87,6 +87,27 @@ func TestIOScaleReferenceLinkIdentical(t *testing.T) {
 	}
 }
 
+// TestIOScaleReferenceEngineIdentical runs the small sweep with every
+// cell's event core swapped for the retained container/heap engine.
+// Unlike the link differential there is no rounding budget: the two
+// engines promise identical firing order, so the rendered reports
+// must be byte-identical.
+func TestIOScaleReferenceEngineIdentical(t *testing.T) {
+	indexed, err := IOScaleEHWith(ioScaleSmall())
+	if err != nil {
+		t.Fatalf("indexed: %v", err)
+	}
+	refCfg := ioScaleSmall()
+	refCfg.ReferenceEngine = true
+	reference, err := IOScaleEHWith(refCfg)
+	if err != nil {
+		t.Fatalf("reference engine: %v", err)
+	}
+	if got, want := reference.String(), indexed.String(); got != want {
+		t.Errorf("reference engine diverges from indexed:\n--- indexed ---\n%s\n--- reference ---\n%s", want, got)
+	}
+}
+
 func abs(v float64) float64 {
 	if v < 0 {
 		return -v

@@ -90,27 +90,27 @@ func (c *Cluster) scaleUpForPending(nodes []*Node) {
 		return
 	}
 	// One latency sample per batch: machines reserved together in the
-	// same zone become ready at nearly the same time.
+	// same zone become ready at nearly the same time, so the wave is a
+	// single batch event — one ready time, one heap settle — rather
+	// than per-node timers with per-node jitter.
 	base := c.rng.TruncNormal(
 		c.cfg.ProvisionMean.Seconds(),
 		c.cfg.ProvisionStdDev.Seconds(),
 		c.cfg.ProvisionMin.Seconds(),
 		c.cfg.ProvisionMean.Seconds()+10*c.cfg.ProvisionStdDev.Seconds(),
 	)
+	jitter := c.rng.Normal(0, 0.5)
+	if jitter < 0 {
+		jitter = -jitter
+	}
 	c.provisioning += needed
 	c.recordEvent("cluster", ReasonScaleUp,
 		fmt.Sprintf("reserving %d nodes (pending unschedulable pods: %d)", needed, len(unsched)))
-	for i := 0; i < needed; i++ {
-		jitter := c.rng.Normal(0, 0.5)
-		if jitter < 0 {
-			jitter = -jitter
-		}
-		d := time.Duration((base + jitter) * float64(time.Second))
-		c.eng.After(d, "node-provision", func() {
-			c.provisioning--
-			c.addNode()
-		})
-	}
+	d := time.Duration((base + jitter) * float64(time.Second))
+	c.eng.AfterBatchN(d, c.lane, "node-provision", needed, func() {
+		c.provisioning--
+		c.addNode()
+	})
 }
 
 // nodesNeededFor first-fit packs the pending pods onto the free

@@ -62,16 +62,29 @@ func runLinkScale(mk func(*simclock.Engine, float64, float64) *Link, width, tota
 	return l.Stats()
 }
 
-// BenchmarkLinkScale is the headline data-plane benchmark: 10k
-// concurrent transfers with churn on the virtual-time link.
+// BenchmarkLinkScale is the headline data-plane benchmark: wide
+// concurrent-transfer churn on the virtual-time link. The 10k cell is
+// the CI smoke; the 100k-wide/1M-transfer cell is the headline scale
+// target unlocked by the lane-sharded engine.
 func BenchmarkLinkScale(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := runLinkScale(NewLink, 10_000, 20_000)
-		if s.Completed != 20_000 {
-			b.Fatalf("completed %d transfers, want 20000", s.Completed)
+	b.Run("10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := runLinkScale(NewLink, 10_000, 20_000)
+			if s.Completed != 20_000 {
+				b.Fatalf("completed %d transfers, want 20000", s.Completed)
+			}
 		}
-	}
+	})
+	b.Run("100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := runLinkScale(NewLink, 100_000, 1_000_000)
+			if s.Completed != 1_000_000 {
+				b.Fatalf("completed %d transfers, want 1000000", s.Completed)
+			}
+		}
+	})
 }
 
 // BenchmarkLinkScaleReference runs the identical scenario on the

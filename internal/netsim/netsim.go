@@ -42,6 +42,8 @@ type Link struct {
 
 	reference bool // route through the retained O(n)-per-event model
 
+	lane simclock.Lane // engine lane for this link's completion batches
+
 	transfers map[int]*Transfer // active transfers by id (reference mode)
 	nextID    int
 	timer     simclock.Timer
@@ -61,6 +63,7 @@ type Link struct {
 	order []*Transfer
 
 	finished []*Transfer // scratch for completion batches
+	doneFns  []func()    // scratch for the batch-schedule call
 
 	// statistics
 	deliveredMB float64
@@ -195,6 +198,7 @@ func newLink(eng *simclock.Engine, capacityMBps, perTransferMBps float64, refere
 	}
 	return &Link{
 		eng:         eng,
+		lane:        eng.NewLane("netsim-link"),
 		capacity:    capacityMBps,
 		perTransfer: perTransferMBps,
 		contention:  1,
@@ -435,18 +439,26 @@ func (l *Link) reschedule() {
 }
 
 // completeBatch schedules completion callbacks in deterministic
-// ascending-id order. Callbacks run on the next engine event, after
-// bookkeeping, so they can start new transfers freely.
+// ascending-id order, as one batch on the link's lane — one heap
+// settle for the whole completion wave. Callbacks run on the next
+// engine event, after bookkeeping, so they can start new transfers
+// freely.
 func (l *Link) completeBatch(finished []*Transfer) {
 	if len(finished) == 0 {
 		return
 	}
 	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	fns := l.doneFns[:0]
 	for _, tr := range finished {
 		if tr.done != nil {
-			l.eng.After(0, "netsim-transfer-done", tr.done)
+			fns = append(fns, tr.done)
 		}
 	}
+	l.eng.AfterBatch(0, l.lane, "netsim-transfer-done", fns)
+	for i := range fns {
+		fns[i] = nil
+	}
+	l.doneFns = fns[:0]
 }
 
 // maxEta is the horizon beyond which a completion timer is not armed:

@@ -5,10 +5,10 @@ import (
 	"time"
 )
 
-// BenchmarkEngineEventThroughput measures raw event scheduling and
-// dispatch: the floor under every simulated experiment.
-func BenchmarkEngineEventThroughput(b *testing.B) {
-	e := NewEngine(t0)
+// benchThroughput is the raw schedule+dispatch loop shared by the
+// engine and reference variants: the floor under every simulated
+// experiment.
+func benchThroughput(b *testing.B, e *Engine) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(time.Duration(i%1000)*time.Millisecond, "bench", func() {})
@@ -17,6 +17,47 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 		}
 	}
 	e.Run()
+}
+
+// BenchmarkEngineEventThroughput measures the lane-sharded int64 core.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	benchThroughput(b, NewEngine(t0))
+}
+
+// BenchmarkEngineEventThroughputReference measures the retained seed
+// core (container/heap of pointer events keyed by time.Time) for the
+// speedup comparison.
+func BenchmarkEngineEventThroughputReference(b *testing.B) {
+	benchThroughput(b, NewReferenceEngine(t0))
+}
+
+// benchBatch schedules waves of 64 same-instant events through the
+// batch API: the k-events-one-settle pattern wq, netsim, and kubesim
+// lean on.
+func benchBatch(b *testing.B, e *Engine) {
+	lane := e.NewLane("bench")
+	const width = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += width {
+		e.AfterBatchN(time.Duration(i%1000)*time.Millisecond, lane, "bench", width, func() {})
+		if i%(16*width) == 15*width {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineBatchThroughput measures per-event cost when events
+// arrive through AfterBatchN (one heap settle per 64 events).
+func BenchmarkEngineBatchThroughput(b *testing.B) {
+	benchBatch(b, NewEngine(t0))
+}
+
+// BenchmarkEngineBatchThroughputReference: the reference core expands
+// batches into individual heap pushes, so this shows the settle cost
+// the batch API removes.
+func BenchmarkEngineBatchThroughputReference(b *testing.B) {
+	benchBatch(b, NewReferenceEngine(t0))
 }
 
 // BenchmarkTimerStop measures cancellation cost.
@@ -32,13 +73,20 @@ func BenchmarkTimerStop(b *testing.B) {
 	}
 }
 
-// BenchmarkTickerChurn measures periodic-controller overhead.
+// BenchmarkTickerChurn measures periodic-controller overhead. A
+// steady ticker must not allocate per firing: the callback closure is
+// bound once in Every and reused, which the AllocsPerRun probe pins.
 func BenchmarkTickerChurn(b *testing.B) {
 	e := NewEngine(t0)
 	n := 0
 	tk := e.Every(time.Second, "bench", func() { n++ })
+	e.RunFor(10 * time.Second) // warm the slab and free list
+	if avg := testing.AllocsPerRun(100, func() { e.RunFor(time.Second) }); avg != 0 {
+		b.Fatalf("ticker firing allocates %.1f objects, want 0", avg)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	e.RunUntil(t0.Add(time.Duration(b.N) * time.Second))
+	e.RunUntil(e.Now().Add(time.Duration(b.N) * time.Second))
 	b.StopTimer()
 	tk.Stop()
 	if n == 0 && b.N > 1 {

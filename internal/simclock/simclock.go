@@ -1,16 +1,52 @@
 // Package simclock provides a deterministic discrete-event simulation
 // engine: a virtual clock, an ordered event queue with stable
-// tie-breaking, cancellable timers and periodic tickers.
+// tie-breaking, cancellable timers, periodic tickers, and a batch
+// scheduling API for the k-events-at-one-instant patterns the
+// simulated components generate.
 //
 // Every simulated component in this repository (the Kubernetes
 // control plane, the Work Queue master, the autoscalers, the network
 // model) schedules callbacks on a single Engine, so a complete
 // multi-hour cluster run executes in milliseconds and is exactly
 // reproducible for a given seed.
+//
+// # Event core
+//
+// The engine keeps its timeline in int64 nanoseconds relative to the
+// start time, so every ordering decision is one integer comparison —
+// no time.Time wall/mono case analysis. Events live in a slab of
+// packed records addressed by index: scheduling recycles records
+// through a free list, cancellation invalidates through a generation
+// counter, and the far-horizon queue is a hand-rolled 4-ary min-heap
+// of indices keyed on (time, seq), halving sift depth and avoiding
+// heap.Interface boxing.
+//
+// Near-horizon events — everything scheduled at the instant currently
+// executing — live in per-lane calendar buckets instead of the heap.
+// A lane is a stable small-integer tag a component reserves with
+// NewLane (per link, per master, per control plane); events scheduled
+// at the current instant append to their lane's bucket in O(1). When
+// the clock advances, the engine drains every heap record bearing the
+// new timestamp into its lane bucket (the epoch merge) and then
+// consumes bucket heads in ascending seq order across lanes. Because
+// each lane's bucket is appended in seq order and seq is a single
+// global counter, the merged firing order is exactly (time, seq) —
+// identical to the reference engine's heap order by construction,
+// which the differential suite in differential_test.go pins down.
+//
+// Batches (AtBatch, AfterBatch, AfterBatchN) schedule k callbacks at
+// one instant as a single record occupying a contiguous seq block, so
+// the pattern "k completions fire now" costs one heap settle instead
+// of k. Nothing can interleave a contiguous seq block, so executing
+// the block front-to-back preserves the global order.
+//
+// The seed implementation — a serial container/heap of pointer events
+// keyed by time.Time — is retained in reference.go and selected by
+// NewReferenceEngine; it is the oracle for the differential and fuzz
+// suites and the baseline the engine benchmarks measure against.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -27,95 +63,123 @@ type RealClock struct{}
 // Now returns the current wall-clock time.
 func (RealClock) Now() time.Time { return time.Now() }
 
-// event is a scheduled callback. Fired and canceled events return to
-// the engine's free list, so a steady event stream allocates nothing;
-// gen distinguishes a recycled event from the one a Timer was issued
-// for.
-type event struct {
-	at       time.Time
-	seq      uint64 // tie-breaker: FIFO among equal times
-	gen      uint64 // incremented on recycle; Timers validate it
-	fn       func()
-	name     string
-	eng      *Engine
-	canceled bool
-	index    int // heap index, -1 once popped
+// Lane identifies a scheduling lane: a per-component calendar bucket
+// for events at the executing instant. Lane tags shard storage, not
+// ordering — firing order is (time, seq) regardless of lane. The zero
+// Lane is the shared default lane.
+type Lane int32
+
+// DefaultLane is the lane used by At/After and any component that
+// does not reserve its own.
+const DefaultLane Lane = 0
+
+// rec states held in heapIdx when the record is not in the far heap.
+const (
+	recFree = -1 // free, fired, or consumed
+	recLane = -2 // resident in a lane bucket
+)
+
+// rec is a packed event record. Singles carry fn; a batch record
+// carries n callbacks (fns slice, or fn repeated n times) occupying
+// the contiguous seq block [seq, seq+n).
+type rec struct {
+	at      int64  // firing time, ns since engine base
+	seq     uint64 // first sequence number of the record
+	gen     uint64 // incremented on recycle; Timers validate it
+	fn      func()
+	fns     []func() // batch callbacks; nil for singles and AfterBatchN
+	name    string
+	n       int32 // callback count; 1 for singles
+	cur     int32 // batch consume cursor
+	lane    Lane
+	heapIdx int32 // position in the far heap, or recFree/recLane
+	stopped bool  // canceled while lane-resident; skipped on consume
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// laneBucket is one lane's calendar bucket for the executing instant:
+// record indices in ascending seq order, consumed from head.
+type laneBucket struct {
+	head int
+	recs []int32
 }
 
 // Engine is a single-threaded discrete-event simulation engine.
 // It is not safe for concurrent use; all callbacks run on the
 // goroutine that calls Run/RunUntil/Step.
 type Engine struct {
-	now       time.Time
-	start     time.Time
-	events    eventHeap
-	free      []*event // recycled events
+	base      time.Time // timeline origin; now/at are ns offsets from it
+	now       int64
 	seq       uint64
 	processed uint64
 	scheduled uint64
+	pending   int
+
+	recs []rec   // packed event slab
+	free []int32 // recycled slab indices
+	heap []int32 // 4-ary min-heap of far records keyed (at, seq)
+
+	lanes   []laneBucket // per-lane buckets for the executing instant
+	heads   []Lane       // binary min-heap of active lanes keyed by head seq
+	fnsPool [][]func()   // recycled batch-callback slices
+
+	ref      *refCore // non-nil: route through the retained reference core
+	refLanes int32    // lanes handed out in reference mode (no storage)
 }
 
 // NewEngine returns an Engine whose clock starts at start.
 func NewEngine(start time.Time) *Engine {
-	return &Engine{now: start, start: start}
+	return &Engine{base: start, lanes: make([]laneBucket, 1)}
 }
+
+// NewLane reserves a scheduling lane for a component. The name is
+// only for diagnostics. Lanes are engine-scoped and never freed; a
+// component creating unbounded lanes is a bug.
+func (e *Engine) NewLane(name string) Lane {
+	_ = name
+	if e.ref != nil {
+		// The reference core has no lane storage; hand out distinct
+		// tags so callers behave identically.
+		e.refLanes++
+		return Lane(e.refLanes)
+	}
+	e.lanes = append(e.lanes, laneBucket{})
+	return Lane(len(e.lanes) - 1)
+}
+
+// rel converts an absolute time to engine-relative nanoseconds.
+func (e *Engine) rel(t time.Time) int64 { return int64(t.Sub(e.base)) }
+
+// abs converts engine-relative nanoseconds back to an absolute time.
+func (e *Engine) abs(ns int64) time.Time { return e.base.Add(time.Duration(ns)) }
 
 // Now returns the current virtual time.
-func (e *Engine) Now() time.Time { return e.now }
+func (e *Engine) Now() time.Time {
+	if e.ref != nil {
+		return e.ref.now
+	}
+	return e.abs(e.now)
+}
 
 // Elapsed returns the virtual time elapsed since the engine started.
-func (e *Engine) Elapsed() time.Duration { return e.now.Sub(e.start) }
-
-// Pending returns the number of scheduled, non-canceled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
+func (e *Engine) Elapsed() time.Duration {
+	if e.ref != nil {
+		return e.ref.now.Sub(e.ref.start)
 	}
-	return n
+	return time.Duration(e.now)
 }
+
+// Pending returns the number of scheduled, non-canceled events in
+// O(1) from a counter maintained at schedule/cancel/fire — a Pending
+// probe inside a hot loop must not pay a queue walk.
+func (e *Engine) Pending() int { return e.pending }
 
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Scheduled returns the total number of events ever scheduled via
-// At/After/Every, including ones later canceled. Tests use the delta
-// across an operation to assert that read paths do not re-arm timers.
+// At/After/Every and the batch calls, including ones later canceled.
+// Tests use the delta across an operation to assert that read paths
+// do not re-arm timers.
 func (e *Engine) Scheduled() uint64 { return e.scheduled }
 
 // Timer is a handle to a scheduled event; Stop cancels it. The zero
@@ -123,50 +187,86 @@ func (e *Engine) Scheduled() uint64 { return e.scheduled }
 // nil check. Timers are values — copying one is fine, and holding a
 // Timer past its event's firing is safe (Stop just reports false).
 type Timer struct {
-	ev  *event
+	eng *Engine
+	ev  *refEvent // reference mode
+	idx int32
 	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
-// fired (and had not already been stopped). The event is removed from
-// the queue eagerly — components that re-arm a timer on every state
+// fired (and had not already been stopped). A far-heap event is
+// removed eagerly — components that re-arm a timer on every state
 // change (the network model's completion timer) would otherwise bury
 // the queue in canceled entries and pay their log factor on every
-// pop.
+// pop. A lane-resident event (already due at the executing instant)
+// is canceled in O(1) by marking; its slot drains with the bucket.
 func (t Timer) Stop() bool {
-	ev := t.ev
-	if ev == nil || ev.gen != t.gen || ev.canceled {
+	if t.ev != nil {
+		return refStop(t.ev, t.gen)
+	}
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	if ev.index == -1 {
-		// Already popped (fired or firing).
+	r := &e.recs[t.idx]
+	if r.gen != t.gen || r.stopped {
 		return false
 	}
-	ev.canceled = true
-	heap.Remove(&ev.eng.events, ev.index)
-	ev.eng.recycle(ev)
-	return true
+	switch {
+	case r.heapIdx >= 0:
+		e.heapRemove(int(r.heapIdx))
+		e.pending--
+		e.recycle(t.idx)
+		return true
+	case r.heapIdx == recLane:
+		r.stopped = true
+		e.pending--
+		return true
+	default:
+		// Already fired or firing.
+		return false
+	}
 }
 
-// alloc takes an event from the free list, or makes one.
-func (e *Engine) alloc() *event {
+// alloc takes a record from the free list, or extends the slab.
+func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
+		idx := e.free[n-1]
 		e.free = e.free[:n-1]
-		return ev
+		return idx
 	}
-	return &event{}
+	e.recs = append(e.recs, rec{heapIdx: recFree})
+	return int32(len(e.recs) - 1)
 }
 
-// recycle returns a popped event to the free list; bumping gen
+// recycle returns a consumed record to the free list; bumping gen
 // invalidates any Timer still pointing at it.
-func (e *Engine) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	ev.name = ""
-	ev.canceled = false
-	e.free = append(e.free, ev)
+func (e *Engine) recycle(idx int32) {
+	r := &e.recs[idx]
+	r.gen++
+	r.fn = nil
+	r.name = ""
+	r.stopped = false
+	r.heapIdx = recFree
+	if r.fns != nil {
+		fns := r.fns
+		for i := range fns {
+			fns[i] = nil
+		}
+		e.fnsPool = append(e.fnsPool, fns[:0])
+		r.fns = nil
+	}
+	e.free = append(e.free, idx)
+}
+
+// takeFns pulls a recycled batch-callback slice from the pool.
+func (e *Engine) takeFns() []func() {
+	if n := len(e.fnsPool); n > 0 {
+		fns := e.fnsPool[n-1]
+		e.fnsPool = e.fnsPool[:n-1]
+		return fns
+	}
+	return nil
 }
 
 // At schedules fn to run at time at. Times in the past are clamped to
@@ -176,15 +276,26 @@ func (e *Engine) At(at time.Time, name string, fn func()) Timer {
 	if fn == nil {
 		panic("simclock: nil event callback")
 	}
-	if at.Before(e.now) {
-		at = e.now
+	if e.ref != nil {
+		return e.refAt(at, name, fn)
+	}
+	rel := e.rel(at)
+	if rel < e.now {
+		rel = e.now
 	}
 	e.seq++
 	e.scheduled++
-	ev := e.alloc()
-	ev.at, ev.seq, ev.fn, ev.name, ev.eng = at, e.seq, fn, name, e
-	heap.Push(&e.events, ev)
-	return Timer{ev: ev, gen: ev.gen}
+	e.pending++
+	idx := e.alloc()
+	r := &e.recs[idx]
+	r.at, r.seq, r.fn, r.name = rel, e.seq, fn, name
+	r.n, r.cur, r.lane = 1, 0, DefaultLane
+	if rel == e.now {
+		e.laneAppend(DefaultLane, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return Timer{eng: e, idx: idx, gen: r.gen}
 }
 
 // After schedules fn to run d from now. Negative durations are
@@ -193,15 +304,477 @@ func (e *Engine) After(d time.Duration, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), name, fn)
+	if e.ref != nil {
+		return e.refAt(e.ref.now.Add(d), name, fn)
+	}
+	return e.atRel(e.now+int64(d), name, fn)
 }
 
-// Ticker runs a callback periodically until stopped.
+// atRel is At on the relative timeline, skipping the conversion.
+func (e *Engine) atRel(rel int64, name string, fn func()) Timer {
+	if fn == nil {
+		panic("simclock: nil event callback")
+	}
+	if rel < e.now {
+		rel = e.now
+	}
+	e.seq++
+	e.scheduled++
+	e.pending++
+	idx := e.alloc()
+	r := &e.recs[idx]
+	r.at, r.seq, r.fn, r.name = rel, e.seq, fn, name
+	r.n, r.cur, r.lane = 1, 0, DefaultLane
+	if rel == e.now {
+		e.laneAppend(DefaultLane, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return Timer{eng: e, idx: idx, gen: r.gen}
+}
+
+// AtBatch schedules len(fns) callbacks to fire at time at, in slice
+// order, on the given lane. The batch occupies one record and one
+// contiguous seq block, so it costs a single heap settle (or a single
+// lane append when at is the executing instant) regardless of size —
+// the k-events-at-one-instant pattern of dispatch cascades,
+// completion batches, and provisioning waves. Batch entries are not
+// individually cancellable; callers that need cancellation use At.
+// The engine copies fns, so the caller may reuse the slice.
+func (e *Engine) AtBatch(at time.Time, lane Lane, name string, fns []func()) {
+	n := len(fns)
+	if n == 0 {
+		return
+	}
+	for _, fn := range fns {
+		if fn == nil {
+			panic("simclock: nil event callback in batch")
+		}
+	}
+	if e.ref != nil {
+		for _, fn := range fns {
+			e.refAt(at, name, fn)
+		}
+		return
+	}
+	rel := e.rel(at)
+	e.batchRel(rel, lane, name, fns, nil, n)
+}
+
+// AfterBatch schedules len(fns) callbacks to fire d from now; see
+// AtBatch. Negative durations are clamped to zero.
+func (e *Engine) AfterBatch(d time.Duration, lane Lane, name string, fns []func()) {
+	if d < 0 {
+		d = 0
+	}
+	n := len(fns)
+	if n == 0 {
+		return
+	}
+	for _, fn := range fns {
+		if fn == nil {
+			panic("simclock: nil event callback in batch")
+		}
+	}
+	if e.ref != nil {
+		at := e.ref.now.Add(d)
+		for _, fn := range fns {
+			e.refAt(at, name, fn)
+		}
+		return
+	}
+	e.batchRel(e.now+int64(d), lane, name, fns, nil, n)
+}
+
+// AfterBatchN schedules n firings of the same callback d from now on
+// the given lane — a batch without the callback slice, for waves of
+// identical work such as a provisioning round. See AtBatch for batch
+// semantics.
+func (e *Engine) AfterBatchN(d time.Duration, lane Lane, name string, n int, fn func()) {
+	if fn == nil {
+		panic("simclock: nil event callback")
+	}
+	if n <= 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if e.ref != nil {
+		at := e.ref.now.Add(d)
+		for i := 0; i < n; i++ {
+			e.refAt(at, name, fn)
+		}
+		return
+	}
+	e.batchRel(e.now+int64(d), lane, name, nil, fn, n)
+}
+
+// batchRel installs a batch record at relative time rel. Exactly one
+// of fns (copied) or fn (repeated) carries the callbacks.
+func (e *Engine) batchRel(rel int64, lane Lane, name string, fns []func(), fn func(), n int) {
+	if lane < 0 || int(lane) >= len(e.lanes) {
+		panic(fmt.Sprintf("simclock: unknown lane %d", lane))
+	}
+	if rel < e.now {
+		rel = e.now
+	}
+	first := e.seq + 1
+	e.seq += uint64(n)
+	e.scheduled += uint64(n)
+	e.pending += n
+	idx := e.alloc()
+	r := &e.recs[idx]
+	r.at, r.seq, r.name, r.lane = rel, first, name, lane
+	r.n, r.cur = int32(n), 0
+	if fns != nil {
+		r.fns = append(e.takeFns(), fns...)
+	} else {
+		r.fn = fn
+	}
+	if rel == e.now {
+		e.laneAppend(lane, idx)
+	} else {
+		e.heapPush(idx)
+	}
+}
+
+// --- lane buckets and the head merge ---
+
+// laneAppend places a record at the tail of its lane's bucket for the
+// executing instant. Appends always arrive in ascending seq order —
+// direct schedules use the monotone global counter and epoch drains
+// pop the far heap in (time, seq) order — so the bucket stays sorted
+// without comparisons.
+func (e *Engine) laneAppend(lane Lane, idx int32) {
+	b := &e.lanes[lane]
+	e.recs[idx].heapIdx = recLane
+	wasEmpty := b.head == len(b.recs)
+	b.recs = append(b.recs, idx)
+	if wasEmpty {
+		e.headsPush(lane)
+	}
+}
+
+// headKey is the seq of the lane's next unconsumed callback. A batch
+// record advances its key by one per firing; the key cannot overtake
+// another lane's because seq blocks are contiguous and disjoint.
+func (e *Engine) headKey(lane Lane) uint64 {
+	b := &e.lanes[lane]
+	r := &e.recs[b.recs[b.head]]
+	return r.seq + uint64(r.cur)
+}
+
+// headsPush adds a newly active lane to the head-merge heap.
+func (e *Engine) headsPush(lane Lane) {
+	e.heads = append(e.heads, lane)
+	i := len(e.heads) - 1
+	key := e.headKey(lane)
+	for i > 0 {
+		p := (i - 1) / 2
+		if key >= e.headKey(e.heads[p]) {
+			break
+		}
+		e.heads[i] = e.heads[p]
+		i = p
+	}
+	e.heads[i] = lane
+}
+
+// headsFix restores the heap after the root lane's key advanced.
+func (e *Engine) headsFix() {
+	h := e.heads
+	n := len(h)
+	i := 0
+	lane := h[0]
+	key := e.headKey(lane)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		ck := e.headKey(h[c])
+		if r := c + 1; r < n {
+			if rk := e.headKey(h[r]); rk < ck {
+				c, ck = r, rk
+			}
+		}
+		if key <= ck {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = lane
+}
+
+// headsPop removes the root lane (its bucket is exhausted).
+func (e *Engine) headsPop() {
+	n := len(e.heads) - 1
+	e.heads[0] = e.heads[n]
+	e.heads = e.heads[:n]
+	if n > 0 {
+		e.headsFix()
+	}
+}
+
+// consumeHead retires the root lane's head record and rebalances the
+// merge heap.
+func (e *Engine) consumeHead() {
+	lane := e.heads[0]
+	b := &e.lanes[lane]
+	idx := b.recs[b.head]
+	b.head++
+	e.recycle(idx)
+	if b.head == len(b.recs) {
+		b.head = 0
+		b.recs = b.recs[:0]
+		e.headsPop()
+	} else {
+		e.headsFix()
+	}
+}
+
+// advance moves the clock to the next scheduled instant and performs
+// the epoch merge: every far-heap record bearing the new timestamp
+// drains into its lane bucket, after which the instant executes as
+// bucket-head pops in ascending seq order. The far heap holds only
+// records strictly after the executing instant, so schedules landing
+// at the current time never touch it.
+func (e *Engine) advance() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	t := e.recs[e.heap[0]].at
+	e.now = t
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		if e.recs[idx].at != t {
+			break
+		}
+		e.heapPopMin()
+		e.laneAppend(e.recs[idx].lane, idx)
+	}
+	return true
+}
+
+// Step executes the single next event, advancing the clock to its
+// scheduled time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.ref != nil {
+		return e.refStep()
+	}
+	for {
+		if len(e.heads) == 0 && !e.advance() {
+			return false
+		}
+		b := &e.lanes[e.heads[0]]
+		r := &e.recs[b.recs[b.head]]
+		if r.stopped {
+			e.consumeHead()
+			continue
+		}
+		var fn func()
+		if r.fns != nil {
+			fn = r.fns[r.cur]
+		} else {
+			fn = r.fn
+		}
+		r.cur++
+		if r.cur >= r.n {
+			e.consumeHead()
+		}
+		e.processed++
+		e.pending--
+		fn()
+		return true
+	}
+}
+
+// nextAt reports the relative time of the next non-canceled event,
+// discarding canceled lane heads as it scans.
+func (e *Engine) nextAt() (int64, bool) {
+	for len(e.heads) > 0 {
+		b := &e.lanes[e.heads[0]]
+		if e.recs[b.recs[b.head]].stopped {
+			e.consumeHead()
+			continue
+		}
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.recs[e.heap[0]].at, true
+	}
+	return 0, false
+}
+
+// Run executes events until the queue is empty. Most simulations end
+// naturally when their workload completes and periodic controllers
+// have been stopped; use RunUntil to bound runaway simulations.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= deadline, then
+// advances the clock to deadline. Events after the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline time.Time) {
+	if e.ref != nil {
+		e.refRunUntil(deadline)
+		return
+	}
+	relD := e.rel(deadline)
+	for {
+		at, ok := e.nextAt()
+		if !ok || at > relD {
+			break
+		}
+		e.Step()
+	}
+	if e.now < relD {
+		e.now = relD
+	}
+}
+
+// refRunUntil is RunUntil on the reference core.
+func (e *Engine) refRunUntil(deadline time.Time) {
+	c := e.ref
+	for {
+		at, ok := e.refNextAt()
+		if !ok || at.After(deadline) {
+			break
+		}
+		e.refStep()
+	}
+	if c.now.Before(deadline) {
+		c.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.Now().Add(d))
+}
+
+// RunWhile executes events while cond returns true and events remain.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// --- far-horizon 4-ary heap ---
+
+// recLess orders records by (time, seq): the engine's single total
+// order. Both fields are plain integers, so the comparison compiles
+// to two compares — the reason the timeline is int64 nanoseconds.
+func (e *Engine) recLess(a, b int32) bool {
+	ra, rb := &e.recs[a], &e.recs[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// The heap is 4-ary: sift depth halves versus binary, and the wider
+// node still fits a cache line of int32 indices. Hand-rolled (like
+// netsim's finishHeap) to avoid heap.Interface boxing on the hot
+// path.
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.recs[idx].heapIdx = int32(len(e.heap) - 1)
+	e.heapUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.recLess(idx, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.recs[h[i]].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = idx
+	e.recs[idx].heapIdx = int32(i)
+}
+
+func (e *Engine) heapDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.recLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !e.recLess(h[m], idx) {
+			break
+		}
+		h[i] = h[m]
+		e.recs[h[i]].heapIdx = int32(i)
+		i = m
+	}
+	h[i] = idx
+	e.recs[idx].heapIdx = int32(i)
+}
+
+// heapPopMin removes and returns the minimum record index.
+func (e *Engine) heapPopMin() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.recs[h[0]].heapIdx = 0
+		e.heapDown(0)
+	}
+	e.recs[top].heapIdx = recFree
+	return top
+}
+
+// heapRemove removes the record at heap position i (eager cancel).
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	idx := h[i]
+	n := len(h) - 1
+	h[i] = h[n]
+	e.heap = h[:n]
+	if i < n {
+		e.recs[h[i]].heapIdx = int32(i)
+		e.heapDown(i)
+		e.heapUp(i)
+	}
+	e.recs[idx].heapIdx = recFree
+}
+
+// --- tickers ---
+
+// Ticker runs a callback periodically until stopped. The re-arm
+// closure is bound once at construction and reused for every firing,
+// so a steady ticker allocates nothing after Every returns.
 type Ticker struct {
 	e       *Engine
 	period  time.Duration
 	name    string
 	fn      func()
+	run     func() // persistent firing closure; see Every
 	timer   Timer
 	stopped bool
 }
@@ -213,20 +786,17 @@ func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
 		panic(fmt.Sprintf("simclock: non-positive ticker period %v", period))
 	}
 	t := &Ticker{e: e, period: period, name: name, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.timer = t.e.After(t.period, t.name, func() {
+	t.run = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.schedule()
+			t.timer = t.e.After(t.period, t.name, t.run)
 		}
-	})
+	}
+	t.timer = e.After(period, name, t.run)
+	return t
 }
 
 // Stop cancels the ticker; no further firings occur.
@@ -248,67 +818,5 @@ func (t *Ticker) Reset(period time.Duration) {
 	}
 	t.period = period
 	t.timer.Stop()
-	t.schedule()
-}
-
-// Step executes the single next event, advancing the clock to its
-// scheduled time. It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			e.recycle(ev)
-			continue
-		}
-		if ev.at.After(e.now) {
-			e.now = ev.at
-		}
-		e.processed++
-		fn := ev.fn
-		e.recycle(ev)
-		fn()
-		return true
-	}
-	return false
-}
-
-// Run executes events until the queue is empty. Most simulations end
-// naturally when their workload completes and periodic controllers
-// have been stopped; use RunUntil to bound runaway simulations.
-func (e *Engine) Run() {
-	for e.Step() {
-	}
-}
-
-// RunUntil executes events with scheduled time <= deadline, then
-// advances the clock to deadline. Events after the deadline remain
-// queued.
-func (e *Engine) RunUntil(deadline time.Time) {
-	for len(e.events) > 0 {
-		// Peek.
-		next := e.events[0]
-		if next.canceled {
-			e.recycle(heap.Pop(&e.events).(*event))
-			continue
-		}
-		if next.at.After(deadline) {
-			break
-		}
-		e.Step()
-	}
-	if e.now.Before(deadline) {
-		e.now = deadline
-	}
-}
-
-// RunFor runs the simulation for d of virtual time from now.
-func (e *Engine) RunFor(d time.Duration) {
-	e.RunUntil(e.now.Add(d))
-}
-
-// RunWhile executes events while cond returns true and events remain.
-// cond is checked before each event.
-func (e *Engine) RunWhile(cond func() bool) {
-	for cond() && e.Step() {
-	}
+	t.timer = t.e.After(t.period, t.name, t.run)
 }

@@ -374,3 +374,219 @@ func TestRealClock(t *testing.T) {
 		t.Errorf("RealClock.Now out of range")
 	}
 }
+
+// --- batch scheduling ---
+
+func TestAtBatchFiresInSliceOrder(t *testing.T) {
+	e := NewEngine(t0)
+	lane := e.NewLane("test")
+	var got []int
+	before := e.After(time.Second, "before", func() { got = append(got, -1) })
+	_ = before
+	fns := make([]func(), 5)
+	for i := range fns {
+		i := i
+		fns[i] = func() { got = append(got, i) }
+	}
+	e.AtBatch(t0.Add(time.Second), lane, "batch", fns)
+	e.After(time.Second, "after", func() { got = append(got, 99) })
+	e.Run()
+	want := []int{-1, 0, 1, 2, 3, 4, 99}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if e.Processed() != 7 {
+		t.Errorf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+func TestAfterBatchNRepeatsCallback(t *testing.T) {
+	e := NewEngine(t0)
+	n := 0
+	e.AfterBatchN(time.Second, DefaultLane, "batchN", 4, func() { n++ })
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", e.Pending())
+	}
+	e.Run()
+	if n != 4 {
+		t.Fatalf("callback ran %d times, want 4", n)
+	}
+	if !e.Now().Equal(t0.Add(time.Second)) {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestBatchAtCurrentInstant(t *testing.T) {
+	e := NewEngine(t0)
+	lane := e.NewLane("test")
+	var got []int
+	e.After(time.Second, "outer", func() {
+		fns := []func(){
+			func() { got = append(got, 1) },
+			func() { got = append(got, 2) },
+		}
+		e.AfterBatch(0, lane, "inner", fns)
+		e.After(0, "single-after", func() { got = append(got, 3) })
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if e.Elapsed() != time.Second {
+		t.Errorf("Elapsed = %v, want 1s", e.Elapsed())
+	}
+}
+
+// Lanes shard storage, not ordering: same-instant events fire in
+// global schedule order regardless of which lane they land in.
+func TestLanesPreserveGlobalOrder(t *testing.T) {
+	e := NewEngine(t0)
+	a, b := e.NewLane("a"), e.NewLane("b")
+	var got []int
+	at := t0.Add(time.Second)
+	e.AtBatch(at, b, "b1", []func(){func() { got = append(got, 0) }, func() { got = append(got, 1) }})
+	e.At(at, "plain", func() { got = append(got, 2) })
+	e.AtBatch(at, a, "a1", []func(){func() { got = append(got, 3) }})
+	e.AtBatch(at, b, "b2", []func(){func() { got = append(got, 4) }})
+	e.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("order = %v, want [0 1 2 3 4]", got)
+		}
+	}
+}
+
+func TestBatchRunWhileStopsMidBatch(t *testing.T) {
+	e := NewEngine(t0)
+	n := 0
+	e.AfterBatchN(time.Second, DefaultLane, "batchN", 10, func() { n++ })
+	e.RunWhile(func() bool { return n < 3 })
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", e.Pending())
+	}
+	e.Run()
+	if n != 10 {
+		t.Fatalf("n = %d after Run, want 10", n)
+	}
+}
+
+// --- Pending counter ---
+
+// Pending must stay exact through schedule/cancel/fire churn,
+// including cancels of events already due at the executing instant
+// (lane residents drain lazily but are uncounted immediately).
+func TestPendingExactUnderChurn(t *testing.T) {
+	e := NewEngine(t0)
+	rng := NewRNG(11)
+	var live []Timer
+	fired, stopped := 0, 0
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			live = append(live, e.After(time.Duration(rng.Intn(50))*time.Millisecond, "x", func() { fired++ }))
+		case 2:
+			if len(live) > 0 {
+				k := rng.Intn(len(live))
+				if live[k].Stop() {
+					stopped++
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		case 3:
+			e.RunFor(time.Duration(rng.Intn(20)) * time.Millisecond)
+		}
+		// Invariant after every operation: everything scheduled has
+		// either fired, been stopped, or is still pending.
+		if want := int(e.Scheduled()) - fired - stopped; e.Pending() != want {
+			t.Fatalf("op %d: Pending = %d, want scheduled(%d) - fired(%d) - stopped(%d) = %d",
+				i, e.Pending(), e.Scheduled(), fired, stopped, want)
+		}
+	}
+	if fired == 0 || stopped == 0 || e.Pending() == 0 {
+		t.Fatalf("scenario degenerate: fired=%d stopped=%d pending=%d", fired, stopped, e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// Pending is a counter read, not a queue walk: 200k probes against a
+// 100k-event queue must complete almost instantly. A linear scan
+// would cost ~2e10 record visits and trip the bound by orders of
+// magnitude.
+func TestPendingConstantTime(t *testing.T) {
+	e := NewEngine(t0)
+	for i := 0; i < 100000; i++ {
+		e.After(time.Duration(i)*time.Millisecond, "x", func() {})
+	}
+	start := time.Now()
+	sum := 0
+	for i := 0; i < 200000; i++ {
+		sum += e.Pending()
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("200k Pending probes took %v (linear scan?)", d)
+	}
+	if sum != 200000*100000 {
+		t.Fatalf("Pending drifted: sum = %d", sum)
+	}
+	e.Run()
+}
+
+// --- ticker allocation ---
+
+// A steady ticker reuses one bound closure for every firing; the
+// per-firing allocation profile must be zero.
+func TestTickerFiringAllocs(t *testing.T) {
+	e := NewEngine(t0)
+	n := 0
+	tk := e.Every(time.Second, "tick", func() { n++ })
+	e.RunFor(10 * time.Second) // warm the slab and free list
+	avg := testing.AllocsPerRun(100, func() {
+		e.RunFor(time.Second)
+	})
+	tk.Stop()
+	if avg != 0 {
+		t.Fatalf("ticker firing allocates %.1f objects/firing, want 0", avg)
+	}
+	if n < 100 {
+		t.Fatalf("ticker fired %d times", n)
+	}
+}
+
+// --- reference engine API parity ---
+
+func TestReferenceEngineBasics(t *testing.T) {
+	e := NewReferenceEngine(t0)
+	if !e.Reference() {
+		t.Fatal("Reference() = false")
+	}
+	var got []int
+	lane := e.NewLane("x")
+	e.AfterBatch(time.Second, lane, "b", []func(){func() { got = append(got, 1) }, func() { got = append(got, 2) }})
+	e.AfterBatchN(time.Second, lane, "bn", 2, func() { got = append(got, 3) })
+	tm := e.After(2*time.Second, "never", func() { got = append(got, 9) })
+	if !tm.Stop() {
+		t.Fatal("Stop = false")
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if e.Elapsed() != time.Second {
+		t.Errorf("Elapsed = %v", e.Elapsed())
+	}
+}

@@ -33,31 +33,59 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 	}
 }
 
+// runScaleDispatch is one full submit → dispatch → complete storm:
+// known-size tasks over 4-core workers, with jittered durations so
+// completions arrive as a stream of single events — one dispatch pass
+// per completion.
+func runScaleDispatch(b *testing.B, reference bool, tasks, workers int) {
+	eng := simclock.NewEngine(t0)
+	if reference {
+		eng = simclock.NewReferenceEngine(t0)
+	}
+	m := NewMaster(eng, nil)
+	m.SetNaivePlacement(reference)
+	for w := 0; w < workers; w++ {
+		m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000))
+	}
+	rng := simclock.NewRNG(1)
+	for t := 0; t < tasks; t++ {
+		d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
+		m.Submit(knownTask("bench", 1, d))
+	}
+	eng.Run()
+	if m.CompletedCount() != tasks {
+		b.Fatalf("completed %d of %d", m.CompletedCount(), tasks)
+	}
+}
+
 // BenchmarkScaleDispatch measures the production-scale event storm the
-// ROADMAP targets: 10k known-size tasks over 500 4-core workers, with
-// jittered durations so completions arrive as a stream of single
-// events — one dispatch pass per completion.
+// ROADMAP targets, on the lane-sharded engine with avail-index
+// placement: the 10k-task/500-worker cell is the CI smoke and the
+// 1M-task/100k-worker cell is the headline scale target.
 func BenchmarkScaleDispatch(b *testing.B) {
-	const (
-		tasks   = 10000
-		workers = 500
-	)
+	b.Run("10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runScaleDispatch(b, false, 10_000, 500)
+		}
+	})
+	b.Run("100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runScaleDispatch(b, false, 1_000_000, 100_000)
+		}
+	})
+}
+
+// BenchmarkScaleDispatchReference runs the 10k cell on the retained
+// reference engine with the retained linear placement scan — the
+// pre-rewrite configuration the speedup is measured against. Like the
+// Naive control-plane baselines it is excluded from the CI bench
+// smoke; htabench records the measured ratio in BENCH_6.json.
+func BenchmarkScaleDispatchReference(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		eng := simclock.NewEngine(t0)
-		m := NewMaster(eng, nil)
-		for w := 0; w < workers; w++ {
-			m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000))
-		}
-		rng := simclock.NewRNG(1)
-		for t := 0; t < tasks; t++ {
-			d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
-			m.Submit(knownTask("bench", 1, d))
-		}
-		eng.Run()
-		if m.CompletedCount() != tasks {
-			b.Fatalf("completed %d of %d", m.CompletedCount(), tasks)
-		}
+		runScaleDispatch(b, true, 10_000, 500)
 	}
 }
 

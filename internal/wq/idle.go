@@ -43,9 +43,8 @@ func (m *Master) markIdle(w *simWorker) {
 
 func (m *Master) rebuildIdle() {
 	m.idle = m.idle[:0]
-	for _, id := range m.workerOrder {
-		w := m.workers[id]
-		if !w.draining && len(w.running) == 0 {
+	for _, w := range m.roster {
+		if w != nil && !w.draining && w.running.len() == 0 {
 			m.idle = append(m.idle, idleEntry{seq: w.joinSeq, w: w})
 		}
 	}
@@ -59,7 +58,7 @@ func (m *Master) takeIdle() *simWorker {
 	for len(m.idle) > 0 {
 		e := heap.Pop(&m.idle).(idleEntry)
 		w := e.w
-		if m.workers[w.id] != w || w.draining || len(w.running) > 0 {
+		if m.workers[w.id] != w || w.draining || w.running.len() > 0 {
 			continue
 		}
 		return w

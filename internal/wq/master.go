@@ -52,7 +52,8 @@ func (p Policy) String() string {
 // when the largest free worker cannot fit the smallest waiting task.
 type Master struct {
 	eng    *simclock.Engine
-	link   *netsim.Link // master egress; nil = transfers are free
+	lane   simclock.Lane // engine lane for the master's batch events
+	link   *netsim.Link  // master egress; nil = transfers are free
 	policy Policy
 
 	nextID   int
@@ -62,9 +63,20 @@ type Master struct {
 	rtFree   []*runningTask // recycled runningTask records
 
 	workers     map[string]*simWorker
-	workerOrder []string
 	nextJoinSeq uint64
 	idle        idleHeap
+	freeFetch   []func() // free-transfer fetch arrivals batched per dispatch
+
+	// roster holds workers by slot in join order; departures leave nil
+	// tombstones (compacted once they dominate) so slots stay stable
+	// for the avail index. avail is the segment tree FirstFit descends
+	// instead of scanning; naivePlace retains the linear scan as the
+	// placement oracle.
+	roster     []*simWorker
+	tombs      int
+	avail      availIndex
+	naivePlace bool
+	naiveOrder []string // join-order id list for the retained naive scan
 
 	estimator  Estimator
 	onComplete []func(Result)
@@ -86,6 +98,7 @@ type Master struct {
 	rec         metrics.RecoveryCounters
 
 	dispatchPending bool
+	dispatchFn      func() // persistent coalesced-dispatch closure
 	completeCount   int
 
 	// Incremental aggregates, kept in lockstep with the queue and the
@@ -109,11 +122,12 @@ type Master struct {
 type simWorker struct {
 	id       string
 	joinSeq  uint64
+	slot     int // roster index; -1 once removed
 	pool     *resources.Pool
 	cache    map[string]bool     // shared files present
 	fetching map[string][]func() // shared files in flight -> waiters
 	fetches  map[string]*netsim.Transfer
-	running  map[int]*runningTask
+	running  runningSet
 	draining bool
 	onDrain  func()
 	joinedAt time.Time
@@ -135,11 +149,44 @@ type runningTask struct {
 	execStart time.Time        // when execution (not staging) began
 }
 
+// runningSet holds a worker's in-flight attempts in a small slice. A
+// worker runs at most a handful of tasks at once (capacity-bound), so
+// linear scans beat a map's hashing and delete churn in the dispatch
+// hot path. Attempts are removed from the set before their record is
+// recycled, so every resident entry has a valid task pointer.
+type runningSet struct{ rts []*runningTask }
+
+func (s *runningSet) get(id int) *runningTask {
+	for _, rt := range s.rts {
+		if rt.task.ID == id {
+			return rt
+		}
+	}
+	return nil
+}
+
+func (s *runningSet) put(rt *runningTask) { s.rts = append(s.rts, rt) }
+
+func (s *runningSet) remove(id int) {
+	for i, rt := range s.rts {
+		if rt.task.ID == id {
+			n := len(s.rts) - 1
+			copy(s.rts[i:], s.rts[i+1:])
+			s.rts[n] = nil
+			s.rts = s.rts[:n]
+			return
+		}
+	}
+}
+
+func (s *runningSet) len() int { return len(s.rts) }
+
 // NewMaster creates a master on the given engine. link models the
 // master's egress bandwidth; pass nil to make data movement free.
 func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
-	return &Master{
+	m := &Master{
 		eng:          eng,
+		lane:         eng.NewLane("wq"),
 		link:         link,
 		tasks:        make(map[int]*Task),
 		waiting:      newWaitQueue(),
@@ -148,6 +195,13 @@ func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 		retryResume:  make(map[int]time.Time),
 		lastPassRev:  ^uint64(0),
 	}
+	// One persistent closure for the coalesced dispatch event; a fresh
+	// closure per completion shows up as allocator time at 100k scale.
+	m.dispatchFn = func() {
+		m.dispatchPending = false
+		m.dispatchOnce()
+	}
+	return m
 }
 
 // SetPolicy selects the dispatch policy (default FirstFit).
@@ -269,12 +323,11 @@ func (m *Master) AddWorker(id string, capacity resources.Vector) error {
 		cache:    make(map[string]bool),
 		fetching: make(map[string][]func()),
 		fetches:  make(map[string]*netsim.Transfer),
-		running:  make(map[int]*runningTask),
 		joinedAt: m.eng.Now(),
 	}
 	m.nextJoinSeq++
 	m.workers[id] = w
-	m.workerOrder = append(m.workerOrder, id)
+	m.rosterAppend(w)
 	m.totalCap = m.totalCap.Add(capacity)
 	m.idleCount++
 	m.markIdle(w)
@@ -294,12 +347,13 @@ func (m *Master) DrainWorker(id string, onDrained func()) error {
 	if !w.draining {
 		w.draining = true
 		m.drainingCount++
-		if len(w.running) == 0 {
+		m.syncAvail(w)
+		if w.running.len() == 0 {
 			m.idleCount--
 		}
 	}
 	w.onDrain = onDrained
-	if len(w.running) == 0 {
+	if w.running.len() == 0 {
 		m.finishDrain(w)
 	}
 	return nil
@@ -318,14 +372,14 @@ func (m *Master) KillWorker(id string) error {
 	m.fstats.WorkerKills++
 	// Process tasks in submission order so retry timers and quarantine
 	// callbacks are scheduled deterministically.
-	ids := make([]int, 0, len(w.running))
-	for tid := range w.running {
-		ids = append(ids, tid)
+	ids := make([]int, 0, w.running.len())
+	for _, rt := range w.running.rts {
+		ids = append(ids, rt.task.ID)
 	}
 	sort.Ints(ids)
 	var requeued []int
 	for _, tid := range ids {
-		rt := w.running[tid]
+		rt := w.running.get(tid)
 		m.stopTask(rt)
 		t := rt.task
 		m.fstats.Requeues++
@@ -389,21 +443,23 @@ func (m *Master) removeWorker(w *simWorker) {
 	delete(m.workers, w.id)
 	m.totalCap = m.totalCap.Sub(w.pool.Capacity())
 	m.totalUsed = m.totalUsed.Sub(w.pool.Used())
-	m.runningCount -= len(w.running)
+	m.runningCount -= w.running.len()
 	if w.draining {
 		m.drainingCount--
-	} else if len(w.running) == 0 {
+	} else if w.running.len() == 0 {
 		m.idleCount--
 	}
-	for i, id := range m.workerOrder {
-		if id == w.id {
-			m.workerOrder = append(m.workerOrder[:i], m.workerOrder[i+1:]...)
-			break
-		}
-	}
+	m.rosterRemove(w)
 }
 
 func (m *Master) finishDrain(w *simWorker) {
+	if m.workers[w.id] != w {
+		// Already removed: a completion callback may call DrainWorker
+		// on the just-idled worker, finishing the drain before the
+		// completion's own drain check runs. Repeating removeWorker
+		// would double-subtract the capacity aggregates.
+		return
+	}
 	m.removeWorker(w)
 	if w.onDrain != nil {
 		cb := w.onDrain
@@ -414,7 +470,15 @@ func (m *Master) finishDrain(w *simWorker) {
 }
 
 // Workers returns the connected worker IDs in join order.
-func (m *Master) Workers() []string { return append([]string(nil), m.workerOrder...) }
+func (m *Master) Workers() []string {
+	out := make([]string, 0, len(m.workers))
+	for _, w := range m.roster {
+		if w != nil {
+			out = append(out, w.id)
+		}
+	}
+	return out
+}
 
 // WorkerCapacity returns a connected worker's capacity.
 func (m *Master) WorkerCapacity(id string) (resources.Vector, bool) {
@@ -435,7 +499,7 @@ func (m *Master) WorkerUsage(id string) resources.Vector {
 		return resources.Zero
 	}
 	var u resources.Vector
-	for _, rt := range w.running {
+	for _, rt := range w.running.rts {
 		if rt.executing {
 			u = u.Add(rt.execUsage)
 		}
@@ -451,7 +515,7 @@ func (m *Master) BusyCPU() int64 { return m.busyUsage.MilliCPU }
 // WorkerBusy reports whether the worker has running tasks.
 func (m *Master) WorkerBusy(id string) bool {
 	w, ok := m.workers[id]
-	return ok && len(w.running) > 0
+	return ok && w.running.len() > 0
 }
 
 // --- dispatch ---
@@ -463,10 +527,7 @@ func (m *Master) scheduleDispatch() {
 		return
 	}
 	m.dispatchPending = true
-	m.eng.After(0, "wq-dispatch", func() {
-		m.dispatchPending = false
-		m.dispatchOnce()
-	})
+	m.eng.After(0, "wq-dispatch", m.dispatchFn)
 }
 
 // resolveResources determines the allocation for a task: declared
@@ -571,11 +632,15 @@ func (m *Master) queueStalled(maxFree resources.Vector) bool {
 }
 
 // maxFreeCapacity returns the component-wise maximum free capacity
-// over non-draining workers.
+// over non-draining workers: the avail-index root in O(1), or the
+// retained roster scan in naive mode.
 func (m *Master) maxFreeCapacity() resources.Vector {
+	if !m.naivePlace {
+		return m.avail.maxFree()
+	}
 	var free resources.Vector
-	for _, id := range m.workerOrder {
-		w := m.workers[id]
+	for _, wid := range m.naiveOrder {
+		w := m.workers[wid]
 		if !w.draining {
 			free = free.Max(w.pool.Available())
 		}
@@ -607,8 +672,8 @@ func (m *Master) Cancel(id int) error {
 		if w == nil {
 			return fmt.Errorf("wq: task %d running on unknown worker %q", id, t.WorkerID)
 		}
-		m.detachRunning(w.running[id])
-		if w.draining && len(w.running) == 0 {
+		m.detachRunning(w.running.get(id))
+		if w.draining && w.running.len() == 0 {
 			defer m.finishDrain(w)
 		}
 		m.scheduleDispatch()
@@ -626,21 +691,33 @@ func (m *Master) Cancel(id int) error {
 // component-wise max free capacity observed, letting the caller
 // tighten its pass-wide bound.
 func (m *Master) placeKnown(t *Task, res resources.Vector) (placed bool, scannedMax resources.Vector, fullScan bool) {
+	if m.policy == FirstFit && !m.naivePlace {
+		// Indexed path: leftmost-fit descent through the avail tree.
+		// On a miss the root is the exact max free, so the caller's
+		// bound refresh costs nothing extra.
+		slot := m.avail.findFirst(res)
+		if slot < 0 {
+			return false, m.avail.maxFree(), true
+		}
+		m.startTask(t, m.roster[slot], res, false)
+		return true, resources.Zero, false
+	}
 	var chosen *simWorker
 	var chosenFree int64
-	for _, wid := range m.workerOrder {
-		w := m.workers[wid]
+	// consider scores one worker under the current policy; true means
+	// a FirstFit placement ended the scan.
+	consider := func(w *simWorker) bool {
 		if w.draining {
-			continue
+			return false
 		}
 		avail := w.pool.Available()
 		scannedMax = scannedMax.Max(avail)
 		if !res.Fits(avail) {
-			continue
+			return false
 		}
 		if m.policy == FirstFit {
 			m.startTask(t, w, res, false)
-			return true, scannedMax, false
+			return true
 		}
 		// Score by free CPU after placement (the binding dimension
 		// for HTC tasks); memory breaks ties implicitly via order.
@@ -650,6 +727,22 @@ func (m *Master) placeKnown(t *Task, res resources.Vector) (placed bool, scanned
 			(m.policy == WorstFit && free > chosenFree)
 		if better {
 			chosen, chosenFree = w, free
+		}
+		return false
+	}
+	if m.naivePlace {
+		// The retained scan, verbatim cost model included: join-order
+		// id list with a map lookup per worker.
+		for _, wid := range m.naiveOrder {
+			if consider(m.workers[wid]) {
+				return true, scannedMax, false
+			}
+		}
+	} else {
+		for _, w := range m.roster {
+			if w != nil && consider(w) {
+				return true, scannedMax, false
+			}
 		}
 	}
 	if chosen == nil {
@@ -674,7 +767,8 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 	if err := w.pool.Acquire(alloc); err != nil {
 		panic(fmt.Sprintf("wq: dispatch accounting bug: %v", err))
 	}
-	if len(w.running) == 0 && !w.draining {
+	m.syncAvail(w)
+	if w.running.len() == 0 && !w.draining {
 		m.idleCount--
 	}
 	m.runningCount++
@@ -689,7 +783,7 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 	rt := m.newRunningTask()
 	rt.task, rt.worker = t, w
 	rt.aborted = false
-	w.running[t.ID] = rt
+	w.running.put(rt)
 	m.armFastAbort(rt)
 
 	// Input staging: shared files are fetched once per worker and
@@ -702,6 +796,7 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 		rt.pending++
 		m.ensureFile(w, f, func() { m.fetchDone(rt) })
 	}
+	m.flushFreeFetches()
 	if t.InputMB > 0 && m.link != nil {
 		rt.pending++
 		rt.inTr = m.link.Start(t.InputMB, func() {
@@ -710,6 +805,20 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 		})
 	}
 	m.fetchDone(rt) // release the setup barrier
+}
+
+// flushFreeFetches schedules the accumulated free-transfer arrivals
+// as one zero-delay batch on the master's lane — one heap settle per
+// staging wave instead of one event per file.
+func (m *Master) flushFreeFetches() {
+	if len(m.freeFetch) == 0 {
+		return
+	}
+	m.eng.AfterBatch(0, m.lane, "wq-fetch-free", m.freeFetch)
+	for i := range m.freeFetch {
+		m.freeFetch[i] = nil
+	}
+	m.freeFetch = m.freeFetch[:0]
 }
 
 // ensureFile fetches a shared file onto the worker exactly once;
@@ -725,7 +834,10 @@ func (m *Master) ensureFile(w *simWorker, f File, cb func()) {
 	}
 	w.fetching[f.Name] = []func(){cb}
 	if m.link == nil || f.SizeMB <= 0 {
-		m.eng.After(0, "wq-fetch-free", func() { m.fileArrived(w, f.Name) })
+		// Free transfers arrive instantly; the arrivals for one task's
+		// staging accumulate and go out as a single batch event.
+		name := f.Name
+		m.freeFetch = append(m.freeFetch, func() { m.fileArrived(w, name) })
 		return
 	}
 	w.fetches[f.Name] = m.link.Start(f.SizeMB, func() {
@@ -781,11 +893,12 @@ func (m *Master) sendOutput(rt *runningTask) {
 func (m *Master) completeTask(rt *runningTask) {
 	t, w := rt.task, rt.worker
 	rt.abortTmr.Stop()
-	delete(w.running, t.ID)
+	w.running.remove(t.ID)
 	w.pool.Release(t.Allocated)
+	m.syncAvail(w)
 	m.runningCount--
 	m.totalUsed = m.totalUsed.Sub(t.Allocated)
-	if len(w.running) == 0 && !w.draining {
+	if w.running.len() == 0 && !w.draining {
 		m.idleCount++
 		m.markIdle(w)
 	}
@@ -800,7 +913,7 @@ func (m *Master) completeTask(rt *runningTask) {
 	for _, fn := range m.onComplete {
 		fn(res)
 	}
-	if w.draining && len(w.running) == 0 {
+	if w.draining && w.running.len() == 0 {
 		m.finishDrain(w)
 		return
 	}
@@ -857,8 +970,11 @@ func (m *Master) ForEachWaiting(fn func(t *Task)) {
 // unspecified. The callback must treat the task as read-only and must
 // not call back into the master.
 func (m *Master) ForEachRunning(fn func(t *Task)) {
-	for _, wid := range m.workerOrder {
-		for _, rt := range m.workers[wid].running {
+	for _, w := range m.roster {
+		if w == nil {
+			continue
+		}
+		for _, rt := range w.running.rts {
 			fn(rt.task)
 		}
 	}
@@ -899,14 +1015,16 @@ type WorkerDetail struct {
 // WorkerDetails returns per-worker state in join order — the data a
 // `work_queue_status`-style CLI prints.
 func (m *Master) WorkerDetails() []WorkerDetail {
-	out := make([]WorkerDetail, 0, len(m.workerOrder))
-	for _, id := range m.workerOrder {
-		w := m.workers[id]
+	out := make([]WorkerDetail, 0, len(m.workers))
+	for _, w := range m.roster {
+		if w == nil {
+			continue
+		}
 		out = append(out, WorkerDetail{
-			ID:          id,
+			ID:          w.id,
 			Capacity:    w.pool.Capacity(),
 			InUse:       w.pool.Used(),
-			Running:     len(w.running),
+			Running:     w.running.len(),
 			CachedFiles: len(w.cache),
 			Draining:    w.draining,
 			JoinedAt:    w.joinedAt,

@@ -185,7 +185,7 @@ func (m *Master) armFastAbort(rt *runningTask) {
 // (or quarantines) the task. The worker itself stays connected.
 func (m *Master) fastAbort(rt *runningTask) {
 	t, w := rt.task, rt.worker
-	if t == nil || w.running[t.ID] != rt {
+	if t == nil || w.running.get(t.ID) != rt {
 		return // attempt already finished or was stopped
 	}
 	m.fstats.FastAborts++
@@ -193,7 +193,7 @@ func (m *Master) fastAbort(rt *runningTask) {
 	if m.failAttempt(t) {
 		m.enqueueFront([]int{t.ID})
 	}
-	if w.draining && len(w.running) == 0 {
+	if w.draining && w.running.len() == 0 {
 		m.finishDrain(w)
 		return
 	}
@@ -205,11 +205,12 @@ func (m *Master) fastAbort(rt *runningTask) {
 func (m *Master) detachRunning(rt *runningTask) {
 	t, w := rt.task, rt.worker
 	m.stopTask(rt)
-	delete(w.running, t.ID)
+	w.running.remove(t.ID)
 	w.pool.Release(t.Allocated)
+	m.syncAvail(w)
 	m.runningCount--
 	m.totalUsed = m.totalUsed.Sub(t.Allocated)
-	if len(w.running) == 0 && !w.draining {
+	if w.running.len() == 0 && !w.draining {
 		m.idleCount++
 		m.markIdle(w)
 	}

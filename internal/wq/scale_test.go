@@ -75,8 +75,21 @@ func TestCancelWhileWaitingLargeQueue(t *testing.T) {
 // priorities, unknown-resource (exclusive) tasks, cancellations, a
 // worker kill, a drain — and returns a trace of every completion.
 func runDeterminismTrace(seed int64) string {
+	return runPlacementTrace(seed, FirstFit, false, false)
+}
+
+// runPlacementTrace is runDeterminismTrace parameterized over the
+// engine implementation and the placement path, so the differential
+// test can assert that the avail-index FirstFit, the retained linear
+// scan, and both event cores all produce byte-identical outcomes.
+func runPlacementTrace(seed int64, policy Policy, reference, naive bool) string {
 	eng := simclock.NewEngine(t0)
+	if reference {
+		eng = simclock.NewReferenceEngine(t0)
+	}
 	m := NewMaster(eng, nil)
+	m.SetPolicy(policy)
+	m.SetNaivePlacement(naive)
 	var b strings.Builder
 	m.OnComplete(func(r Result) {
 		fmt.Fprintf(&b, "%d %s %s %d %v %d\n",

@@ -107,22 +107,24 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	}
 	snap := m.Snapshot()
 	now := m.eng.Now()
-	workers := make([]WorkerReattach, 0, len(m.workerOrder))
-	for _, wid := range m.workerOrder {
-		w := m.workers[wid]
+	workers := make([]WorkerReattach, 0, len(m.workers))
+	for _, w := range m.roster {
+		if w == nil {
+			continue
+		}
 		wr := WorkerReattach{
 			ID:         w.id,
 			Capacity:   w.pool.Capacity(),
 			DetachedAt: now,
 			Draining:   w.draining,
 		}
-		tids := make([]int, 0, len(w.running))
-		for tid := range w.running {
-			tids = append(tids, tid)
+		tids := make([]int, 0, w.running.len())
+		for _, rt := range w.running.rts {
+			tids = append(tids, rt.task.ID)
 		}
 		sort.Ints(tids)
 		for _, tid := range tids {
-			rt := w.running[tid]
+			rt := w.running.get(tid)
 			t := rt.task
 			remaining := t.Profile.ExecDuration
 			if rt.executing {
@@ -167,7 +169,9 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	m.waiting = newWaitQueue()
 	m.rtFree = nil
 	m.workers = make(map[string]*simWorker)
-	m.workerOrder = nil
+	m.roster, m.tombs = nil, 0
+	m.avail = availIndex{}
+	m.naiveOrder = nil
 	m.idle = nil
 	m.retryPending = make(map[int]simclock.Timer)
 	m.retryResume = make(map[int]time.Time)
@@ -303,7 +307,8 @@ func (m *Master) rescue(w *simWorker, t *Task, remaining time.Duration) {
 		}
 		return
 	}
-	if len(w.running) == 0 && !w.draining {
+	m.syncAvail(w)
+	if w.running.len() == 0 && !w.draining {
 		m.idleCount--
 	}
 	m.runningCount++
@@ -312,7 +317,7 @@ func (m *Master) rescue(w *simWorker, t *Task, remaining time.Duration) {
 	rt.task, rt.worker = t, w
 	rt.aborted = false
 	rt.pending = 0
-	w.running[t.ID] = rt
+	w.running.put(rt)
 	rt.executing = true
 	rt.execStart = m.eng.Now()
 	rt.execUsage = t.Profile.Usage().Min(t.Allocated)

@@ -53,9 +53,20 @@ type waitQueue struct {
 }
 
 type prioBucket struct {
-	prio int
-	ids  []int // FIFO; entries whose pos no longer maps here are tombstones
-	dead int   // tombstone count
+	prio  int
+	ids   []int // FIFO; entries whose pos no longer maps here are tombstones
+	start int   // consumed front: ids[:start] are all tombstones
+	dead  int   // tombstones at or after start
+}
+
+// advance moves the consumed-front pointer past leading tombstones,
+// so the steady one-completion-one-placement regime pays O(1) per
+// pass instead of re-walking every previously placed entry.
+func (b *prioBucket) advance(q *waitQueue) {
+	for b.start < len(b.ids) && q.pos[b.ids[b.start]] != b {
+		b.start++
+		b.dead--
+	}
 }
 
 func newWaitQueue() *waitQueue {
@@ -128,7 +139,8 @@ func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared
 	for _, prio := range q.prios {
 		b := q.buckets[prio]
 		if front := perBucket[b]; len(front) > 0 {
-			b.ids = append(front, b.ids...)
+			b.ids = append(front, b.ids[b.start:]...)
+			b.start = 0
 		}
 	}
 }
@@ -141,8 +153,11 @@ func (q *waitQueue) Remove(id int, declared resources.Vector) bool {
 	}
 	q.untrack(id, declared)
 	b.dead++
-	if b.dead > len(b.ids)/2 && b.dead > 32 {
+	if b.dead > 32 && b.dead > (len(b.ids)-b.start)/2 {
 		q.compact(b)
+		if len(b.ids) == 0 {
+			q.dropBucket(b)
+		}
 	}
 	return true
 }
@@ -169,16 +184,14 @@ func (q *waitQueue) untrack(id int, declared resources.Vector) {
 
 func (q *waitQueue) compact(b *prioBucket) {
 	live := b.ids[:0]
-	for _, id := range b.ids {
+	for _, id := range b.ids[b.start:] {
 		if q.pos[id] == b {
 			live = append(live, id)
 		}
 	}
 	b.ids = live
+	b.start = 0
 	b.dead = 0
-	if len(b.ids) == 0 {
-		q.dropBucket(b)
-	}
 }
 
 func (q *waitQueue) dropBucket(b *prioBucket) {
@@ -199,9 +212,14 @@ func (q *waitQueue) dropBucket(b *prioBucket) {
 // fn's stop result ends the pass after the current task: on a
 // 10k-worker fleet a completion would otherwise walk tens of
 // thousands of provably-unplaceable tasks, so the dispatcher stops as
-// soon as its capacity bound rules the rest out. The unvisited
-// remainder is kept verbatim (tombstones included — their compaction
-// is deferred to a later pass).
+// soon as its capacity bound rules the rest out.
+//
+// Placed entries become tombstones (untracked, compacted once they
+// dominate their bucket) rather than being compacted inline: the
+// inline rebuild shifted the entire unvisited tail on every
+// early-stopped pass, which turned the steady one-completion-
+// one-placement regime of a million-task run into a quadratic
+// memmove.
 func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector, stop bool)) {
 	var emptied []*prioBucket
 	stopped := false
@@ -210,29 +228,31 @@ func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector
 			break
 		}
 		b := q.buckets[prio]
-		live := b.ids[:0]
-		for i, id := range b.ids {
+		for i := b.start; i < len(b.ids); i++ {
+			id := b.ids[i]
 			if q.pos[id] != b {
 				continue // tombstone
 			}
 			placed, declared, stop := fn(id)
 			if placed {
 				q.untrack(id, declared)
-			} else {
-				live = append(live, id)
+				b.dead++
 			}
 			if stop {
-				live = append(live, b.ids[i+1:]...)
 				stopped = true
 				break
 			}
 		}
-		// Zero the compacted tail so dropped ids do not pin the array.
-		for i := len(live); i < len(b.ids); i++ {
-			b.ids[i] = 0
+		b.advance(q)
+		if b.start == len(b.ids) {
+			b.ids = b.ids[:0]
+			b.start, b.dead = 0, 0
+		} else if b.dead > 32 && b.dead > (len(b.ids)-b.start)/2 {
+			q.compact(b)
+		} else if b.start > 1024 && b.start > len(b.ids)/2 {
+			// Reclaim the consumed prefix once it dominates the array.
+			q.compact(b)
 		}
-		b.ids = live
-		b.dead = 0
 		if len(b.ids) == 0 {
 			emptied = append(emptied, b)
 		}
@@ -247,7 +267,7 @@ func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector
 func (q *waitQueue) ForEach(fn func(id int)) {
 	for _, prio := range q.prios {
 		b := q.buckets[prio]
-		for _, id := range b.ids {
+		for _, id := range b.ids[b.start:] {
 			if q.pos[id] == b {
 				fn(id)
 			}
