@@ -25,8 +25,11 @@
 // their results to BENCH_5.json, and the engine-core pairs (event
 // churn, batch scheduling, dispatch storm) plus the 100k-worker
 // headline cells and the E-H 50k/100k extension, writing their
-// results to BENCH_6.json; combine with -runs none to run only them.
-// (BENCH_1.json is the pre-control-plane-scaling historical record.)
+// results to BENCH_6.json, and the E-I open-system streaming
+// experiment (HPA vs HTA vs HTA-panic on the trace-driven day),
+// writing its summary to BENCH_7.json; combine with -runs none to run
+// only them. (BENCH_1.json is the pre-control-plane-scaling
+// historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // the invocation ran — the standard way to find the next control-plane
@@ -109,7 +112,7 @@ func run() int {
 		{"fig11", func() (fmt.Stringer, error) { return experiments.Fig11(*seed) }},
 		{"ablations", runAblations(*seed)},
 		{"sweeps", func() (fmt.Stringer, error) { return experiments.SweepInitLatency(*seed) }},
-		{"stream", func() (fmt.Stringer, error) { return experiments.Stream(*seed) }},
+		{"stream", runStream(*seed)},
 		{"chaos", func() (fmt.Stringer, error) { return experiments.ChaosEF(*seed) }},
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoveryEG(*seed) }},
 		{"io", func() (fmt.Stringer, error) { return experiments.IOScaleEH(*seed) }},
@@ -168,6 +171,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
 			failed = true
 		}
+		if err := runStreamBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "stream bench: %v\n", err)
+			failed = true
+		}
 	}
 	if page != nil && !failed {
 		f, err := os.Create(*htmlOut)
@@ -187,6 +194,33 @@ func run() int {
 	}
 	return 0
 }
+
+// runStream bundles the two open-loop scenarios: S2 (diurnal stream,
+// HTA vs HPA) and E-I (trace-driven day with morning spikes, adding
+// the panic-mode cell and admission control).
+func runStream(seed int64) func() (fmt.Stringer, error) {
+	return func() (fmt.Stringer, error) {
+		s2, err := experiments.Stream(seed)
+		if err != nil {
+			return nil, err
+		}
+		ei, err := experiments.StreamEI(seed)
+		if err != nil {
+			return nil, err
+		}
+		return streamCombined{s2: s2, ei: ei}, nil
+	}
+}
+
+// streamCombined renders S2 then E-I and forwards S2's chart hook.
+type streamCombined struct {
+	s2 *experiments.StreamReport
+	ei *experiments.StreamEIReport
+}
+
+func (c streamCombined) String() string { return c.s2.String() + "\n" + c.ei.String() }
+
+func (c streamCombined) AddToPage(p *report.Page) { c.s2.AddToPage(p) }
 
 func runAblations(seed int64) func() (fmt.Stringer, error) {
 	return func() (fmt.Stringer, error) {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hta/internal/experiments"
+)
+
+// streamBenchFile is where -json writes the E-I open-system streaming
+// summary.
+const streamBenchFile = "BENCH_7.json"
+
+// streamBenchRow mirrors one E-I table cell for machine consumption.
+type streamBenchRow struct {
+	Autoscaler  string  `json:"autoscaler"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Quarantined int     `json:"quarantined"`
+	Shed        int     `json:"shed"`
+	ShedRate    float64 `json:"shed_rate"`
+	P50S        float64 `json:"sojourn_p50_s"`
+	P99S        float64 `json:"sojourn_p99_s"`
+	Actions     int     `json:"scaling_actions"`
+	Panics      int     `json:"panics"`
+	WasteCoreS  float64 `json:"waste_core_s"`
+}
+
+type streamBenchReport struct {
+	Seed    int64            `json:"seed"`
+	WallMS  float64          `json:"wall_ms"`
+	Tasks   int              `json:"tasks"`
+	WindowS float64          `json:"window_s"`
+	Rows    []streamBenchRow `json:"rows"`
+}
+
+// runStreamBench executes experiment E-I (the open-system trace-driven
+// day under HPA, HTA, and HTA-panic) and writes the summary to
+// BENCH_7.json.
+func runStreamBench(seed int64) error {
+	start := time.Now()
+	ei, err := experiments.StreamEI(seed)
+	if err != nil {
+		return err
+	}
+	rep := streamBenchReport{
+		Seed:    seed,
+		WallMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Tasks:   ei.Tasks,
+		WindowS: ei.Window.Seconds(),
+	}
+	for _, row := range ei.Rows {
+		rep.Rows = append(rep.Rows, streamBenchRow{
+			Autoscaler:  row.Autoscaler,
+			Submitted:   row.Submitted,
+			Completed:   row.Completed,
+			Quarantined: row.Quarantined,
+			Shed:        row.Shed,
+			ShedRate:    row.ShedRate,
+			P50S:        row.P50.Seconds(),
+			P99S:        row.P99.Seconds(),
+			Actions:     row.Actions,
+			Panics:      row.Panics,
+			WasteCoreS:  row.Waste,
+		})
+	}
+	f, err := os.Create(streamBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("stream E-I results written to %s\n", streamBenchFile)
+	return nil
+}

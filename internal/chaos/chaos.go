@@ -1,8 +1,11 @@
 // Package chaos is a deterministic, seed-driven fault injector for
 // the simulated stack. An Injector composes independent fault
 // processes — node preemption (Poisson or scheduled windows), worker
-// crash mid-task, image-pull failure/slowdown, and master-egress
-// bandwidth degradation — each wired into the simulation through the
+// crash mid-task, image-pull failure/slowdown, master-egress
+// bandwidth degradation, submission storms (load chaos: bursts of
+// arrivals through a harness-provided Submitter), and gray
+// degradation (stale monitor metrics, a slowed scheduler binding
+// loop) — each wired into the simulation through the
 // small hooks the components expose (kubesim.PreemptNode and
 // SetPullFault, wq.KillWorker, netsim.SetDegradation), so a fault
 // plan is orthogonal to the scenario it runs against. Control-plane
@@ -68,6 +71,44 @@ type EgressPlan struct {
 	Factor  float64 // capacity multiplier in (0, 1] while degraded
 }
 
+// StormPlan injects submission storms: inside each window, bursts of
+// BatchSize workflow submissions arrive as a Poisson process with the
+// given mean interval, delivered through the attached Submitter. This
+// is load chaos rather than fault chaos — the facility is healthy,
+// the users are not.
+type StormPlan struct {
+	Windows []Window
+	// MeanInterval is the Poisson mean between bursts inside a window.
+	MeanInterval time.Duration
+	// BatchSize is how many submissions each burst delivers.
+	BatchSize int
+}
+
+// Enabled reports whether the storm process is armed.
+func (p StormPlan) Enabled() bool {
+	return len(p.Windows) > 0 && p.MeanInterval > 0 && p.BatchSize > 0
+}
+
+// GrayPlan models gray degradation — the cluster is not down, just
+// wrong: inside each window the metrics pipeline stops ingesting
+// (the monitor keeps serving pre-window estimates) and the
+// scheduler's binding loop is stretched by SchedulerSlowFactor.
+// Nothing reports an error; the control loops simply act on stale,
+// late information.
+type GrayPlan struct {
+	Windows []Window
+	// StaleMetrics freezes the attached Metrics inside each window.
+	StaleMetrics bool
+	// SchedulerSlowFactor multiplies the attached Scheduler's binding
+	// period inside each window (> 1 = slower; 0 or 1 = untouched).
+	SchedulerSlowFactor float64
+}
+
+// Enabled reports whether the gray process is armed.
+func (p GrayPlan) Enabled() bool {
+	return len(p.Windows) > 0 && (p.StaleMetrics || p.SchedulerSlowFactor > 1)
+}
+
 // Component identifies one control-plane process the injector can
 // kill. Unlike node or worker faults, a control-plane kill targets the
 // coordinator itself — the makeflow runner, the wq master, or the
@@ -130,6 +171,8 @@ type Plan struct {
 	ImagePull    ImagePullPlan
 	Egress       EgressPlan
 	ControlPlane ControlPlanePlan
+	Storm        StormPlan
+	Gray         GrayPlan
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -139,7 +182,9 @@ func (p Plan) Enabled() bool {
 		p.WorkerCrash.MeanInterval > 0 ||
 		p.ImagePull.FailProb > 0 || p.ImagePull.SlowProb > 0 ||
 		(len(p.Egress.Windows) > 0 && p.Egress.Factor > 0 && p.Egress.Factor < 1) ||
-		p.ControlPlane.Enabled()
+		p.ControlPlane.Enabled() ||
+		p.Storm.Enabled() ||
+		p.Gray.Enabled()
 }
 
 // Cluster is the slice of kubesim the injector drives.
@@ -165,6 +210,24 @@ type EgressLink interface {
 	SetDegradation(factor float64)
 }
 
+// Submitter is the harness-side submission path the storm process
+// drives: each call delivers one burst of batch submissions into the
+// workload (the harness decides what a submission is — a task, a
+// whole workflow).
+type Submitter func(batch int)
+
+// Metrics is the slice of the monitoring pipeline the gray process
+// freezes (monitor.Monitor satisfies it).
+type Metrics interface {
+	SetStale(stale bool)
+}
+
+// Scheduler is the slice of the control plane whose binding loop the
+// gray process slows (kubesim.Cluster satisfies it).
+type Scheduler interface {
+	SetSchedulerSlowdown(factor float64)
+}
+
 // ControlPlane is the harness-side slice the control-plane kill
 // process drives. CrashComponent must kill the component and arrange
 // its restart from durable state; it reports whether the kill was
@@ -184,6 +247,9 @@ type Stats struct {
 	MakeflowKills int
 	MasterKills   int
 	OperatorKills int
+	StormBursts   int
+	StormTasks    int
+	GrayWindows   int
 }
 
 // Injector runs a Plan against attached components. All methods must
@@ -197,6 +263,9 @@ type Injector struct {
 	master  Master
 	link    EgressLink
 	cp      ControlPlane
+	submit  Submitter
+	metrics Metrics
+	sched   Scheduler
 
 	started bool
 	stopped bool
@@ -238,13 +307,25 @@ func (in *Injector) AttachLink(l EgressLink) { in.link = l }
 // harness that can crash and restart coordinator components.
 func (in *Injector) AttachControlPlane(cp ControlPlane) { in.cp = cp }
 
+// AttachSubmitter wires the storm process to the harness's
+// submission path.
+func (in *Injector) AttachSubmitter(s Submitter) { in.submit = s }
+
+// AttachMetrics wires the gray process to a monitoring pipeline.
+func (in *Injector) AttachMetrics(m Metrics) { in.metrics = m }
+
+// AttachScheduler wires the gray process to a scheduler.
+func (in *Injector) AttachScheduler(s Scheduler) { in.sched = s }
+
 // Start arms every fault process the plan enables for the attached
-// components.
+// components. After a Stop, Start re-arms the whole plan with its
+// windows re-anchored at the current time; fault counts accumulate
+// across re-arms.
 func (in *Injector) Start() {
-	if in.started {
+	if in.started && !in.stopped {
 		return
 	}
-	in.started = true
+	in.started, in.stopped = true, false
 	in.startAt = in.eng.Now()
 
 	if in.cluster != nil {
@@ -293,10 +374,48 @@ func (in *Injector) Start() {
 			})
 		}
 	}
+	if in.submit != nil && in.plan.Storm.Enabled() {
+		st := in.plan.Storm
+		for _, w := range st.Windows {
+			w := w
+			in.after(w.Start, func() {
+				end := in.startAt.Add(w.Start + w.Duration)
+				in.poissonLoop(st.MeanInterval, end, func() {
+					in.stats.StormBursts++
+					in.stats.StormTasks += st.BatchSize
+					in.submit(st.BatchSize)
+				})
+			})
+		}
+	}
+	if in.plan.Gray.Enabled() && (in.metrics != nil || in.sched != nil) {
+		g := in.plan.Gray
+		for _, w := range g.Windows {
+			w := w
+			in.after(w.Start, func() {
+				in.stats.GrayWindows++
+				if g.StaleMetrics && in.metrics != nil {
+					in.metrics.SetStale(true)
+				}
+				if g.SchedulerSlowFactor > 1 && in.sched != nil {
+					in.sched.SetSchedulerSlowdown(g.SchedulerSlowFactor)
+				}
+			})
+			in.after(w.Start+w.Duration, func() {
+				if g.StaleMetrics && in.metrics != nil {
+					in.metrics.SetStale(false)
+				}
+				if g.SchedulerSlowFactor > 1 && in.sched != nil {
+					in.sched.SetSchedulerSlowdown(1)
+				}
+			})
+		}
+	}
 }
 
 // Stop cancels every armed fault process and removes installed hooks;
-// an egress window in progress is healed.
+// an egress or gray window in progress is healed. Stop is idempotent
+// and safe before Start; a later Start re-arms the plan.
 func (in *Injector) Stop() {
 	if in.stopped {
 		return
@@ -311,6 +430,12 @@ func (in *Injector) Stop() {
 	}
 	if in.link != nil {
 		in.link.SetDegradation(1)
+	}
+	if in.metrics != nil && in.plan.Gray.StaleMetrics {
+		in.metrics.SetStale(false)
+	}
+	if in.sched != nil && in.plan.Gray.SchedulerSlowFactor > 1 {
+		in.sched.SetSchedulerSlowdown(1)
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"hta/internal/kubesim"
 	"hta/internal/resources"
+	"hta/internal/simclock"
 	"hta/internal/wq"
 )
 
@@ -125,5 +127,45 @@ func BenchmarkEstimateScaleSmall(b *testing.B) {
 		if dec.ScaleChange == 0 && dec.UnplacedWaiting == 0 {
 			b.Fatal("unexpected trivial decision")
 		}
+	}
+}
+
+// BenchmarkPanicBurst runs the panic fast path end to end — a
+// submission burst into a small simulated fleet gets sampled,
+// triggers, and scales — so regressions in the checker's sampling or
+// the instantaneous-shortage evaluation show up as sim wall time. One
+// iteration is one full scenario.
+func BenchmarkPanicBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := simclock.NewEngine(t0)
+		cluster := kubesim.NewCluster(eng, kubesim.Config{
+			InitialNodes:  2,
+			MaxNodes:      40,
+			ProvisionMean: 10 * time.Second,
+			Seed:          1,
+		})
+		master := wq.NewMaster(eng, nil)
+		a := New(eng, cluster, master, Config{
+			InitialWorkers: 2,
+			DefaultCycle:   5 * time.Minute, // cadence asleep: only panic reacts
+			Panic:          PanicConfig{Enabled: true},
+		})
+		if err := a.Start(); err != nil {
+			b.Fatal(err)
+		}
+		eng.RunFor(2 * time.Minute)
+		for j := 0; j < 60; j++ {
+			a.Submit(wq.TaskSpec{
+				Category:  "burst",
+				Resources: resources.New(1, 3072, 0),
+				Profile:   wq.Profile{ExecDuration: 10 * time.Minute, UsedCPUMilli: 900},
+			})
+		}
+		eng.RunFor(time.Minute)
+		if a.PanicCount() == 0 {
+			b.Fatal("no panic fired on the burst")
+		}
+		cluster.Stop()
 	}
 }

@@ -46,6 +46,11 @@ type Config struct {
 	// conservatively (one per worker) for the whole run and warm-up
 	// holdback is skipped.
 	DisableEstimator bool
+	// Panic layers the kthena-style spike fast path and steady-state
+	// damping over the resize loop (see panic.go). The zero value
+	// disables it, leaving the decision path byte-identical to the
+	// plain per-cycle autoscaler.
+	Panic PanicConfig
 }
 
 func (c Config) withDefaults(cluster *kubesim.Cluster) Config {
@@ -67,6 +72,7 @@ func (c Config) withDefaults(cluster *kubesim.Cluster) Config {
 	if c.InitTimeFallback == 0 {
 		c.InitTimeFallback = 160 * time.Second
 	}
+	c.Panic = c.Panic.withDefaults()
 	if c.DeployMaster == nil {
 		yes := true
 		c.DeployMaster = &yes
@@ -112,6 +118,10 @@ type Autoscaler struct {
 	// per-cycle estimate allocates nothing in steady state.
 	planner Planner
 
+	// panicSt is the spike fast path's bookkeeping (see panic.go);
+	// inert while cfg.Panic is disabled.
+	panicSt panicState
+
 	cycleTimer    simclock.Timer
 	started       bool
 	shutdown      bool
@@ -130,10 +140,13 @@ type Autoscaler struct {
 	Decisions []DecisionRecord
 }
 
-// DecisionRecord is one resize decision with its timestamp.
+// DecisionRecord is one resize decision with its timestamp. Panic
+// marks decisions taken by the spike fast path outside the per-cycle
+// cadence.
 type DecisionRecord struct {
 	At time.Time
 	Decision
+	Panic bool
 }
 
 // workerLabels mark the pods HTA manages.
@@ -204,6 +217,7 @@ func (a *Autoscaler) Start() error {
 		a.createWorkerPod()
 	}
 	a.scheduleNext(a.cfg.DefaultCycle)
+	a.startPanicChecker()
 	return nil
 }
 
@@ -288,6 +302,7 @@ func (a *Autoscaler) maybeCleanup() {
 	}
 	a.cleaned = true
 	a.cycleTimer.Stop()
+	a.stopPanicChecker()
 	for _, name := range a.sortedPodNames() {
 		if a.pods[name] != podDraining {
 			a.drainPod(name)
@@ -512,6 +527,7 @@ func (a *Autoscaler) resizeOnce() {
 		// category probe completes; keep the fleet for them.
 		dec.ScaleChange = 0
 	}
+	dec = a.governDecision(dec)
 	a.Decisions = append(a.Decisions, DecisionRecord{At: a.eng.Now(), Decision: dec})
 	a.apply(dec)
 	a.scheduleNext(dec.NextCycle)
@@ -520,6 +536,12 @@ func (a *Autoscaler) resizeOnce() {
 // decide assembles Algorithm 1's inputs from the live system and
 // evaluates it.
 func (a *Autoscaler) decide() Decision {
+	return a.planner.EstimateScale(a.estimateInput())
+}
+
+// estimateInput snapshots Algorithm 1's inputs from the live system;
+// shared by the per-cycle decision and the panic fast path.
+func (a *Autoscaler) estimateInput() EstimateInput {
 	var workers []WorkerInfo
 	for _, id := range a.master.Workers() {
 		if a.pods[id] == podDraining {
@@ -529,18 +551,14 @@ func (a *Autoscaler) decide() Decision {
 			workers = append(workers, WorkerInfo{ID: id, Capacity: cap})
 		}
 	}
-	initTime := a.tracker.Latest()
-	if a.cfg.DisableInitFeedback {
-		initTime = a.cfg.InitTimeFallback
-	}
 	var estimator wq.Estimator
 	if !a.cfg.DisableEstimator {
 		estimator = a.mon
 	}
 	a.pruneKills(a.eng.Now())
-	return a.planner.EstimateScale(EstimateInput{
+	return EstimateInput{
 		Now:              a.eng.Now(),
-		InitTime:         initTime,
+		InitTime:         a.planningInitTime(),
 		DefaultCycle:     a.cfg.DefaultCycle,
 		Running:          a.master.RunningTasks(),
 		Waiting:          a.master.WaitingTasks(),
@@ -548,7 +566,7 @@ func (a *Autoscaler) decide() Decision {
 		Workers:          workers,
 		WorkerTemplate:   a.cluster.Config().NodeAllocatable,
 		CapacityDiscount: a.capacityDiscount(len(workers)),
-	})
+	}
 }
 
 func (a *Autoscaler) apply(dec Decision) {

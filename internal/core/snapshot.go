@@ -70,6 +70,8 @@ func (a *Autoscaler) Crash() AutoscalerState {
 	}
 	st := a.Snapshot()
 	a.cycleTimer.Stop()
+	a.stopPanicChecker()
+	a.panicSt = panicState{}
 	a.pods = make(map[string]workerPodState)
 	a.held = make(map[string][]wq.TaskSpec)
 	a.probeActive = make(map[string]bool)
@@ -176,6 +178,7 @@ func (a *Autoscaler) Restore(st AutoscalerState) int {
 	}
 	if a.started && !a.cleaned {
 		a.scheduleNext(a.cfg.DefaultCycle)
+		a.startPanicChecker()
 	}
 	return corrections
 }

@@ -84,6 +84,23 @@ type RunResult struct {
 	// replay counters.
 	Recovery metrics.RecoveryCounters
 
+	// Overload aggregates the master's admission-control counters
+	// (zero when no admission policy was configured).
+	Overload metrics.OverloadCounters
+	// Shed counts submissions rejected at the admission hard cap.
+	Shed int
+	// SojournP50/P99 are quantiles of completed-task sojourn time
+	// (master submission to completion), set by the stream runners.
+	SojournP50 time.Duration
+	SojournP99 time.Duration
+	// ScalingActions counts applied fleet resizes: HTA decisions with
+	// a nonzero change (panic decisions included), HPA replica
+	// changes.
+	ScalingActions int
+	// Panics counts HTA panic-path scale-ups (zero for other
+	// scalers and for HTA with the panic policy disabled).
+	Panics int
+
 	// CategoryOutstanding tracks waiting+running tasks per category
 	// over time (Fig. 10a's stage profile), when requested.
 	CategoryOutstanding map[string]*metrics.Series
@@ -306,9 +323,22 @@ func captureFailures(res *RunResult, master *wq.Master, inj *chaos.Injector) {
 	res.Failures = master.FailureStats()
 	res.Submitted = master.SubmittedCount()
 	res.Recovery = master.RecoveryStats()
+	res.Overload = master.OverloadStats()
+	res.Shed = master.ShedCount()
 	if inj != nil {
 		res.Chaos = inj.Stats()
 	}
+}
+
+// scaleActions counts the HTA decisions that changed the fleet.
+func scaleActions(decs []core.DecisionRecord) int {
+	n := 0
+	for _, d := range decs {
+		if d.ScaleChange != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // countRequeues subscribes to the master and accumulates re-dispatch
@@ -338,6 +368,9 @@ type HTAOptions struct {
 	// Retry is the master's recovery policy (zero = infinite retries,
 	// no backoff, no fast-abort — the pre-fault-tolerance behavior).
 	Retry wq.RetryPolicy
+	// Admission bounds the master's waiting queue (zero = unbounded,
+	// the classic work queue).
+	Admission wq.AdmissionPolicy
 	// Chaos, when set and enabled, injects faults into the run.
 	Chaos *chaos.Plan
 	// ReferenceLink routes the egress link through the retained
@@ -365,6 +398,7 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	master := wq.NewMaster(eng, link)
 	master.SetPolicy(opt.Policy)
 	master.SetRetryPolicy(opt.Retry)
+	master.SetAdmissionPolicy(opt.Admission)
 	a := core.New(eng, cluster, master, opt.HTA)
 	if err := a.Start(); err != nil {
 		return nil, err
@@ -404,6 +438,8 @@ func RunHTA(name string, wl Workload, opt HTAOptions) (*RunResult, error) {
 	}
 	res.Completed = master.CompletedCount()
 	res.InitSamples = a.Tracker().Samples()
+	res.ScalingActions = scaleActions(a.Decisions)
+	res.Panics = a.PanicCount()
 	captureFailures(res, master, inj)
 	sm.finish(res)
 	if link != nil {
@@ -428,6 +464,8 @@ type HPAOptions struct {
 	Categories      []string
 	// Retry is the master's recovery policy.
 	Retry wq.RetryPolicy
+	// Admission bounds the master's waiting queue (zero = unbounded).
+	Admission wq.AdmissionPolicy
 	// Chaos, when set and enabled, injects faults into the run.
 	Chaos *chaos.Plan
 	// ReferenceLink routes the egress link through the retained
@@ -460,6 +498,7 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 	link := newLink(eng, opt.LinkMBps, opt.Contention, opt.PerTransfer, opt.ReferenceLink)
 	master := wq.NewMaster(eng, link)
 	master.SetRetryPolicy(opt.Retry)
+	master.SetAdmissionPolicy(opt.Admission)
 	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
 	inj := attachChaos(eng, opt.Chaos, cluster, master, link)
 
@@ -505,6 +544,7 @@ func RunHPA(name string, wl Workload, opt HPAOptions) (*RunResult, error) {
 		return nil, err
 	}
 	res.Completed = master.CompletedCount()
+	res.ScalingActions = h.Actions()
 	captureFailures(res, master, inj)
 	sm.finish(res)
 	if link != nil {

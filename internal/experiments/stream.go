@@ -7,8 +7,11 @@ import (
 
 	"hta/internal/bind"
 	"hta/internal/core"
+	"hta/internal/dag"
+	"hta/internal/flow"
 	"hta/internal/hpa"
 	"hta/internal/kubesim"
+	"hta/internal/metrics"
 	"hta/internal/resources"
 	"hta/internal/simclock"
 	"hta/internal/workload"
@@ -32,28 +35,40 @@ type submitter interface {
 	Submit(spec wq.TaskSpec) int
 }
 
-// runStreamCommon drives timed submissions and waits for all
-// completions.
+// runStreamCommon drives timed submissions and waits until every
+// arrival reaches a terminal outcome — completed, quarantined, or
+// shed at the admission cap. It records completed-task sojourn
+// quantiles and the master's overload counters; a closed run without
+// admission or retries degenerates to "wait for all completions".
 func runStreamCommon(name string, eng *simclock.Engine, master *wq.Master,
 	sub submitter, tasks []workload.TimedTask, sm *sampler, timeout time.Duration) (*RunResult, error) {
 
 	res := &RunResult{Name: name, Start: eng.Now()}
 	countRequeues(master, res)
-	completed := 0
-	master.OnComplete(func(wq.Result) { completed++ })
+	terminal := 0
+	var sojourns []time.Duration
+	master.OnComplete(func(r wq.Result) {
+		terminal++
+		sojourns = append(sojourns, r.Task.FinishedAt.Sub(r.Task.SubmittedAt))
+	})
+	master.OnTaskFailed(func(wq.Task) { terminal++ })
+	master.OnRejected(func(wq.Task) { terminal++ })
 	for _, tt := range tasks {
 		spec := tt.Spec
 		eng.At(eng.Now().Add(tt.At), "stream-arrival", func() { sub.Submit(spec) })
 	}
 	sm.sample(eng.Now())
 	deadline := eng.Now().Add(timeout)
-	eng.RunWhile(func() bool { return completed < len(tasks) && eng.Now().Before(deadline) })
-	if completed < len(tasks) {
+	eng.RunWhile(func() bool { return terminal < len(tasks) && eng.Now().Before(deadline) })
+	if terminal < len(tasks) {
 		return nil, &ErrTimeout{Name: name, Deadline: timeout, Stats: master.Stats()}
 	}
 	res.End = eng.Now()
 	res.Runtime = eng.Elapsed()
 	res.Completed = master.CompletedCount()
+	res.SojournP50 = metrics.DurationQuantile(sojourns, 0.50)
+	res.SojournP99 = metrics.DurationQuantile(sojourns, 0.99)
+	captureFailures(res, master, nil)
 	sm.finish(res)
 	return res, nil
 }
@@ -70,6 +85,7 @@ func RunHTAStream(name string, tasks []workload.TimedTask, opt HTAOptions) (*Run
 	cluster := kubesim.NewCluster(eng, opt.Kube)
 	defer cluster.Stop()
 	master := wq.NewMaster(eng, nil)
+	master.SetAdmissionPolicy(opt.Admission)
 	a := core.New(eng, cluster, master, opt.HTA)
 	if err := a.Start(); err != nil {
 		return nil, err
@@ -81,7 +97,13 @@ func RunHTAStream(name string, tasks []workload.TimedTask, opt HTAOptions) (*Run
 	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
 	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
 	defer ticker.Stop()
-	return runStreamCommon(name, eng, master, a, tasks, sm, opt.Timeout)
+	res, err := runStreamCommon(name, eng, master, a, tasks, sm, opt.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	res.ScalingActions = scaleActions(a.Decisions)
+	res.Panics = a.PanicCount()
+	return res, nil
 }
 
 // RunHPAStream executes a timed arrival stream on an HPA-scaled fleet.
@@ -102,6 +124,7 @@ func RunHPAStream(name string, tasks []workload.TimedTask, opt HPAOptions) (*Run
 	cluster := kubesim.NewCluster(eng, opt.Kube)
 	defer cluster.Stop()
 	master := wq.NewMaster(eng, nil)
+	master.SetAdmissionPolicy(opt.Admission)
 	binder := bind.Workers(cluster, master, map[string]string{"app": "wq-worker"})
 	ws := kubesim.NewWorkerSet(cluster, "wq-workers", kubesim.PodSpec{
 		Image:     "wq-worker",
@@ -123,7 +146,112 @@ func RunHPAStream(name string, tasks []workload.TimedTask, opt HPAOptions) (*Run
 	if err := binder.Err(); err != nil {
 		return nil, err
 	}
+	res.ScalingActions = h.Actions()
 	return res, nil
+}
+
+// RunHTAWorkflowStream executes timed workflow submissions — whole
+// DAGs arriving over time at a long-lived master — through HTA. Each
+// arrival becomes its own flow.Runner sharing the scheduler; node IDs
+// are the globally unique task tags, so concurrent workflows cannot
+// claim each other's completions. The run finishes when every
+// workflow's DAG is done (admission shedding is incompatible with DAG
+// semantics — a shed node would never complete — so opt.Admission is
+// ignored here).
+func RunHTAWorkflowStream(name string, wfs []workload.TimedWorkflow, opt HTAOptions) (*RunResult, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 24 * time.Hour
+	}
+	eng := simclock.NewEngine(SimStart)
+	if opt.Kube.Seed == 0 {
+		opt.Kube.Seed = 1
+	}
+	cluster := kubesim.NewCluster(eng, opt.Kube)
+	defer cluster.Stop()
+	master := wq.NewMaster(eng, nil)
+	a := core.New(eng, cluster, master, opt.HTA)
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	sm := newSampler(master, cluster, opt.Kube.MaxNodes)
+	sm.estimator = a.Monitor()
+	sm.heldFn = a.HeldTasks
+	sm.desiredFn = a.WorkerPodCount
+	sm.quotaCores = float64(cluster.Config().MaxNodes) * cluster.Config().NodeAllocatable.CoresValue()
+	ticker := eng.Every(SampleInterval, "sampler", func() { sm.sample(eng.Now()) })
+	defer ticker.Stop()
+
+	res := &RunResult{Name: name, Start: eng.Now()}
+	countRequeues(master, res)
+	done := 0
+	runners := make([]*flow.Runner, 0, len(wfs))
+	var buildErr error
+	for _, wf := range wfs {
+		wf := wf
+		eng.At(eng.Now().Add(wf.At), "workflow-arrival", func() {
+			if buildErr != nil {
+				return
+			}
+			g, spec, err := workflowGraph(wf)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			r := flow.NewRunner(g, a, spec)
+			r.OnAllDone(func() { done++ })
+			runners = append(runners, r)
+			r.Start()
+		})
+	}
+	sm.sample(eng.Now())
+	deadline := eng.Now().Add(opt.Timeout)
+	eng.RunWhile(func() bool {
+		return done < len(wfs) && buildErr == nil && eng.Now().Before(deadline)
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if done < len(wfs) {
+		return nil, &ErrTimeout{Name: name, Deadline: opt.Timeout, Stats: master.Stats()}
+	}
+	for _, r := range runners {
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	res.End = eng.Now()
+	res.Runtime = eng.Elapsed()
+	res.Completed = master.CompletedCount()
+	res.ScalingActions = scaleActions(a.Decisions)
+	res.Panics = a.PanicCount()
+	captureFailures(res, master, nil)
+	sm.finish(res)
+	return res, nil
+}
+
+// workflowGraph builds a dependency-free DAG for one workflow whose
+// node IDs are the task tags — unique across workflows, which a
+// shared master requires (flow matches completions by tag).
+func workflowGraph(wf workload.TimedWorkflow) (*dag.Graph, flow.SpecFunc, error) {
+	g := dag.NewGraph()
+	byID := make(map[string]wq.TaskSpec, len(wf.Tasks))
+	for i, spec := range wf.Tasks {
+		id := spec.Tag
+		if id == "" {
+			id = fmt.Sprintf("%s/t%d", wf.Name, i)
+		}
+		if _, dup := byID[id]; dup {
+			return nil, nil, fmt.Errorf("experiments: workflow %s has duplicate task id %s", wf.Name, id)
+		}
+		byID[id] = spec
+		if err := g.Add(dag.Node{ID: id, Category: spec.Category}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	return g, func(n dag.Node) wq.TaskSpec { return byID[n.ID] }, nil
 }
 
 // Stream runs S2.

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hta/internal/core"
+	"hta/internal/kubesim"
+	"hta/internal/workload"
+)
+
+// TestStreamEISmoke runs the compressed E-I twice and pins the
+// acceptance properties: determinism under seed, the open-system
+// accounting invariant (checked inside StreamEIWith), the admission
+// cap bounding every cell's peak queue depth, and the panic cell
+// beating plain HTA's sojourn tail without out-thrashing HPA.
+func TestStreamEISmoke(t *testing.T) {
+	cfg := SmokeStreamEIConfig(5)
+	rep, err := StreamEIWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := StreamEIWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rep.Rows) != fmt.Sprint(again.Rows) {
+		t.Fatalf("E-I not deterministic under seed:\n%v\n%v", rep.Rows, again.Rows)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+
+	rows := make(map[string]StreamEIRow, len(rep.Rows))
+	for _, row := range rep.Rows {
+		rows[row.Autoscaler] = row
+	}
+	hpaRow, hta, panicRow := rows["HPA"], rows["HTA"], rows["HTA-panic"]
+
+	for name, run := range rep.Runs {
+		if run.Overload.PeakWaiting > cfg.Admission.MaxWaiting {
+			t.Errorf("%s peak waiting %d exceeds admission cap %d",
+				name, run.Overload.PeakWaiting, cfg.Admission.MaxWaiting)
+		}
+	}
+	if panicRow.Panics == 0 {
+		t.Error("panic cell fired no panics on the spike trace")
+	}
+	if panicRow.P99 >= hta.P99 {
+		t.Errorf("HTA-panic p99 %v not below plain HTA %v", panicRow.P99, hta.P99)
+	}
+	if panicRow.Actions > hpaRow.Actions {
+		t.Errorf("HTA-panic actions %d exceed HPA's %d", panicRow.Actions, hpaRow.Actions)
+	}
+	if hta.Shed == 0 && panicRow.Shed == 0 && hpaRow.Shed == 0 {
+		t.Error("no cell shed anything: the spike never hit the admission cap")
+	}
+	if got := rep.String(); len(got) == 0 {
+		t.Error("empty report")
+	}
+}
+
+// TestWorkflowStreamDriver: whole DAGs arriving over time at one
+// long-lived master all run to completion, deterministically.
+func TestWorkflowStreamDriver(t *testing.T) {
+	p := workload.WorkflowStreamParams{
+		Stream: workload.StreamParams{
+			Window:     30 * time.Minute,
+			BasePerMin: 0.5,
+			Category:   "wf",
+			Exec:       90 * time.Second,
+			Jitter:     0.1,
+			CPUMilli:   870,
+			MemMB:      1024,
+			Seed:       11,
+		},
+		TasksPerWorkflow: 10,
+		SizeJitter:       0.2,
+	}
+	wfs := p.Workflows()
+	if len(wfs) == 0 {
+		t.Fatal("no workflows generated")
+	}
+	total := 0
+	for _, wf := range wfs {
+		total += len(wf.Tasks)
+	}
+	run := func() *RunResult {
+		res, err := RunHTAWorkflowStream("wf-stream", wfs, HTAOptions{
+			Kube:    kubesim.Config{InitialNodes: 2, MinNodes: 1, MaxNodes: 10, Seed: 11},
+			HTA:     core.Config{MaxWorkers: 10},
+			Timeout: 6 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Completed != total || res.Submitted != total {
+		t.Fatalf("completed %d / submitted %d, want %d (all workflow tasks)", res.Completed, res.Submitted, total)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("workflow driver shed %d tasks without an admission policy", res.Shed)
+	}
+	if again := run(); again.Runtime != res.Runtime || again.Completed != res.Completed {
+		t.Fatalf("workflow stream not deterministic: %v/%d vs %v/%d",
+			res.Runtime, res.Completed, again.Runtime, again.Completed)
+	}
+}
+
+// BenchmarkStreamEI runs the compressed open-system E-I — three
+// autoscaler cells over the two-hour spike trace — per iteration, the
+// wall-clock guard for the streaming stack.
+func BenchmarkStreamEI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := StreamEIWith(SmokeStreamEIConfig(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 3 {
+			b.Fatalf("rows = %d, want 3", len(rep.Rows))
+		}
+	}
+}

@@ -79,6 +79,7 @@ type Controller struct {
 	// LastUtilization is the most recent measured utilization.
 	LastUtilization float64
 	syncs           int
+	actions         int
 }
 
 // New attaches an HPA to the given WorkerSet and starts its sync
@@ -98,6 +99,10 @@ func (h *Controller) Stop() { h.ticker.Stop() }
 
 // Syncs returns how many control iterations have run.
 func (h *Controller) Syncs() int { return h.syncs }
+
+// Actions returns how many replica changes the controller applied —
+// the thrash count an experiment compares across autoscalers.
+func (h *Controller) Actions() int { return h.actions }
 
 func (h *Controller) sync() {
 	h.syncs++
@@ -169,6 +174,7 @@ func (h *Controller) apply(desired int) {
 		}
 	}
 	if effective != h.set.Replicas() {
+		h.actions++
 		h.set.SetReplicas(effective)
 	}
 }

@@ -155,6 +155,7 @@ type Cluster struct {
 	nodeHandlers []func(NodeWatchEvent)
 
 	tickers      []*simclock.Ticker
+	schedTicker  *simclock.Ticker
 	provisioning int                 // node count currently being reserved
 	pulls        map[string][]func() // node/image -> waiters
 	pullFault    func(node, image string, attempt int) PullFault
@@ -182,8 +183,9 @@ func NewCluster(eng *simclock.Engine, cfg Config) *Cluster {
 	for i := 0; i < cfg.InitialNodes; i++ {
 		c.addNode()
 	}
+	c.schedTicker = eng.Every(cfg.SchedulerInterval, "kube-scheduler", c.scheduleOnce)
 	c.tickers = append(c.tickers,
-		eng.Every(cfg.SchedulerInterval, "kube-scheduler", c.scheduleOnce),
+		c.schedTicker,
 		eng.Every(cfg.AutoscalerInterval, "cloud-controller", c.cloudControllerOnce),
 	)
 	return c
@@ -203,6 +205,20 @@ func (c *Cluster) Stop() {
 
 // Config returns the effective configuration (defaults applied).
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetSchedulerSlowdown stretches the binding-loop period to factor
+// times the configured interval — the gray degradation of a scheduler
+// that still works, just slowly. Factor 1 (or less) restores the
+// configured cadence; the wait restarts from now either way.
+func (c *Cluster) SetSchedulerSlowdown(factor float64) {
+	if c.stopped || c.schedTicker == nil {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	c.schedTicker.Reset(time.Duration(float64(c.cfg.SchedulerInterval) * factor))
+}
 
 // SetNaiveScheduling switches the control plane between the indexed
 // read paths and the retained naive reference forms at runtime. Index

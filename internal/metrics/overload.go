@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// OverloadCounters aggregates a master's admission-control activity
+// over one run: how deep the waiting queue and admission buffer got,
+// how much traffic was shed at the hard cap, and how long the master
+// spent deflecting submissions. The wq master fills them; the
+// experiment harness surfaces them through RunResult.
+type OverloadCounters struct {
+	// PeakWaiting is the maximum waiting-queue depth observed.
+	PeakWaiting int
+	// PeakBuffered is the maximum admission-buffer depth observed.
+	PeakBuffered int
+	// Buffered counts submissions that were parked in the admission
+	// buffer instead of entering the queue directly (they are admitted
+	// later, in arrival order, as the queue drains).
+	Buffered int
+	// Shed counts submissions rejected outright at the hard cap
+	// (queue at MaxWaiting and buffer full). Shed tasks are recorded
+	// with a Rejected outcome and never executed.
+	Shed int
+	// TimeInOverload is the total duration the master spent deflecting
+	// submissions: from the first buffered/shed submission until the
+	// buffer drained and the queue dropped back under the cap.
+	TimeInOverload time.Duration
+}
+
+// Add accumulates o into c (peaks take the max, counters sum).
+func (c *OverloadCounters) Add(o OverloadCounters) {
+	if o.PeakWaiting > c.PeakWaiting {
+		c.PeakWaiting = o.PeakWaiting
+	}
+	if o.PeakBuffered > c.PeakBuffered {
+		c.PeakBuffered = o.PeakBuffered
+	}
+	c.Buffered += o.Buffered
+	c.Shed += o.Shed
+	c.TimeInOverload += o.TimeInOverload
+}
+
+// DurationQuantile returns the q-quantile (0 ≤ q ≤ 1) of the samples
+// by linear interpolation between order statistics, or 0 for an empty
+// set. The input slice is not modified.
+func DurationQuantile(samples []time.Duration, q float64) time.Duration {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}

@@ -18,12 +18,22 @@ type TimedTask struct {
 	Spec wq.TaskSpec
 }
 
+// Burst multiplies the arrival rate over one interval — a traffic
+// spike (Multiplier > 1) or a lull (Multiplier < 1) layered on top of
+// the diurnal sinusoid.
+type Burst struct {
+	Start      time.Duration
+	Duration   time.Duration
+	Multiplier float64
+}
+
 // StreamParams generates an inhomogeneous Poisson arrival stream
-// whose rate follows a sinusoid:
+// whose rate follows a sinusoid with optional burst windows:
 //
-//	rate(t) = Base × (1 + Amplitude × sin(2πt/Period))
+//	rate(t) = Base × (1 + Amplitude × sin(2πt/Period)) × burst(t)
 //
-// — the diurnal load pattern an elastic facility sees.
+// — the diurnal load pattern an elastic facility sees, plus the
+// spikes that break naive per-cycle autoscaling.
 type StreamParams struct {
 	// Window is the submission window length.
 	Window time.Duration
@@ -33,6 +43,10 @@ type StreamParams struct {
 	Amplitude float64
 	// Period is the wavelength of the modulation.
 	Period time.Duration
+	// Bursts are rate-multiplier windows (empty = pure sinusoid; the
+	// generated stream is then identical to pre-burst versions of
+	// this package for the same seed).
+	Bursts []Burst
 
 	Category string
 	Exec     time.Duration
@@ -41,6 +55,30 @@ type StreamParams struct {
 	MemMB    int64
 	Declared bool
 	Seed     int64
+}
+
+// burstMult returns the burst multiplier in effect at t.
+func (p StreamParams) burstMult(t time.Duration) float64 {
+	m := 1.0
+	for _, b := range p.Bursts {
+		if t >= b.Start && t < b.Start+b.Duration && b.Multiplier > 0 {
+			m *= b.Multiplier
+		}
+	}
+	return m
+}
+
+// maxBurstMult bounds burstMult from above for the thinning envelope.
+// Overlapping bursts multiply, so the bound is the product of all
+// multipliers above one.
+func (p StreamParams) maxBurstMult() float64 {
+	m := 1.0
+	for _, b := range p.Bursts {
+		if b.Multiplier > 1 {
+			m *= b.Multiplier
+		}
+	}
+	return m
 }
 
 // DefaultStream returns a two-hour diurnal stream whose concurrency
@@ -71,13 +109,13 @@ func (p StreamParams) Tasks() []TimedTask {
 		panic(fmt.Sprintf("workload: stream amplitude %v outside [0, 1)", p.Amplitude))
 	}
 	rng := simclock.NewRNG(p.Seed)
-	maxRate := p.BasePerMin * (1 + p.Amplitude) / 60 // per second
+	maxRate := p.BasePerMin * (1 + p.Amplitude) * p.maxBurstMult() / 60 // per second
 	rate := func(t time.Duration) float64 {
 		mod := 1.0
 		if p.Period > 0 {
 			mod = 1 + p.Amplitude*math.Sin(2*math.Pi*t.Seconds()/p.Period.Seconds())
 		}
-		return p.BasePerMin * mod / 60
+		return p.BasePerMin * mod * p.burstMult(t) / 60
 	}
 	declared := resources.Zero
 	if p.Declared {
@@ -114,6 +152,141 @@ func (p StreamParams) Tasks() []TimedTask {
 			},
 		})
 		i++
+	}
+	return out
+}
+
+// BurstyStream is DefaultStream with two sharp spikes riding the
+// sinusoid — the workload the admission guardrails and the panic
+// fast path exist for.
+func BurstyStream(seed int64) StreamParams {
+	p := DefaultStream()
+	p.Seed = seed
+	p.Bursts = []Burst{
+		{Start: 20 * time.Minute, Duration: 5 * time.Minute, Multiplier: 5},
+		{Start: 70 * time.Minute, Duration: 10 * time.Minute, Multiplier: 4},
+	}
+	return p
+}
+
+// DayTrace is a trace-driven day: a 24-hour diurnal swing (quiet
+// overnight, busy through the working day) with two morning spikes —
+// the 9:00 login storm and a 9:40 aftershock — plus a smaller
+// after-lunch bump. Roughly 6k task arrivals at the default rate.
+func DayTrace(seed int64) StreamParams {
+	return StreamParams{
+		Window:     24 * time.Hour,
+		BasePerMin: 4,
+		Amplitude:  0.7,
+		Period:     24 * time.Hour,
+		Bursts: []Burst{
+			{Start: 9 * time.Hour, Duration: 15 * time.Minute, Multiplier: 6},
+			{Start: 9*time.Hour + 40*time.Minute, Duration: 10 * time.Minute, Multiplier: 4},
+			{Start: 13*time.Hour + 30*time.Minute, Duration: 20 * time.Minute, Multiplier: 2},
+		},
+		Category: "day",
+		Exec:     3 * time.Minute,
+		Jitter:   0.15,
+		CPUMilli: 870,
+		MemMB:    2048,
+		Seed:     seed,
+	}
+}
+
+// TimedWorkflow is one workflow submission: a batch of tasks arriving
+// together at At — a user handing a whole DAG stage to the facility,
+// as opposed to TimedTask's independent arrivals.
+type TimedWorkflow struct {
+	At    time.Duration
+	Name  string
+	Tasks []wq.TaskSpec
+}
+
+// WorkflowStreamParams generates Poisson arrivals of workflow
+// submissions: the Stream field drives the arrival process (its
+// BasePerMin is workflows per minute), and each arrival expands into
+// a batch of TasksPerWorkflow tasks (± SizeJitter).
+type WorkflowStreamParams struct {
+	Stream           StreamParams
+	TasksPerWorkflow int
+	// SizeJitter in [0, 1) varies the batch size uniformly by that
+	// fraction around TasksPerWorkflow.
+	SizeJitter float64
+}
+
+// Workflows generates the workflow arrival stream, sorted by arrival
+// time and deterministic under the stream seed.
+func (p WorkflowStreamParams) Workflows() []TimedWorkflow {
+	sp := p.Stream
+	if sp.Window <= 0 || sp.BasePerMin <= 0 || p.TasksPerWorkflow <= 0 {
+		return nil
+	}
+	if sp.Amplitude < 0 || sp.Amplitude >= 1 {
+		panic(fmt.Sprintf("workload: stream amplitude %v outside [0, 1)", sp.Amplitude))
+	}
+	rng := simclock.NewRNG(sp.Seed)
+	maxRate := sp.BasePerMin * (1 + sp.Amplitude) * sp.maxBurstMult() / 60
+	rate := func(t time.Duration) float64 {
+		mod := 1.0
+		if sp.Period > 0 {
+			mod = 1 + sp.Amplitude*math.Sin(2*math.Pi*t.Seconds()/sp.Period.Seconds())
+		}
+		return sp.BasePerMin * mod * sp.burstMult(t) / 60
+	}
+	declared := resources.Zero
+	if sp.Declared {
+		declared = resources.Vector{MilliCPU: 1000, MemoryMB: sp.MemMB}
+	}
+	var out []TimedWorkflow
+	t := time.Duration(0)
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		t += time.Duration(-math.Log(u) / maxRate * float64(time.Second))
+		if t >= sp.Window {
+			break
+		}
+		if rng.Float64() > rate(t)/maxRate {
+			continue
+		}
+		n := p.TasksPerWorkflow
+		if p.SizeJitter > 0 {
+			span := float64(n) * p.SizeJitter
+			n += int((2*rng.Float64() - 1) * span)
+			if n < 1 {
+				n = 1
+			}
+		}
+		name := fmt.Sprintf("wf-%d", len(out))
+		tasks := make([]wq.TaskSpec, n)
+		for i := range tasks {
+			tasks[i] = wq.TaskSpec{
+				Tag:       fmt.Sprintf("%s/t%d", name, i),
+				Command:   fmt.Sprintf("%s task %d", name, i),
+				Category:  sp.Category,
+				Resources: declared,
+				Profile: wq.Profile{
+					ExecDuration: jitterDuration(rng, sp.Exec, sp.Jitter),
+					UsedCPUMilli: sp.CPUMilli,
+					UsedMemoryMB: sp.MemMB,
+				},
+			}
+		}
+		out = append(out, TimedWorkflow{At: t, Name: name, Tasks: tasks})
+	}
+	return out
+}
+
+// Flatten expands workflow arrivals into per-task arrivals (every
+// task of a workflow arrives at the workflow's submission time).
+func Flatten(wfs []TimedWorkflow) []TimedTask {
+	var out []TimedTask
+	for _, wf := range wfs {
+		for _, spec := range wf.Tasks {
+			out = append(out, TimedTask{At: wf.At, Spec: spec})
+		}
 	}
 	return out
 }

@@ -87,6 +87,16 @@ type Master struct {
 	retryResume  map[int]time.Time      // task ID -> backoff deadline (for Snapshot)
 	fstats       FailureStats
 
+	// Bounded admission (see admission.go): submissions past MaxWaiting
+	// park in admQueue (FIFO of task IDs) and are shed past its cap.
+	admission     AdmissionPolicy
+	admQueue      []int
+	admSet        map[int]struct{}
+	onRejected    []func(Task)
+	ostats        metrics.OverloadCounters
+	inOverload    bool
+	overloadSince time.Time
+
 	// Crash/restore state (see snapshot.go): epoch counts restarts,
 	// rescuable holds running tasks awaiting their worker's reattach,
 	// down marks the window between Crash and Restore.
@@ -193,6 +203,7 @@ func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 		workers:      make(map[string]*simWorker),
 		retryPending: make(map[int]simclock.Timer),
 		retryResume:  make(map[int]time.Time),
+		admSet:       make(map[int]struct{}),
 		lastPassRev:  ^uint64(0),
 	}
 	// One persistent closure for the coalesced dispatch event; a fresh
@@ -274,7 +285,10 @@ func (m *Master) recycleRunningTask(rt *runningTask) {
 // Submit enqueues a task and returns its ID. While the master is down
 // (between Crash and Restore) submissions buffer and are replayed —
 // with fresh IDs — when the master comes back; 0 is returned for
-// them, like a scheduler deferring a task internally.
+// them, like a scheduler deferring a task internally. With an
+// admission policy set, submissions past the queue cap park in the
+// admission buffer and are shed past its depth (see admission.go);
+// check Task(id).State for the Rejected outcome.
 func (m *Master) Submit(spec TaskSpec) int {
 	if m.down {
 		m.downSubmits = append(m.downSubmits, spec)
@@ -290,9 +304,7 @@ func (m *Master) Submit(spec TaskSpec) int {
 	}
 	t.SharedInputs = append([]File(nil), spec.SharedInputs...)
 	m.tasks[t.ID] = t
-	m.waiting.Push(t.ID, t.Priority, t.Resources, t.Category)
-	m.rev++
-	m.scheduleDispatch()
+	m.admit(t)
 	return t.ID
 }
 
@@ -554,7 +566,16 @@ func (m *Master) resolveResources(t *Task) (resources.Vector, bool) {
 // every waiting task declares requirements and even the queue's
 // smallest cannot fit the largest free worker, and each task is
 // rejected in O(1) against the max-free bound before any roster scan.
+//
+// After the pass, buffered submissions are admitted into whatever
+// room the placements opened under the admission cap (never mid-scan:
+// the queue must not grow while Scan walks it).
 func (m *Master) dispatchOnce() {
+	m.dispatchPass()
+	m.drainAdmission()
+}
+
+func (m *Master) dispatchPass() {
 	if m.waiting.Len() == 0 || len(m.workers) == 0 {
 		return
 	}
@@ -659,12 +680,15 @@ func (m *Master) Cancel(id int) error {
 	}
 	switch t.State {
 	case TaskWaiting:
-		if tmr, pending := m.retryPending[id]; pending {
+		if m.cancelBuffered(id) {
+			// Was parked in the admission buffer; never entered the queue.
+		} else if tmr, pending := m.retryPending[id]; pending {
 			tmr.Stop()
 			delete(m.retryPending, id)
 			delete(m.retryResume, id)
 		} else {
 			m.waiting.Remove(id, t.Resources)
+			m.drainAdmission() // the cancellation freed a slot under the cap
 		}
 		m.rev++
 	case TaskRunning:
@@ -924,12 +948,16 @@ func (m *Master) completeTask(rt *runningTask) {
 
 // Stats is a snapshot of the master's queue and worker pool.
 type Stats struct {
-	// Waiting counts queued tasks plus failed tasks sitting out a
-	// retry backoff (still owed execution).
+	// Waiting counts queued tasks, failed tasks sitting out a retry
+	// backoff, and buffered submissions (all still owed execution).
 	Waiting     int
 	Running     int
 	Complete    int
 	Quarantined int
+	// Buffered counts submissions parked in the admission buffer;
+	// Shed counts submissions rejected at the admission hard cap.
+	Buffered int
+	Shed     int
 
 	Workers         int
 	IdleWorkers     int
@@ -945,10 +973,12 @@ type Stats struct {
 // incremental aggregates.
 func (m *Master) Stats() Stats {
 	return Stats{
-		Waiting:         m.waiting.Len() + len(m.retryPending) + len(m.rescuable),
+		Waiting:         m.waiting.Len() + len(m.retryPending) + len(m.rescuable) + len(m.admQueue),
 		Running:         m.runningCount,
 		Complete:        m.completeCount,
 		Quarantined:     m.fstats.Quarantined,
+		Buffered:        len(m.admQueue),
+		Shed:            m.ostats.Shed,
 		Workers:         len(m.workers),
 		IdleWorkers:     m.idleCount,
 		DrainingWorkers: m.drainingCount,

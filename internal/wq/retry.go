@@ -162,6 +162,7 @@ func (m *Master) enqueueFront(ids []int) {
 		t := m.tasks[id]
 		return t.Priority, t.Resources, t.Category
 	})
+	m.notePeakWaiting()
 	m.rev++
 	m.scheduleDispatch()
 }

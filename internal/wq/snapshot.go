@@ -43,8 +43,12 @@ type Snapshot struct {
 	CompleteCount int
 	Tasks         []Task // every task record, ordered by ID
 	QueueOrder    []int  // waiting-queue dispatch order
-	RetryResume   []RetryResume
-	Failures      FailureStats
+	// AdmissionBuffer holds buffered-submission IDs in arrival order;
+	// they re-park in the buffer on Restore (still not admitted).
+	AdmissionBuffer []int
+	RetryResume     []RetryResume
+	Failures        FailureStats
+	Overload        metrics.OverloadCounters
 }
 
 // InflightTask is one task a detached worker still holds: the attempt
@@ -71,11 +75,15 @@ type WorkerReattach struct {
 // Snapshot captures the master's durable state without disturbing it.
 func (m *Master) Snapshot() Snapshot {
 	snap := Snapshot{
-		Epoch:         m.epoch,
-		NextID:        m.nextID,
-		CompleteCount: m.completeCount,
-		Failures:      m.fstats,
-		QueueOrder:    m.waiting.QueueOrder(),
+		Epoch:           m.epoch,
+		NextID:          m.nextID,
+		CompleteCount:   m.completeCount,
+		Failures:        m.fstats,
+		QueueOrder:      m.waiting.QueueOrder(),
+		AdmissionBuffer: append([]int(nil), m.admQueue...),
+		// Any open overload interval is closed at snapshot time; the
+		// restored master re-opens one if it is still deflecting.
+		Overload: m.OverloadStats(),
 	}
 	ids := make([]int, 0, len(m.tasks))
 	for id := range m.tasks {
@@ -177,6 +185,10 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	m.retryResume = make(map[int]time.Time)
 	m.rescuable = nil
 	m.fstats = FailureStats{}
+	m.admQueue = nil
+	m.admSet = make(map[int]struct{})
+	m.ostats = metrics.OverloadCounters{}
+	m.inOverload = false
 	m.completeCount = 0
 	m.runningCount, m.idleCount, m.drainingCount = 0, 0, 0
 	m.totalCap, m.totalUsed, m.busyUsage = resources.Zero, resources.Zero, resources.Zero
@@ -207,6 +219,17 @@ func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
 	for _, id := range snap.QueueOrder {
 		t := m.tasks[id]
 		m.waiting.Push(id, t.Priority, t.Resources, t.Category)
+	}
+	m.ostats = snap.Overload
+	m.notePeakWaiting()
+	for _, id := range snap.AdmissionBuffer {
+		m.admQueue = append(m.admQueue, id)
+		m.admSet[id] = struct{}{}
+	}
+	if len(m.admQueue) > 0 {
+		// Still deflecting: a fresh overload interval opens at restore
+		// time (the downtime itself was already accounted at Crash).
+		m.enterOverload()
 	}
 	now := m.eng.Now()
 	for _, rr := range snap.RetryResume {

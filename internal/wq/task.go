@@ -30,6 +30,7 @@ const (
 	TaskComplete                     // finished and retrieved
 	TaskCanceled                     // withdrawn by the client
 	TaskQuarantined                  // retry budget exhausted; never resubmitted
+	TaskRejected                     // shed at the admission hard cap; never queued
 )
 
 // String returns the lower-case state name.
@@ -45,6 +46,8 @@ func (s TaskState) String() string {
 		return "canceled"
 	case TaskQuarantined:
 		return "quarantined"
+	case TaskRejected:
+		return "rejected"
 	}
 	return fmt.Sprintf("taskstate(%d)", int(s))
 }

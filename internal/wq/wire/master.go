@@ -77,6 +77,28 @@ type MasterConfig struct {
 	// rescheduled. 0 requeues immediately (the pre-recovery
 	// behaviour).
 	ReattachGrace time.Duration
+	// RegisterTimeout bounds how long an accepted connection may take
+	// to deliver its register frame. A half-written or silent peer is
+	// invisible to the heartbeat reaper (it is not a worker yet), so
+	// without this bound it pins a serve goroutine forever. 0 takes
+	// the 10 s default; negative disables.
+	RegisterTimeout time.Duration
+	// ReadTimeout bounds each post-registration frame read. 0
+	// disables — the heartbeat reaper handles registered-worker
+	// liveness. Set it only below the workers' heartbeat interval at
+	// your peril.
+	ReadTimeout time.Duration
+}
+
+// registerTimeout resolves the config's registration deadline.
+func (c MasterConfig) registerTimeout() time.Duration {
+	if c.RegisterTimeout < 0 {
+		return 0
+	}
+	if c.RegisterTimeout == 0 {
+		return 10 * time.Second
+	}
+	return c.RegisterTimeout
 }
 
 // parkedWorker holds a disconnected worker's in-flight allocations
@@ -334,11 +356,13 @@ func (m *Master) acceptLoop() {
 
 func (m *Master) serve(c *conn) {
 	defer m.wg.Done()
+	c.setReadTimeout(m.cfg.registerTimeout())
 	reg, err := c.read()
 	if err != nil || reg.Type != TypeRegister || reg.WorkerID == "" {
 		_ = c.close()
 		return
 	}
+	c.setReadTimeout(m.cfg.ReadTimeout)
 	capacity := resources.Vector{MilliCPU: reg.Cores, MemoryMB: reg.MemoryMB, DiskMB: reg.DiskMB}
 	if !capacity.AnyPositive() {
 		_ = c.close()

@@ -23,9 +23,11 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Message types.
@@ -84,9 +86,17 @@ type conn struct {
 	raw net.Conn
 	r   *bufio.Scanner
 	wmu sync.Mutex
+	// readTimeout bounds each read call; 0 blocks indefinitely.
+	readTimeout time.Duration
 }
 
+// maxFrameBytes caps one frame's length. A peer that emits more
+// without a newline — garbage or a deliberate flood — gets its
+// connection dropped with errFrameTooLong instead of growing the
+// scanner buffer without bound.
 const maxFrameBytes = 1 << 20
+
+var errFrameTooLong = fmt.Errorf("wire: frame exceeds %d bytes", maxFrameBytes)
 
 func newConn(raw net.Conn) *conn {
 	sc := bufio.NewScanner(raw)
@@ -94,16 +104,39 @@ func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, r: sc}
 }
 
-// read blocks for the next frame.
+// setReadTimeout bounds every subsequent read; 0 restores blocking
+// reads (liveness is then the caller's heartbeat reaper's job).
+func (c *conn) setReadTimeout(d time.Duration) { c.readTimeout = d }
+
+// read blocks for the next frame, up to the configured read timeout.
 func (c *conn) read() (Frame, error) {
+	var deadline time.Time // zero = no deadline
+	if c.readTimeout > 0 {
+		deadline = time.Now().Add(c.readTimeout)
+	}
+	if err := c.raw.SetReadDeadline(deadline); err != nil {
+		return Frame{}, fmt.Errorf("wire: set read deadline: %w", err)
+	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return Frame{}, errFrameTooLong
+			}
 			return Frame{}, err
 		}
 		return Frame{}, fmt.Errorf("wire: connection closed")
 	}
+	return parseFrame(c.r.Bytes())
+}
+
+// parseFrame decodes one newline-stripped wire frame. Split out of
+// read so the decoder can be fuzzed without a socket.
+func parseFrame(line []byte) (Frame, error) {
+	if len(line) > maxFrameBytes {
+		return Frame{}, errFrameTooLong
+	}
 	var f Frame
-	if err := json.Unmarshal(c.r.Bytes(), &f); err != nil {
+	if err := json.Unmarshal(line, &f); err != nil {
 		return Frame{}, fmt.Errorf("wire: malformed frame: %w", err)
 	}
 	if f.Type == "" {
