@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io,ioscale]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io,ioscale,tenants]
 //	         [-json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The io run is experiment E-H — the Fig. 11 I/O-bound workload swept
@@ -27,8 +27,11 @@
 // headline cells and the E-H 50k/100k extension, writing their
 // results to BENCH_6.json, and the E-I open-system streaming
 // experiment (HPA vs HTA vs HTA-panic on the trace-driven day),
-// writing its summary to BENCH_7.json; combine with -runs none to run
-// only them. (BENCH_1.json is the pre-control-plane-scaling
+// writing its summary to BENCH_7.json, and the E-J multi-tenant
+// arbitration experiment (fair-share vs quota vs a single shared
+// autoscaler at 100 and 1000 tenants, plus the incremental-vs-
+// reference arbiter-cycle cost pair), writing its summary to
+// BENCH_8.json; combine with -runs none to run only them. (BENCH_1.json is the pre-control-plane-scaling
 // historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
@@ -117,6 +120,7 @@ func run() int {
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoveryEG(*seed) }},
 		{"io", func() (fmt.Stringer, error) { return experiments.IOScaleEH(*seed) }},
 		{"ioscale", func() (fmt.Stringer, error) { return experiments.IOScaleEHScale(*seed) }},
+		{"tenants", func() (fmt.Stringer, error) { return experiments.TenantsEJ(*seed, 100) }},
 	}
 
 	var page *report.Page
@@ -173,6 +177,10 @@ func run() int {
 		}
 		if err := runStreamBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "stream bench: %v\n", err)
+			failed = true
+		}
+		if err := runTenantBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tenant bench: %v\n", err)
 			failed = true
 		}
 	}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hta/internal/arbiter"
+	"hta/internal/experiments"
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// tenantBenchFile is where -json writes the E-J multi-tenant summary.
+const tenantBenchFile = "BENCH_8.json"
+
+// tenantBenchRow mirrors one E-J cell for machine consumption.
+type tenantBenchRow struct {
+	Policy          string  `json:"policy"`
+	Tenants         int     `json:"tenants"`
+	Workers         int     `json:"workers"`
+	Submitted       int     `json:"submitted"`
+	Completed       int     `json:"completed"`
+	Shed            int     `json:"shed"`
+	MakespanP50S    float64 `json:"makespan_p50_s"`
+	MakespanP99S    float64 `json:"makespan_p99_s"`
+	MakespanMaxS    float64 `json:"makespan_max_s"`
+	Jain            float64 `json:"jain"`
+	Utilization     float64 `json:"utilization"`
+	Cycles          int     `json:"cycles"`
+	ReplansPerCycle float64 `json:"replans_per_cycle"`
+	PodsCreated     int     `json:"pods_created"`
+}
+
+// tenantCycleCost is the arbiter-cycle microbenchmark pair: one
+// steady-state planning pass at T tenants, incremental vs the retained
+// full-replan reference.
+type tenantCycleCost struct {
+	Tenants       int     `json:"tenants"`
+	IncrementalNS float64 `json:"incremental_ns_per_cycle"`
+	ReferenceNS   float64 `json:"reference_ns_per_cycle"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type tenantBenchReport struct {
+	Seed      int64             `json:"seed"`
+	WallMS    float64           `json:"wall_ms"`
+	Rows      []tenantBenchRow  `json:"rows"`
+	CycleCost []tenantCycleCost `json:"arbiter_cycle_cost"`
+}
+
+// runTenantBench executes experiment E-J at T=100 and T=1000 and
+// probes the arbiter-cycle cost, writing the summary to BENCH_8.json.
+func runTenantBench(seed int64) error {
+	start := time.Now()
+	rep := tenantBenchReport{Seed: seed}
+	for _, tenants := range []int{100, 1000} {
+		ej, err := experiments.TenantsEJ(seed, tenants)
+		if err != nil {
+			return err
+		}
+		for _, row := range ej.Rows {
+			rep.Rows = append(rep.Rows, tenantBenchRow{
+				Policy:          row.Policy,
+				Tenants:         row.Tenants,
+				Workers:         row.Workers,
+				Submitted:       row.Submitted,
+				Completed:       row.Completed,
+				Shed:            row.Shed,
+				MakespanP50S:    row.MakespanP50.Seconds(),
+				MakespanP99S:    row.MakespanP99.Seconds(),
+				MakespanMaxS:    row.MakespanMax.Seconds(),
+				Jain:            row.Jain,
+				Utilization:     row.Utilization,
+				Cycles:          row.Cycles,
+				ReplansPerCycle: row.ReplansPerCycle(),
+				PodsCreated:     row.PodsCreated,
+			})
+		}
+	}
+	for _, tenants := range []int{100, 1000} {
+		cost, err := probeArbiterCycle(seed, tenants)
+		if err != nil {
+			return err
+		}
+		rep.CycleCost = append(rep.CycleCost, cost)
+	}
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	f, err := os.Create(tenantBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("tenant E-J results written to %s\n", tenantBenchFile)
+	return nil
+}
+
+// probeArbiterCycle times steady-state planning passes — every tenant
+// holding a queue of declared tasks, nothing changing between cycles —
+// on the incremental path and the retained reference.
+func probeArbiterCycle(seed int64, tenants int) (tenantCycleCost, error) {
+	build := func() (*arbiter.Arbiter, error) {
+		eng := simclock.NewEngine(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC))
+		cluster := kubesim.NewCluster(eng, kubesim.Config{
+			InitialNodes: 1, MinNodes: 1, MaxNodes: 4, Seed: seed,
+		})
+		a := arbiter.New(eng, cluster, arbiter.Config{
+			Cycle:        30 * time.Second,
+			TotalWorkers: 4 * tenants,
+		})
+		for i := 0; i < tenants; i++ {
+			ten, err := a.AddTenant(arbiter.TenantConfig{
+				ID:     fmt.Sprintf("t%05d", i),
+				Weight: 1 + i%3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < 8; j++ {
+				ten.Master().Submit(wq.TaskSpec{
+					Category:  fmt.Sprintf("cat%d", i%4),
+					Resources: resources.Vector{MilliCPU: 870, MemoryMB: 1700},
+					Profile:   wq.Profile{ExecDuration: time.Minute, UsedCPUMilli: 870, UsedMemoryMB: 1700},
+				})
+			}
+		}
+		a.PlanOnly() // warm the digests and scratch
+		return a, nil
+	}
+	timeCycles := func(a *arbiter.Arbiter, rounds int) float64 {
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			a.PlanOnly()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(rounds)
+	}
+	inc, err := build()
+	if err != nil {
+		return tenantCycleCost{}, err
+	}
+	ref, err := build()
+	if err != nil {
+		return tenantCycleCost{}, err
+	}
+	ref.SetNaiveArbitration(true)
+	ref.PlanOnly() // warm the reference path too
+	cost := tenantCycleCost{
+		Tenants:       tenants,
+		IncrementalNS: timeCycles(inc, 2000),
+		ReferenceNS:   timeCycles(ref, 50),
+	}
+	if cost.IncrementalNS > 0 {
+		cost.Speedup = cost.ReferenceNS / cost.IncrementalNS
+	}
+	return cost, nil
+}

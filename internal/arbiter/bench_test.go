@@ -1,0 +1,58 @@
+package arbiter
+
+import (
+	"testing"
+)
+
+// BenchmarkArbiterCycle measures one arbitration planning pass at 1000
+// tenants, steady state: every tenant holds a queue of declared tasks
+// and nothing changes between cycles, so the incremental path serves
+// every digest from the memo while the reference re-plans all 1000
+// tenants from fresh snapshots. The issue's acceptance bar is a ≥50×
+// gap (checked by htabench's E-J run, which records both).
+func BenchmarkArbiterCycle(b *testing.B) {
+	b.Run("incremental-1000", func(b *testing.B) {
+		_, a := newTestFleet(b, 1000, 8, 4000)
+		a.PlanOnly() // warm the digests
+		before := a.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.PlanOnly()
+		}
+		b.StopTimer()
+		if d := a.Stats().Replans - before.Replans; d != 0 {
+			b.Fatalf("steady-state cycles re-planned %d digests, want 0", d)
+		}
+	})
+	b.Run("reference-1000", func(b *testing.B) {
+		_, a := newTestFleet(b, 1000, 8, 4000)
+		a.SetNaiveArbitration(true)
+		a.PlanOnly()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.PlanOnly()
+		}
+	})
+	// Smaller points for scaling curves.
+	b.Run("incremental-100", func(b *testing.B) {
+		_, a := newTestFleet(b, 100, 8, 400)
+		a.PlanOnly()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.PlanOnly()
+		}
+	})
+	b.Run("reference-100", func(b *testing.B) {
+		_, a := newTestFleet(b, 100, 8, 400)
+		a.SetNaiveArbitration(true)
+		a.PlanOnly()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.PlanOnly()
+		}
+	})
+}

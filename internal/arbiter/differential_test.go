@@ -1,0 +1,195 @@
+package arbiter
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// randMix builds one randomized tenant mix on a fresh allocator.
+func randMix(rng *rand.Rand) (*allocator, int) {
+	n := 1 + rng.Intn(64)
+	policy := PolicyFairShare
+	if rng.Intn(8) == 0 {
+		policy = PolicyGreedy
+	}
+	al := &allocator{policy: policy, total: int64(rng.Intn(300))}
+	for i := 0; i < n; i++ {
+		weight := int64(1 + rng.Intn(16))
+		floor := int64(rng.Intn(4))
+		var ceil int64
+		if rng.Intn(3) == 0 {
+			ceil = floor + int64(rng.Intn(6))
+		}
+		al.addTenant(weight, floor, ceil, int32(rng.Intn(3)))
+	}
+	// Random virtual-service starting points: the remainder ordering
+	// must agree from any counter state, not just all-zero.
+	for i := range al.vsvc {
+		al.vsvc[i] = int64(rng.Intn(50)) * vsvcUnit
+	}
+	return al, n
+}
+
+func diffOneMix(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	al, n := randMix(rng)
+	demand := make([]int64, n)
+	grant := make([]int64, n)
+	// Several sequential cycles so the committed virtual-service
+	// counters evolve — the rotation state is part of the contract.
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := range demand {
+			demand[i] = int64(rng.Intn(40)) - 2 // occasionally negative
+		}
+		al.allocate(demand, grant)
+		ref := referenceAllocate(refInput{
+			policy: al.policy, total: al.total,
+			weight: al.weight, floor: al.floor, ceil: al.ceil,
+			prio: al.prio, vsvc: al.vsvc, demand: demand,
+		})
+		if !slices.Equal(grant, ref) {
+			t.Fatalf("seed %d cycle %d: packed %v != reference %v\ndemand %v\nweights %v floors %v ceils %v prios %v vsvc %v",
+				seed, cycle, grant, ref, demand, al.weight, al.floor, al.ceil, al.prio, al.vsvc)
+		}
+		checkInvariants(t, al, demand, grant, seed, cycle)
+		al.commit(grant)
+	}
+}
+
+// checkInvariants asserts the allocation laws that hold regardless of
+// the exact water-filling arithmetic.
+func checkInvariants(t *testing.T, al *allocator, demand, grant []int64, seed int64, cycle int) {
+	t.Helper()
+	var sumGrant, sumCap, sumFloorWant int64
+	for i := range grant {
+		c := max(demand[i], 0)
+		if al.ceil[i] > 0 {
+			c = min(c, al.ceil[i])
+		}
+		if grant[i] < 0 || grant[i] > c {
+			t.Fatalf("seed %d cycle %d: grant[%d]=%d outside [0, cap=%d]", seed, cycle, i, grant[i], c)
+		}
+		sumGrant += grant[i]
+		sumCap += c
+		sumFloorWant += min(c, al.floor[i])
+	}
+	if sumGrant > al.total {
+		t.Fatalf("seed %d cycle %d: Σgrant %d > total %d", seed, cycle, sumGrant, al.total)
+	}
+	// Work-conserving: capacity is only left over when demand ran out.
+	if sumGrant < min(sumCap, al.total) {
+		t.Fatalf("seed %d cycle %d: Σgrant %d < min(Σcap %d, total %d) — capacity stranded",
+			seed, cycle, sumGrant, sumCap, al.total)
+	}
+	// Floors honored whenever jointly feasible (fair-share only; the
+	// greedy baseline ignores them by design).
+	if al.policy == PolicyFairShare && sumFloorWant <= al.total {
+		for i := range grant {
+			c := max(demand[i], 0)
+			if al.ceil[i] > 0 {
+				c = min(c, al.ceil[i])
+			}
+			if owed := min(c, al.floor[i]); grant[i] < owed {
+				t.Fatalf("seed %d cycle %d: grant[%d]=%d below feasible floor %d", seed, cycle, i, grant[i], owed)
+			}
+		}
+	}
+}
+
+// TestAllocatorDifferential holds the packed allocator byte-identical
+// to the naive reference across 1000 randomized tenant mixes × 5
+// evolving cycles each.
+func TestAllocatorDifferential(t *testing.T) {
+	mixes := 1000
+	if testing.Short() {
+		mixes = 100
+	}
+	for seed := int64(0); seed < int64(mixes); seed++ {
+		diffOneMix(t, seed)
+	}
+}
+
+// TestArbiterControllerDifferential runs the incremental and reference
+// arbiters side by side against one live cluster scenario: every cycle
+// both plan from the same pre-commit state and must produce identical
+// grants, while pods churn through creation, connection, task
+// execution and drains underneath.
+func TestArbiterControllerDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			eng := simclock.NewEngine(simStart)
+			cluster := kubesim.NewCluster(eng, kubesim.Config{
+				InitialNodes:  3,
+				MinNodes:      1,
+				MaxNodes:      6,
+				ProvisionMean: 45 * time.Second,
+				Seed:          seed,
+			})
+			a := New(eng, cluster, Config{Cycle: 15 * time.Second, TotalWorkers: 6})
+			rng := rand.New(rand.NewSource(seed))
+			cfgs := []TenantConfig{
+				{ID: "a", Weight: 2},
+				{ID: "b", Weight: 1, QuotaMin: 1},
+				{ID: "c", Weight: 1, QuotaMax: 2},
+				{ID: "d", Weight: 3, Priority: 1},
+			}
+			total := 0
+			for _, cfg := range cfgs {
+				ten, err := a.AddTenant(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tasks := 4 + rng.Intn(5)
+				for j := 0; j < tasks; j++ {
+					spec := wq.TaskSpec{
+						Category: fmt.Sprintf("cat%d", j%2),
+						Profile: wq.Profile{
+							ExecDuration: time.Duration(30+rng.Intn(90)) * time.Second,
+							UsedCPUMilli: 870, UsedMemoryMB: 1700,
+						},
+					}
+					if j%3 != 0 { // mix declared and undeclared tasks
+						spec.Resources = resources.Vector{MilliCPU: 870, MemoryMB: 1700}
+					}
+					ten.Master().Submit(spec)
+					total++
+				}
+			}
+			cycles := 0
+			eng.Every(a.cfg.Cycle, "diff-cycle", func() {
+				a.plan(a.grant)
+				a.referencePlan(a.refGrant)
+				if !slices.Equal(a.grant, a.refGrant) {
+					t.Fatalf("cycle %d at %v: incremental %v != reference %v",
+						cycles, eng.Now(), a.grant, a.refGrant)
+				}
+				a.al.commit(a.grant)
+				a.apply(a.grant)
+				cycles++
+			})
+			done := func() int {
+				n := 0
+				for _, ten := range a.Tenants() {
+					n += ten.Master().CompletedCount()
+				}
+				return n
+			}
+			deadline := simStart.Add(4 * time.Hour)
+			eng.RunWhile(func() bool { return done() < total && eng.Now().Before(deadline) })
+			if done() != total {
+				t.Fatalf("completed %d/%d by %v", done(), total, eng.Now())
+			}
+			if cycles < 5 {
+				t.Fatalf("only %d arbitration cycles ran", cycles)
+			}
+		})
+	}
+}

@@ -1,8 +1,9 @@
 package kubesim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/resources"
@@ -73,7 +74,7 @@ func (c *Cluster) scaleUpForPending(nodes []*Node) {
 	}
 	// Deterministic queue order: the bin-packed node estimate below is
 	// order-sensitive for mixed pod sizes.
-	sort.Slice(unsched, func(i, j int) bool { return unsched[i].UID < unsched[j].UID })
+	slices.SortFunc(unsched, func(a, b *Pod) int { return cmp.Compare(a.UID, b.UID) })
 	c.pendingScratch = unsched
 	defer c.releaseScratch(unsched)
 	if len(unsched) == 0 {
@@ -210,7 +211,7 @@ func (c *Cluster) failNode(name, reason string) error {
 		for _, p := range c.podsByNode[name] {
 			bound = append(bound, p)
 		}
-		sort.Slice(bound, func(i, j int) bool { return bound[i].UID < bound[j].UID })
+		slices.SortFunc(bound, func(a, b *Pod) int { return cmp.Compare(a.UID, b.UID) })
 		for _, p := range bound {
 			victims = append(victims, p.Name)
 		}

@@ -1,8 +1,9 @@
 package kubesim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/resources"
@@ -461,7 +462,7 @@ func (c *Cluster) ListPods(selector map[string]string) []Pod {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	slices.SortFunc(out, func(a, b Pod) int { return cmp.Compare(a.UID, b.UID) })
 	return out
 }
 

@@ -1,8 +1,9 @@
 package kubesim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/resources"
@@ -61,7 +62,7 @@ func (c *Cluster) pendingUnbound() []*Pod {
 			pending = append(pending, p)
 		}
 	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].UID < pending[j].UID })
+	slices.SortFunc(pending, func(a, b *Pod) int { return cmp.Compare(a.UID, b.UID) })
 	c.pendingScratch = pending
 	return pending
 }
@@ -121,11 +122,11 @@ func (c *Cluster) sortedNodes() []*Node {
 		for _, n := range c.nodes {
 			out = append(out, n)
 		}
-		sort.Slice(out, func(i, j int) bool {
-			if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
-				return out[i].CreatedAt.Before(out[j].CreatedAt)
+		slices.SortFunc(out, func(a, b *Node) int {
+			if c := a.CreatedAt.Compare(b.CreatedAt); c != 0 {
+				return c
 			}
-			return out[i].Name < out[j].Name
+			return cmp.Compare(a.Name, b.Name)
 		})
 		c.nodeList = out
 		c.nodeDirty = false

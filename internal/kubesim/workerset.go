@@ -1,8 +1,9 @@
 package kubesim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/resources"
@@ -128,12 +129,11 @@ func (ws *WorkerSet) deletionOrder(live []Pod) []Pod {
 		}
 		return 1
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ri, rj := rank(out[i]), rank(out[j])
-		if ri != rj {
-			return ri < rj
+	slices.SortFunc(out, func(a, b Pod) int {
+		if c := cmp.Compare(rank(a), rank(b)); c != 0 {
+			return c
 		}
-		return out[i].UID > out[j].UID // newest first
+		return cmp.Compare(b.UID, a.UID) // newest first
 	})
 	return out
 }

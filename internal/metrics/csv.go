@@ -4,7 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -44,7 +44,7 @@ func WriteCSVColumns(w io.Writer, start time.Time, series ...*Series) error {
 	for t := range stamps {
 		times = append(times, t)
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	slices.SortFunc(times, func(a, b time.Time) int { return a.Compare(b) })
 
 	cw := csv.NewWriter(w)
 	header := make([]string, 0, len(series)+1)

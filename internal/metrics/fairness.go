@@ -1,0 +1,61 @@
+package metrics
+
+// JainIndex returns Jain's fairness index over the per-tenant
+// allocation (or outcome) samples:
+//
+//	J(x) = (Σx)² / (n · Σx²)
+//
+// J is 1 when every tenant gets the same amount and approaches 1/n as
+// one tenant takes everything. The degenerate cases — no tenants, one
+// tenant, all-zero samples — report perfect fairness (1): nothing was
+// divided unevenly. Negative samples are treated as zero; fairness is
+// defined over non-negative quantities.
+func JainIndex(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// ClusterOverload merges per-master admission counters into one
+// cluster-level view for runs where many masters share a cluster
+// (experiment E-J). It is NOT Add repeated: Add was written for
+// sequential runs of the same master, where summing TimeInOverload is
+// exact and taking the max of peaks is the true peak. Across masters
+// running concurrently the semantics differ:
+//
+//   - Buffered and Shed sum exactly — each submission is counted by
+//     exactly one master.
+//   - PeakWaiting and PeakBuffered sum: each master's peak bounds its
+//     depth at every instant, so the sum is the tightest available
+//     upper bound on cluster-wide simultaneous backlog (the true
+//     cluster peak needs per-instant alignment the counters do not
+//     retain).
+//   - TimeInOverload takes the maximum single-master value: overload
+//     windows overlap in wall time, so summing would double-count; the
+//     max is a lower bound on the union of the windows.
+func ClusterOverload(perMaster []OverloadCounters) OverloadCounters {
+	var c OverloadCounters
+	for _, o := range perMaster {
+		c.PeakWaiting += o.PeakWaiting
+		c.PeakBuffered += o.PeakBuffered
+		c.Buffered += o.Buffered
+		c.Shed += o.Shed
+		if o.TimeInOverload > c.TimeInOverload {
+			c.TimeInOverload = o.TimeInOverload
+		}
+	}
+	return c
+}

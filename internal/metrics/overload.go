@@ -1,7 +1,7 @@
 package metrics
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -51,7 +51,7 @@ func DurationQuantile(samples []time.Duration, q float64) time.Duration {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	if q <= 0 {
 		return sorted[0]
 	}

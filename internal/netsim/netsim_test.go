@@ -460,3 +460,36 @@ func TestReferenceBasics(t *testing.T) {
 		t.Errorf("completed = %d, want 1", got)
 	}
 }
+
+// TestCompleteBatchAllocs pins the sort.Slice → slices.SortFunc
+// conversion in the completion hot path: sorting a completion wave and
+// recycling the batch scratch must not allocate. (Transfers without a
+// done callback short-circuit the engine batch-schedule, whose
+// callback-slice copy is the one intentional allocation in the full
+// path.) The closure-over-slice sort.Slice form boxed the slice header
+// and interface value, costing two allocations per wave.
+func TestCompleteBatchAllocs(t *testing.T) {
+	eng := simclock.NewEngine(t0)
+	l := NewLink(eng, 1000, 0)
+	const wave = 256
+	tmpl := make([]*Transfer, wave)
+	for i := range tmpl {
+		// Adversarial order: descending ids force real sort work.
+		tmpl[i] = &Transfer{link: l, id: wave - i}
+	}
+	batch := make([]*Transfer, wave)
+	copy(batch, tmpl)
+	l.completeBatch(batch) // warm the doneFns scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(batch, tmpl)
+		l.completeBatch(batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("completeBatch allocates %.1f times per wave, want 0", allocs)
+	}
+	for i := 1; i < wave; i++ {
+		if batch[i-1].id >= batch[i].id {
+			t.Fatalf("batch not sorted ascending by id at %d: %d, %d", i, batch[i-1].id, batch[i].id)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package wq
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -1024,8 +1026,29 @@ func (m *Master) WaitingTasks() []Task {
 func (m *Master) RunningTasks() []Task {
 	var out []Task
 	m.ForEachRunning(func(t *Task) { out = append(out, *t) })
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Task) int { return cmp.Compare(a.ID, b.ID) })
 	return out
+}
+
+// Rev returns the master's mutation revision: it changes whenever the
+// queue, the worker roster, the policy or the estimator changes in a
+// way that could alter a dispatch or planning pass. External planners
+// (the multi-tenant arbiter) compare revisions across cycles to skip
+// re-planning masters whose state is provably unchanged. Draining a
+// worker does not bump the revision — the initiator of a drain must
+// account for it separately.
+func (m *Master) Rev() uint64 { return m.rev }
+
+// ForEachWorker visits connected workers in join order with their
+// capacity and draining flag, without allocating. The callback must
+// not call back into the master.
+func (m *Master) ForEachWorker(fn func(id string, capacity resources.Vector, draining bool)) {
+	for _, w := range m.roster {
+		if w == nil {
+			continue
+		}
+		fn(w.id, w.pool.Capacity(), w.draining)
+	}
 }
 
 // CompletedCount returns the number of completed tasks.

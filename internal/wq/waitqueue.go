@@ -1,7 +1,9 @@
 package wq
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"hta/internal/resources"
@@ -282,7 +284,7 @@ func (q *waitQueue) QueueOrder() []int {
 	for id := range q.seq {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return q.seq[out[i]] < q.seq[out[j]] })
+	slices.SortFunc(out, func(a, b int) int { return cmp.Compare(q.seq[a], q.seq[b]) })
 	return out
 }
 
