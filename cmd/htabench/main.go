@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io,ioscale,tenants]
+//	htabench [-seed N] [-runs fig2,fig4,fig6,fig10,fig11,ablations,chaos,recovery,io,ioscale,tenants,tenantchaos]
 //	         [-json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The io run is experiment E-H — the Fig. 11 I/O-bound workload swept
@@ -31,8 +31,11 @@
 // arbitration experiment (fair-share vs quota vs a single shared
 // autoscaler at 100 and 1000 tenants, plus the incremental-vs-
 // reference arbiter-cycle cost pair), writing its summary to
-// BENCH_8.json; combine with -runs none to run only them. (BENCH_1.json is the pre-control-plane-scaling
-// historical record.)
+// BENCH_8.json, and the E-K tenant fault-isolation experiment
+// (tenant-master kills, an arbiter crash/restore, membership churn)
+// plus the arbiter snapshot/restore round-trip probe, writing its
+// summary to BENCH_9.json; combine with -runs none to run only them.
+// (BENCH_1.json is the pre-control-plane-scaling historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // the invocation ran — the standard way to find the next control-plane
@@ -121,6 +124,7 @@ func run() int {
 		{"io", func() (fmt.Stringer, error) { return experiments.IOScaleEH(*seed) }},
 		{"ioscale", func() (fmt.Stringer, error) { return experiments.IOScaleEHScale(*seed) }},
 		{"tenants", func() (fmt.Stringer, error) { return experiments.TenantsEJ(*seed, 100) }},
+		{"tenantchaos", func() (fmt.Stringer, error) { return experiments.TenantChaosEK(*seed) }},
 	}
 
 	var page *report.Page
@@ -181,6 +185,10 @@ func run() int {
 		}
 		if err := runTenantBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "tenant bench: %v\n", err)
+			failed = true
+		}
+		if err := runTenantChaosBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tenant chaos bench: %v\n", err)
 			failed = true
 		}
 	}

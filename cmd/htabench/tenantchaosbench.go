@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hta/internal/arbiter"
+	"hta/internal/experiments"
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// tenantChaosBenchFile is where -json writes the E-K summary.
+const tenantChaosBenchFile = "BENCH_9.json"
+
+// tenantChaosBenchRow mirrors one E-K cell for machine consumption.
+type tenantChaosBenchRow struct {
+	Cell               string  `json:"cell"`
+	MasterKills        int     `json:"master_kills"`
+	ArbiterKills       int     `json:"arbiter_kills"`
+	Joins              int     `json:"joins"`
+	Leaves             int     `json:"leaves"`
+	RuntimeS           float64 `json:"runtime_s"`
+	MaxUntouchedDeltaS float64 `json:"max_untouched_delta_s"`
+	IsolationSlackS    float64 `json:"isolation_slack_s"`
+	Untouched          int     `json:"untouched"`
+	Submitted          int     `json:"submitted"`
+	Completed          int     `json:"completed"`
+	Quarantined        int     `json:"quarantined"`
+	Rescued            int     `json:"rescued"`
+	Requeued           int     `json:"requeued"`
+	Corrections        int     `json:"reconcile_corrections"`
+	FencedDrains       int     `json:"fenced_drains"`
+	TenantsRemoved     int     `json:"tenants_removed"`
+	DowntimeS          float64 `json:"downtime_s"`
+}
+
+// arbiterRestoreCost is the crash-consistency microbenchmark: one
+// full snapshot → crash → encode → decode → restore → reconcile round
+// trip at T tenants with a warm pod fleet.
+type arbiterRestoreCost struct {
+	Tenants       int     `json:"tenants"`
+	RestoreNS     float64 `json:"restore_ns_per_cycle"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+}
+
+type tenantChaosBenchReport struct {
+	Seed        int64                 `json:"seed"`
+	WallMS      float64               `json:"wall_ms"`
+	BaselineS   float64               `json:"baseline_s"`
+	Isolated    bool                  `json:"isolated"`
+	Rows        []tenantChaosBenchRow `json:"rows"`
+	RestoreCost []arbiterRestoreCost  `json:"arbiter_restore_cost"`
+}
+
+// runTenantChaosBench executes experiment E-K at the smoke size and
+// probes the arbiter snapshot/restore round trip at 100 and 1000
+// tenants, writing the summary to BENCH_9.json.
+func runTenantChaosBench(seed int64) error {
+	start := time.Now()
+	rep := tenantChaosBenchReport{Seed: seed}
+	ek, err := experiments.TenantChaosEKWith(experiments.SmokeTenantChaosEKConfig(seed))
+	if err != nil {
+		return err
+	}
+	rep.BaselineS = ek.Baseline.Seconds()
+	rep.Isolated = ek.Isolated()
+	for _, row := range ek.Rows {
+		rep.Rows = append(rep.Rows, tenantChaosBenchRow{
+			Cell:               row.Cell,
+			MasterKills:        row.MasterKills,
+			ArbiterKills:       row.ArbiterKills,
+			Joins:              row.Joins,
+			Leaves:             row.Leaves,
+			RuntimeS:           row.Runtime.Seconds(),
+			MaxUntouchedDeltaS: row.MaxUntouchedDelta.Seconds(),
+			IsolationSlackS:    row.IsolationSlack.Seconds(),
+			Untouched:          row.Untouched,
+			Submitted:          row.Submitted,
+			Completed:          row.Completed,
+			Quarantined:        row.Quarantined,
+			Rescued:            row.Recovery.RescuedTasks,
+			Requeued:           row.Recovery.RequeuedUnrescued,
+			Corrections:        row.Recovery.ReconcileCorrections,
+			FencedDrains:       row.FencedDrains,
+			TenantsRemoved:     row.TenantsRemoved,
+			DowntimeS:          row.Recovery.Downtime.Seconds(),
+		})
+	}
+	for _, tenants := range []int{100, 1000} {
+		cost, err := probeArbiterRestore(seed, tenants)
+		if err != nil {
+			return err
+		}
+		rep.RestoreCost = append(rep.RestoreCost, cost)
+	}
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	f, err := os.Create(tenantChaosBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("tenant E-K results written to %s\n", tenantChaosBenchFile)
+	return nil
+}
+
+// probeArbiterRestore times the full crash-consistency round trip —
+// Snapshot, Crash, codec both ways, Restore with its reconcile and
+// adoption sweep — on a fleet warmed to a steady pod book.
+func probeArbiterRestore(seed int64, tenants int) (arbiterRestoreCost, error) {
+	eng := simclock.NewEngine(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC))
+	cluster := kubesim.NewCluster(eng, kubesim.Config{
+		InitialNodes: 1, MinNodes: 1, MaxNodes: 4, Seed: seed,
+	})
+	a := arbiter.New(eng, cluster, arbiter.Config{
+		Cycle:        30 * time.Second,
+		TotalWorkers: 4 * tenants,
+	})
+	for i := 0; i < tenants; i++ {
+		ten, err := a.AddTenant(arbiter.TenantConfig{
+			ID:     fmt.Sprintf("t%05d", i),
+			Weight: 1 + i%3,
+		})
+		if err != nil {
+			return arbiterRestoreCost{}, err
+		}
+		for j := 0; j < 8; j++ {
+			ten.Master().Submit(wq.TaskSpec{
+				Category:  fmt.Sprintf("cat%d", i%4),
+				Resources: resources.Vector{MilliCPU: 870, MemoryMB: 1700},
+				Profile:   wq.Profile{ExecDuration: time.Minute, UsedCPUMilli: 870, UsedMemoryMB: 1700},
+			})
+		}
+	}
+	a.RunCycle() // book the worker-pod fleet
+	a.RunCycle()
+	const rounds = 20
+	var snapBytes int
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		snap, ok := a.Crash()
+		if !ok {
+			return arbiterRestoreCost{}, fmt.Errorf("arbiter refused crash on round %d", i)
+		}
+		enc := snap.Encode()
+		snapBytes = len(enc)
+		dec, err := arbiter.DecodeSnapshot(enc)
+		if err != nil {
+			return arbiterRestoreCost{}, err
+		}
+		a.Restore(dec)
+	}
+	return arbiterRestoreCost{
+		Tenants:       tenants,
+		RestoreNS:     float64(time.Since(t0).Nanoseconds()) / rounds,
+		SnapshotBytes: snapBytes,
+	}, nil
+}

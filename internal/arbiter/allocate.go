@@ -97,6 +97,19 @@ func (al *allocator) addTenant(weight, floor, ceil int64, prio int32) {
 	al.classDirty = true
 }
 
+// removeTenant splices tenant i out of every packed vector. Callers
+// must reindex their own tenant slots to match.
+func (al *allocator) removeTenant(i int) {
+	al.weight = slices.Delete(al.weight, i, i+1)
+	al.floor = slices.Delete(al.floor, i, i+1)
+	al.ceil = slices.Delete(al.ceil, i, i+1)
+	al.prio = slices.Delete(al.prio, i, i+1)
+	al.vsvc = slices.Delete(al.vsvc, i, i+1)
+	al.capi = al.capi[:len(al.weight)]
+	al.want = al.want[:len(al.weight)]
+	al.classDirty = true
+}
+
 func (al *allocator) rebuildClasses() {
 	al.classIdx = al.classIdx[:0]
 	for i := range al.weight {

@@ -74,6 +74,9 @@ type Config struct {
 	// reference arbiter (reference.go) instead of the incremental
 	// path.
 	Naive bool
+	// Quarantine configures the crash-looping-tenant breaker
+	// (lifecycle.go). The zero value disables it.
+	Quarantine QuarantinePolicy
 }
 
 // TenantConfig describes one tenant's share of the cluster.
@@ -129,6 +132,21 @@ type Tenant struct {
 	podSeq                     int
 	creating, active, draining int
 
+	// Lifecycle state (lifecycle.go): leaving marks an offboarding
+	// tenant (demand forced to zero, pods draining, pending work
+	// settled as quarantined); removed marks the tenant struct as
+	// detached from the arbiter. The quarantine fields implement the
+	// crash-loop breaker; masterSnap/reattach hold the PR-4 crash
+	// state between CrashTenantMaster and RestoreTenantMaster.
+	leaving     bool
+	removed     bool
+	settleArmed bool
+	quarUntil   time.Time
+	quarCount   int
+	crashLog    []time.Time
+	masterSnap  wq.Snapshot
+	reattach    []wq.WorkerReattach
+
 	// Digest snapshot scratch, reused across cycles.
 	waitBuf []wq.Task
 	runBuf  []wq.Task
@@ -157,6 +175,14 @@ type Stats struct {
 	Skipped     int
 	PodsCreated int
 	PodsDrained int
+
+	// Lifecycle and recovery counters.
+	TenantsRemoved       int // tenants offboarded or removed
+	TenantCrashes        int // tenant-master crashes delivered via CrashTenantMaster
+	QuarantineTrips      int // crash-loop breaker trips
+	Restores             int // arbiter Restore calls
+	ReconcileCorrections int // divergences fixed by restore-time reconciles
+	FencedCallbacks      int // stale drain callbacks dropped by the generation fence
 }
 
 // Arbiter divides one cluster's worker capacity across tenants.
@@ -181,6 +207,14 @@ type Arbiter struct {
 	refGrant []int64
 
 	drainBuf []string // apply() scratch
+
+	// gen is the arbiter's incarnation counter, bumped by Crash and
+	// stamped into every drain callback (and created pod) so callbacks
+	// registered by a dead incarnation are fenced after Restore. down
+	// marks the window between Crash and Restore, during which pod
+	// events are missed (Restore's reconcile recovers them).
+	gen  int
+	down bool
 
 	ticker  *simclock.Ticker
 	started bool
@@ -304,16 +338,21 @@ func (a *Arbiter) Stop() {
 // waits for running tasks, it never kills them).
 func (a *Arbiter) DrainAll() {
 	for _, t := range a.tenants {
-		names := make([]string, 0, len(t.pods))
-		for name, st := range t.pods {
-			if st != podDraining {
-				names = append(names, name)
-			}
+		a.drainTenantPods(t)
+	}
+}
+
+// drainTenantPods drains every live pod of one tenant, in name order.
+func (a *Arbiter) drainTenantPods(t *Tenant) {
+	names := make([]string, 0, len(t.pods))
+	for name, st := range t.pods {
+		if st != podDraining {
+			names = append(names, name)
 		}
-		slices.Sort(names)
-		for _, name := range names {
-			a.drainPod(t, name)
-		}
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		a.drainPod(t, name)
 	}
 }
 
@@ -321,6 +360,9 @@ func (a *Arbiter) DrainAll() {
 // (dirty tenants only on the incremental path), allocate, commit the
 // virtual-service counters, and actuate pod deltas.
 func (a *Arbiter) RunCycle() {
+	if a.down {
+		return
+	}
 	a.stats.Cycles++
 	grant := a.grant
 	if a.cfg.Naive {
@@ -351,6 +393,15 @@ func (a *Arbiter) PlanOnly() []int64 {
 // re-plans for dirty ones, one packed allocation pass.
 func (a *Arbiter) plan(grant []int64) {
 	for _, t := range a.tenants {
+		if a.inactive(t) {
+			// Offboarding, crashed or quarantined: demand is zero by
+			// fiat until the tenant recovers, so the freed capacity
+			// water-fills across the healthy tenants this very cycle.
+			a.demand[t.idx] = 0
+			a.stats.Skipped++
+			a.maybeSettle(t)
+			continue
+		}
 		rev := t.master.Rev()
 		if !t.dirty && rev == t.lastRev {
 			a.stats.Skipped++
@@ -363,6 +414,16 @@ func (a *Arbiter) plan(grant []int64) {
 		a.demand[t.idx] = t.demand
 	}
 	a.al.allocate(a.demand, grant)
+}
+
+// inactive reports whether the tenant's demand is forced to zero:
+// leaving (pods drain, pending work already settled), master down
+// (blast-radius containment — its share flows to healthy tenants
+// until RestoreTenantMaster), or crash-loop quarantined (breaker open
+// until quarUntil). The transitions in and out all mark the tenant
+// dirty, so the memoized demand is recomputed on recovery.
+func (a *Arbiter) inactive(t *Tenant) bool {
+	return t.leaving || t.master.Down() || t.quarantinedAt(a.eng.Now())
 }
 
 // digest evaluates the tenant's demand: how many node-sized workers
@@ -514,17 +575,34 @@ func (a *Arbiter) drainPod(t *Tenant, name string) {
 	// hand.
 	t.dirty = true
 	a.stats.PodsDrained++
-	err := t.master.DrainWorker(name, func() {
+	err := t.master.DrainWorker(name, a.drainDone(t, name))
+	if err != nil {
+		a.forgetPod(t, name)
+		_ = a.cluster.DeletePod(name)
+		a.maybeSettle(t)
+	}
+}
+
+// drainDone builds the worker-drained callback, stamped with the
+// current arbiter generation. A callback registered by a previous
+// incarnation is fenced: after a crash the restored books may
+// disagree with what the dead incarnation knew, so Restore's
+// reconcile re-registers the drains it still wants and settles the
+// rest — the stale callback must not delete pods underneath it.
+func (a *Arbiter) drainDone(t *Tenant, name string) func() {
+	gen := a.gen
+	return func() {
+		if a.down || gen != a.gen {
+			a.stats.FencedCallbacks++
+			return
+		}
 		if _, ok := t.pods[name]; !ok {
 			return
 		}
 		a.forgetPod(t, name)
 		_ = a.cluster.MarkPodSucceeded(name)
 		_ = a.cluster.DeletePod(name)
-	})
-	if err != nil {
-		a.forgetPod(t, name)
-		_ = a.cluster.DeletePod(name)
+		a.maybeSettle(t)
 	}
 }
 
@@ -543,6 +621,11 @@ func (a *Arbiter) forgetPod(t *Tenant, name string) {
 }
 
 func (a *Arbiter) onPodEvent(ev kubesim.PodWatchEvent) {
+	if a.down {
+		// The crashed arbiter sees nothing; Restore's reconcile
+		// recovers whatever changed during the outage.
+		return
+	}
 	name := ev.Pod.Name
 	t, mine := a.podOwner[name]
 	if !mine {
@@ -557,6 +640,11 @@ func (a *Arbiter) onPodEvent(ev kubesim.PodWatchEvent) {
 		t.pods[name] = podActive
 		t.creating--
 		t.active++
+		if t.master.Down() {
+			// The tenant's master is crashed: book the pod active now,
+			// connect the worker in RestoreTenantMaster's reconcile.
+			return
+		}
 		if err := t.master.AddWorker(name, ev.Pod.Resources); err == nil {
 			_ = a.cluster.SetPodUsage(name, func() resources.Vector {
 				return t.master.WorkerUsage(name)
@@ -565,10 +653,12 @@ func (a *Arbiter) onPodEvent(ev kubesim.PodWatchEvent) {
 	case ev.Type == kubesim.Deleted:
 		wasActive := st == podActive
 		a.forgetPod(t, name)
-		if wasActive && ev.Reason == kubesim.ReasonKilling {
+		if wasActive && ev.Reason == kubesim.ReasonKilling && !t.master.Down() {
 			// Pod killed underneath the arbiter (preemption, node
-			// failure): requeue its tasks.
+			// failure): requeue its tasks. A crashed master settles the
+			// loss through its rescue window instead.
 			_ = t.master.KillWorker(name)
 		}
+		a.maybeSettle(t)
 	}
 }

@@ -56,3 +56,27 @@ func BenchmarkArbiterCycle(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkArbiterRestore measures one full crash/restore round at
+// 1000 tenants with live pod books: snapshot capture, state wipe,
+// restore, per-tenant reconcile against the cluster and label-based
+// re-adoption. This is the recovery-latency half of the robustness
+// story (htabench's tenantchaos run records it as the restore probe).
+func BenchmarkArbiterRestore(b *testing.B) {
+	_, a := newTestFleet(b, 1000, 8, 4000)
+	a.RunCycle() // create pods, warm digests
+	a.RunCycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, ok := a.Crash()
+		if !ok {
+			b.Fatal("crash refused")
+		}
+		a.Restore(snap)
+	}
+	b.StopTimer()
+	if a.Stats().Restores != b.N {
+		b.Fatalf("Restores = %d, want %d", a.Stats().Restores, b.N)
+	}
+}

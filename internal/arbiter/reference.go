@@ -26,6 +26,11 @@ import (
 func (a *Arbiter) referencePlan(grant []int64) {
 	demand := make([]int64, len(a.tenants))
 	for i, t := range a.tenants {
+		if a.inactive(t) {
+			demand[i] = 0
+			a.maybeSettle(t)
+			continue
+		}
 		demand[i] = a.referenceDigest(t)
 	}
 	out := referenceAllocate(refInput{

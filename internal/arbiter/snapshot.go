@@ -1,0 +1,392 @@
+package arbiter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+
+	"hta/internal/kubesim"
+	"hta/internal/resources"
+)
+
+// Arbiter crash-consistency. The durable state a real control plane
+// would keep in etcd is small: the fair-share configuration and
+// virtual-service counters (the deficit-round-robin memory — losing
+// it would silently re-bias sub-quantum rotation toward low indices),
+// plus each tenant's pod books. Everything else — demand memos,
+// dirty flags, the allocation scratch — is cache, rebuilt on restore.
+// Crash wipes the caches and bumps the incarnation counter that
+// fences callbacks registered by the dead arbiter; Restore loads the
+// snapshot and reconciles it against the live cluster and masters, so
+// pods that started, finished draining, or died during the outage are
+// adopted, released, or requeued instead of leaking.
+
+// Snapshot is the arbiter's durable state.
+type Snapshot struct {
+	// Gen is the incarnation that took the snapshot.
+	Gen int
+	// Tenants holds per-tenant durable state in add order.
+	Tenants []TenantSnapshot
+}
+
+// TenantSnapshot is one tenant's slice of the durable state.
+type TenantSnapshot struct {
+	ID string
+	// Fair-share configuration (mirrors TenantConfig after clamping).
+	Weight int64
+	Floor  int64
+	Ceil   int64
+	Prio   int32
+	// Vsvc is the deficit-round-robin virtual-service counter.
+	Vsvc int64
+	// PodSeq is the worker-pod name sequence.
+	PodSeq int
+	// Pods are the tenant's booked worker pods, sorted by name.
+	Pods []PodRecord
+}
+
+// PodRecord books one worker pod.
+type PodRecord struct {
+	Name  string
+	State int32 // workerPodState
+}
+
+// Snapshot captures the arbiter's durable state without disturbing
+// it.
+func (a *Arbiter) Snapshot() Snapshot {
+	snap := Snapshot{Gen: a.gen}
+	if len(a.tenants) > 0 {
+		snap.Tenants = make([]TenantSnapshot, 0, len(a.tenants))
+	}
+	for _, t := range a.tenants {
+		ts := TenantSnapshot{
+			ID:     t.cfg.ID,
+			Weight: a.al.weight[t.idx],
+			Floor:  a.al.floor[t.idx],
+			Ceil:   a.al.ceil[t.idx],
+			Prio:   a.al.prio[t.idx],
+			Vsvc:   a.al.vsvc[t.idx],
+			PodSeq: t.podSeq,
+		}
+		// nil when podless, matching the decoder (round-trip identity).
+		for name, st := range t.pods {
+			ts.Pods = append(ts.Pods, PodRecord{Name: name, State: int32(st)})
+		}
+		slices.SortFunc(ts.Pods, func(x, y PodRecord) int { return strings.Compare(x.Name, y.Name) })
+		snap.Tenants = append(snap.Tenants, ts)
+	}
+	return snap
+}
+
+// Crash fails the arbiter in place: the returned snapshot is the
+// durable state (what survived outside the process), everything else
+// is wiped, the cycle ticker stops, and the incarnation counter
+// advances so drain callbacks registered by this incarnation are
+// fenced. Pod events during the outage are dropped (Restore's
+// reconcile recovers them); the tenants' masters and workers keep
+// running untouched — the blast radius of an arbiter crash is scaling
+// decisions, not in-flight work. Returns ok=false if already down.
+func (a *Arbiter) Crash() (Snapshot, bool) {
+	if a.down {
+		return Snapshot{}, false
+	}
+	snap := a.Snapshot()
+	if a.ticker != nil {
+		a.ticker.Stop()
+		a.ticker = nil
+	}
+	for _, t := range a.tenants {
+		clear(t.pods)
+		t.creating, t.active, t.draining = 0, 0, 0
+		t.podSeq = 0
+		t.lastRev = ^uint64(0)
+		t.dirty = false
+		t.demand = 0
+	}
+	clear(a.podOwner)
+	a.down = true
+	a.gen++
+	return snap, true
+}
+
+// Down reports whether the arbiter is crashed (between Crash and
+// Restore).
+func (a *Arbiter) Down() bool { return a.down }
+
+// Generation returns the arbiter's incarnation counter (bumped by
+// every Crash).
+func (a *Arbiter) Generation() int { return a.gen }
+
+// Restore restarts a crashed arbiter from a snapshot: per-tenant
+// fair-share state and pod books are loaded (matched by tenant ID;
+// snapshot tenants that no longer exist are dropped), then each
+// tenant is reconciled against the live cluster and its master, and
+// pods created by the dead incarnation after its snapshot are adopted
+// back via their labels. If the arbitration loop was started it
+// resumes, one full cycle after the restore.
+func (a *Arbiter) Restore(snap Snapshot) {
+	a.down = false
+	a.stats.Restores++
+	for _, ts := range snap.Tenants {
+		t, ok := a.byID[ts.ID]
+		if !ok {
+			continue
+		}
+		i := t.idx
+		a.al.weight[i] = ts.Weight
+		a.al.floor[i] = ts.Floor
+		a.al.ceil[i] = ts.Ceil
+		a.al.prio[i] = ts.Prio
+		a.al.vsvc[i] = ts.Vsvc
+		a.al.classDirty = true
+		t.podSeq = ts.PodSeq
+		for _, pr := range ts.Pods {
+			st := workerPodState(pr.State)
+			if st < podCreating || st > podDraining {
+				continue
+			}
+			t.pods[pr.Name] = st
+			switch st {
+			case podCreating:
+				t.creating++
+			case podActive:
+				t.active++
+			case podDraining:
+				t.draining++
+			}
+			a.podOwner[pr.Name] = t
+		}
+	}
+	for _, t := range a.tenants {
+		a.reconcileTenant(t, false)
+		a.adoptUnbooked(t)
+		t.lastRev = ^uint64(0)
+		t.dirty = true
+	}
+	if a.started && a.ticker == nil {
+		a.ticker = a.eng.Every(a.cfg.Cycle, "arbiter-cycle", a.RunCycle)
+	}
+}
+
+// adoptUnbooked finds the tenant's worker pods the snapshot does not
+// know — created by the dead incarnation after its snapshot — via
+// their labels, and books them by observed phase. Their names also
+// advance the pod sequence past any adopted suffix so the restored
+// arbiter never reuses a live name.
+func (a *Arbiter) adoptUnbooked(t *Tenant) {
+	pods := a.cluster.ListPods(map[string]string{
+		"managed-by": "arbiter",
+		"tenant":     t.cfg.ID,
+	})
+	for _, pod := range pods {
+		if seq, ok := podSeqSuffix(t.cfg.ID, pod.Name); ok && seq > t.podSeq {
+			t.podSeq = seq
+		}
+		if _, booked := t.pods[pod.Name]; booked {
+			continue
+		}
+		switch pod.Phase {
+		case kubesim.PodPending:
+			t.pods[pod.Name] = podCreating
+			t.creating++
+		case kubesim.PodRunning:
+			t.pods[pod.Name] = podActive
+			t.active++
+			if !t.master.Down() {
+				name := pod.Name
+				if err := t.master.AddWorker(name, pod.Resources); err == nil {
+					_ = a.cluster.SetPodUsage(name, func() resources.Vector {
+						return t.master.WorkerUsage(name)
+					})
+				}
+			}
+		default:
+			continue
+		}
+		a.podOwner[pod.Name] = t
+		a.stats.ReconcileCorrections++
+	}
+}
+
+// podSeqSuffix parses the sequence from a worker-pod name of the form
+// "<tenant>-w<seq>".
+func podSeqSuffix(tenantID, name string) (int, bool) {
+	prefix := tenantID + "-w"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// --- binary codec ---
+//
+// The snapshot is what a real arbiter would persist to etcd on every
+// mutation, so it gets the house treatment: a versioned, length-
+// prefixed binary codec whose decoder is bounds-checked against the
+// remaining input (a corrupt length cannot allocate unbounded memory)
+// and fuzzed for decode-no-panic plus round-trip identity.
+
+// snapMagic versions the codec.
+const snapMagic = "ARBS1\x00"
+
+// minTenantEnc is the smallest possible encoded tenant (empty ID, no
+// pods); minPodEnc the smallest encoded pod record. Decoders cap
+// counts at remaining/min so a hostile count cannot pre-allocate more
+// than the input could possibly hold.
+const (
+	minTenantEnc = 4 + 8 + 8 + 8 + 4 + 8 + 4 + 4
+	minPodEnc    = 4 + 4
+)
+
+// Encode serializes the snapshot.
+func (s Snapshot) Encode() []byte {
+	size := len(snapMagic) + 8 + 4
+	for _, ts := range s.Tenants {
+		size += minTenantEnc + len(ts.ID)
+		for _, pr := range ts.Pods {
+			size += minPodEnc + len(pr.Name)
+		}
+	}
+	b := make([]byte, 0, size)
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Gen))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Tenants)))
+	for _, ts := range s.Tenants {
+		b = appendString(b, ts.ID)
+		b = binary.LittleEndian.AppendUint64(b, uint64(ts.Weight))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ts.Floor))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ts.Ceil))
+		b = binary.LittleEndian.AppendUint32(b, uint32(ts.Prio))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ts.Vsvc))
+		b = binary.LittleEndian.AppendUint32(b, uint32(ts.PodSeq))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ts.Pods)))
+		for _, pr := range ts.Pods {
+			b = appendString(b, pr.Name)
+			b = binary.LittleEndian.AppendUint32(b, uint32(pr.State))
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// snapDecoder is a bounds-checked cursor over an encoded snapshot.
+type snapDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("arbiter: decode snapshot: "+format, args...)
+	}
+}
+
+func (d *snapDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *snapDecoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *snapDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *snapDecoder) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > d.remaining() {
+		d.fail("string length %d exceeds %d remaining bytes", n, d.remaining())
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// count reads an element count and validates it against the remaining
+// input given the per-element minimum encoding size.
+func (d *snapDecoder) count(minSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n*minSize > d.remaining() {
+		d.fail("count %d exceeds %d remaining bytes", n, d.remaining())
+		return 0
+	}
+	return n
+}
+
+// DecodeSnapshot parses an encoded snapshot, rejecting malformed
+// input instead of panicking or over-allocating.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("arbiter: decode snapshot: bad magic")
+	}
+	d := &snapDecoder{b: b, off: len(snapMagic)}
+	var s Snapshot
+	s.Gen = int(int64(d.u64()))
+	nt := d.count(minTenantEnc)
+	if nt > 0 {
+		s.Tenants = make([]TenantSnapshot, 0, nt)
+	}
+	for i := 0; i < nt && d.err == nil; i++ {
+		var ts TenantSnapshot
+		ts.ID = d.str()
+		ts.Weight = int64(d.u64())
+		ts.Floor = int64(d.u64())
+		ts.Ceil = int64(d.u64())
+		ts.Prio = int32(d.u32())
+		ts.Vsvc = int64(d.u64())
+		ts.PodSeq = int(int32(d.u32()))
+		np := d.count(minPodEnc)
+		if np > 0 {
+			ts.Pods = make([]PodRecord, 0, np)
+		}
+		for j := 0; j < np && d.err == nil; j++ {
+			var pr PodRecord
+			pr.Name = d.str()
+			pr.State = int32(d.u32())
+			ts.Pods = append(ts.Pods, pr)
+		}
+		s.Tenants = append(s.Tenants, ts)
+	}
+	if d.err != nil {
+		return Snapshot{}, d.err
+	}
+	if d.remaining() != 0 {
+		return Snapshot{}, fmt.Errorf("arbiter: decode snapshot: %d trailing bytes", d.remaining())
+	}
+	return s, nil
+}

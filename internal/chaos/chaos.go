@@ -10,9 +10,11 @@
 // SetPullFault, wq.KillWorker, netsim.SetDegradation), so a fault
 // plan is orthogonal to the scenario it runs against. Control-plane
 // kill processes target the coordinators themselves — makeflow
-// runner, wq master, operator — through a harness-provided
-// ControlPlane that crashes the component and restarts it from its
-// durable state.
+// runner, wq master, operator, multi-tenant arbiter — through a
+// harness-provided ControlPlane that crashes the component and
+// restarts it from its durable state; tenant fault processes
+// (TenantPlan) kill per-tenant masters and churn tenant membership
+// through a harness-provided TenantControlPlane.
 //
 // Determinism: the injector draws from its own seeded RNG on the
 // single-threaded event engine, so a fixed (plan, scenario, seed)
@@ -120,6 +122,7 @@ const (
 	ComponentMakeflow Component = iota
 	ComponentMaster
 	ComponentOperator
+	ComponentArbiter
 )
 
 func (c Component) String() string {
@@ -130,6 +133,8 @@ func (c Component) String() string {
 		return "master"
 	case ComponentOperator:
 		return "operator"
+	case ComponentArbiter:
+		return "arbiter"
 	}
 	return "unknown"
 }
@@ -151,13 +156,38 @@ type ControlPlanePlan struct {
 	Makeflow ControlPlaneKillPlan
 	Master   ControlPlaneKillPlan
 	Operator ControlPlaneKillPlan
+	Arbiter  ControlPlaneKillPlan
 }
 
 // Enabled reports whether any component kill process is armed.
 func (p ControlPlanePlan) Enabled() bool {
 	return p.Makeflow.MeanInterval > 0 ||
 		p.Master.MeanInterval > 0 ||
-		p.Operator.MeanInterval > 0
+		p.Operator.MeanInterval > 0 ||
+		p.Arbiter.MeanInterval > 0
+}
+
+// TenantPlan is the multi-tenant fault process: Poisson kills of
+// per-tenant masters (the victim is drawn uniformly from the tenants
+// the harness currently lists) plus scripted membership churn —
+// tenants joining and leaving the arbiter at fixed offsets from
+// Start. Like control-plane kills, a refused tenant kill (victim
+// already down, leaving, quarantined) re-arms without counting.
+type TenantPlan struct {
+	// MasterKills is the Poisson kill process over tenant masters.
+	MasterKills ControlPlaneKillPlan
+	// JoinAt schedules tenant joins: at each offset the harness's
+	// JoinTenant is called with a monotonically increasing sequence
+	// number (0, 1, 2, ...).
+	JoinAt []time.Duration
+	// LeaveAt schedules tenant departures: at each offset the
+	// harness's LeaveTenant picks a victim and offboards it.
+	LeaveAt []time.Duration
+}
+
+// Enabled reports whether any tenant fault process is armed.
+func (p TenantPlan) Enabled() bool {
+	return p.MasterKills.MeanInterval > 0 || len(p.JoinAt) > 0 || len(p.LeaveAt) > 0
 }
 
 // Plan is a full fault plan. Zero-valued processes are disabled, so
@@ -173,6 +203,7 @@ type Plan struct {
 	ControlPlane ControlPlanePlan
 	Storm        StormPlan
 	Gray         GrayPlan
+	Tenant       TenantPlan
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -184,7 +215,8 @@ func (p Plan) Enabled() bool {
 		(len(p.Egress.Windows) > 0 && p.Egress.Factor > 0 && p.Egress.Factor < 1) ||
 		p.ControlPlane.Enabled() ||
 		p.Storm.Enabled() ||
-		p.Gray.Enabled()
+		p.Gray.Enabled() ||
+		p.Tenant.Enabled()
 }
 
 // Cluster is the slice of kubesim the injector drives.
@@ -237,6 +269,20 @@ type ControlPlane interface {
 	CrashComponent(Component) bool
 }
 
+// TenantControlPlane is the harness-side slice the tenant fault
+// processes drive. TenantIDs lists the tenants currently eligible as
+// kill victims (the harness excludes leaving or already-down
+// tenants as it sees fit — a kill the harness refuses re-arms
+// without counting). JoinTenant admits a new scripted tenant (seq is
+// the join's ordinal) and LeaveTenant offboards one; both report
+// whether the churn event was actually delivered.
+type TenantControlPlane interface {
+	TenantIDs() []string
+	CrashTenantMaster(id string) bool
+	JoinTenant(seq int) bool
+	LeaveTenant() bool
+}
+
 // Stats counts the faults an injector has delivered.
 type Stats struct {
 	Preemptions   int
@@ -247,9 +293,14 @@ type Stats struct {
 	MakeflowKills int
 	MasterKills   int
 	OperatorKills int
+	ArbiterKills  int
 	StormBursts   int
 	StormTasks    int
 	GrayWindows   int
+
+	TenantMasterKills int
+	TenantJoins       int
+	TenantLeaves      int
 }
 
 // Injector runs a Plan against attached components. All methods must
@@ -263,6 +314,7 @@ type Injector struct {
 	master  Master
 	link    EgressLink
 	cp      ControlPlane
+	tcp     TenantControlPlane
 	submit  Submitter
 	metrics Metrics
 	sched   Scheduler
@@ -306,6 +358,10 @@ func (in *Injector) AttachLink(l EgressLink) { in.link = l }
 // AttachControlPlane wires the control-plane kill processes to a
 // harness that can crash and restart coordinator components.
 func (in *Injector) AttachControlPlane(cp ControlPlane) { in.cp = cp }
+
+// AttachTenants wires the tenant kill and churn processes to a
+// harness that can crash tenant masters and admit/offboard tenants.
+func (in *Injector) AttachTenants(tcp TenantControlPlane) { in.tcp = tcp }
 
 // AttachSubmitter wires the storm process to the harness's
 // submission path.
@@ -360,6 +416,30 @@ func (in *Injector) Start() {
 		}
 		if cp.Operator.MeanInterval > 0 {
 			in.killLoop(cp.Operator, ComponentOperator)
+		}
+		if cp.Arbiter.MeanInterval > 0 {
+			in.killLoop(cp.Arbiter, ComponentArbiter)
+		}
+	}
+	if in.tcp != nil && in.plan.Tenant.Enabled() {
+		tp := in.plan.Tenant
+		if tp.MasterKills.MeanInterval > 0 {
+			in.tenantKillLoop(tp.MasterKills)
+		}
+		for i, at := range tp.JoinAt {
+			seq := i
+			in.after(at, func() {
+				if in.tcp.JoinTenant(seq) {
+					in.stats.TenantJoins++
+				}
+			})
+		}
+		for _, at := range tp.LeaveAt {
+			in.after(at, func() {
+				if in.tcp.LeaveTenant() {
+					in.stats.TenantLeaves++
+				}
+			})
 		}
 	}
 	if in.link != nil && in.plan.Egress.Factor > 0 && in.plan.Egress.Factor < 1 {
@@ -500,6 +580,40 @@ func (in *Injector) killLoop(p ControlPlaneKillPlan, comp Component) {
 					in.stats.MasterKills++
 				case ComponentOperator:
 					in.stats.OperatorKills++
+				case ComponentArbiter:
+					in.stats.ArbiterKills++
+				}
+			}
+			if p.MaxKills > 0 && delivered >= p.MaxKills {
+				return
+			}
+			arm()
+		})
+	}
+	arm()
+}
+
+// tenantKillLoop is the bounded Poisson kill process over tenant
+// masters: each firing draws a victim uniformly from the harness's
+// current tenant list and crashes its master. An empty list or a
+// refused kill (victim down, leaving, quarantined) re-arms without
+// counting, mirroring killLoop's delivered-only cap.
+func (in *Injector) tenantKillLoop(p ControlPlaneKillPlan) {
+	lt := &loopTimer{}
+	in.timers = append(in.timers, lt)
+	delivered := 0
+	var arm func()
+	arm = func() {
+		d := time.Duration(in.rng.Exp(float64(p.MeanInterval)))
+		lt.tmr = in.eng.After(d, "chaos-kill-tenant", func() {
+			if in.stopped {
+				return
+			}
+			if ids := in.tcp.TenantIDs(); len(ids) > 0 {
+				victim := ids[in.rng.Intn(len(ids))]
+				if in.tcp.CrashTenantMaster(victim) {
+					delivered++
+					in.stats.TenantMasterKills++
 				}
 			}
 			if p.MaxKills > 0 && delivered >= p.MaxKills {

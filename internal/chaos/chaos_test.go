@@ -399,3 +399,158 @@ func TestChaosPullFaultCounts(t *testing.T) {
 	inj.Stop()
 	cluster.Stop()
 }
+
+// fakeTenants is a scripted TenantControlPlane: it tracks a roster of
+// tenant IDs, refuses kills on request, and logs every delivered
+// event for determinism checks.
+type fakeTenants struct {
+	eng    *simclock.Engine
+	ids    []string
+	refuse map[string]bool
+	log    []string
+}
+
+func (f *fakeTenants) TenantIDs() []string { return f.ids }
+
+func (f *fakeTenants) CrashTenantMaster(id string) bool {
+	if f.refuse[id] {
+		return false
+	}
+	f.log = append(f.log, fmt.Sprintf("%s kill %s", f.eng.Now().Format("15:04:05"), id))
+	return true
+}
+
+func (f *fakeTenants) JoinTenant(seq int) bool {
+	id := fmt.Sprintf("j%02d", seq)
+	f.ids = append(f.ids, id)
+	f.log = append(f.log, fmt.Sprintf("%s join %s", f.eng.Now().Format("15:04:05"), id))
+	return true
+}
+
+func (f *fakeTenants) LeaveTenant() bool {
+	if len(f.ids) == 0 {
+		return false
+	}
+	id := f.ids[0]
+	f.ids = f.ids[1:]
+	f.log = append(f.log, fmt.Sprintf("%s leave %s", f.eng.Now().Format("15:04:05"), id))
+	return true
+}
+
+func runTenantChaos(seed int64, refuse map[string]bool) (Stats, []string) {
+	eng := simclock.NewEngine(t0)
+	tcp := &fakeTenants{eng: eng, ids: []string{"alpha", "beta", "gamma"}, refuse: refuse}
+	inj := New(eng, Plan{
+		Seed: seed,
+		Tenant: TenantPlan{
+			MasterKills: ControlPlaneKillPlan{MeanInterval: 10 * time.Minute, MaxKills: 4},
+			JoinAt:      []time.Duration{15 * time.Minute, 45 * time.Minute},
+			LeaveAt:     []time.Duration{30 * time.Minute},
+		},
+	})
+	inj.AttachTenants(tcp)
+	inj.Start()
+	eng.RunUntil(t0.Add(6 * time.Hour))
+	inj.Stop()
+	return inj.Stats(), tcp.log
+}
+
+// TestChaosTenantPlanDeterministic pins the tenant fault processes:
+// same seed replays the same kill victims and churn order, the
+// delivered-kill cap is reached exactly, and scripted joins/leaves
+// fire once each.
+func TestChaosTenantPlanDeterministic(t *testing.T) {
+	s1, log1 := runTenantChaos(42, nil)
+	s2, log2 := runTenantChaos(42, nil)
+	if s1 != s2 || fmt.Sprint(log1) != fmt.Sprint(log2) {
+		t.Fatalf("same seed diverged:\n%+v %v\n%+v %v", s1, log1, s2, log2)
+	}
+	if s1.TenantMasterKills != 4 {
+		t.Fatalf("tenant kills = %d, want cap of 4 reached", s1.TenantMasterKills)
+	}
+	if s1.TenantJoins != 2 || s1.TenantLeaves != 1 {
+		t.Fatalf("churn = %d joins / %d leaves, want 2/1", s1.TenantJoins, s1.TenantLeaves)
+	}
+}
+
+// TestChaosTenantRefusedKillsRearm pins the refusal contract: a
+// refused tenant kill does not count against the cap, and the process
+// keeps drawing until it delivers the full quota on other victims.
+func TestChaosTenantRefusedKillsRearm(t *testing.T) {
+	s, log := runTenantChaos(42, map[string]bool{"alpha": true})
+	if s.TenantMasterKills != 4 {
+		t.Fatalf("tenant kills = %d, want 4 delivered despite refusals", s.TenantMasterKills)
+	}
+	for _, line := range log {
+		if len(line) > 5 && line[len(line)-5:] == "alpha" && line[9:13] == "kill" {
+			t.Fatalf("refused alpha kill appeared in delivered log: %v", log)
+		}
+	}
+}
+
+// TestChaosArbiterKillTarget pins ComponentArbiter as a first-class
+// control-plane kill target with its own Stats counter and
+// refusal-re-arms semantics.
+func TestChaosArbiterKillTarget(t *testing.T) {
+	if ComponentArbiter.String() != "arbiter" {
+		t.Fatalf("ComponentArbiter.String() = %q", ComponentArbiter.String())
+	}
+	p := Plan{ControlPlane: ControlPlanePlan{Arbiter: ControlPlaneKillPlan{MeanInterval: time.Minute}}}
+	if !p.Enabled() {
+		t.Fatal("arbiter-only control-plane plan reports disabled")
+	}
+
+	eng := simclock.NewEngine(t0)
+	cp := &fakeControlPlane{eng: eng}
+	inj := New(eng, Plan{
+		Seed: 7,
+		ControlPlane: ControlPlanePlan{
+			Arbiter: ControlPlaneKillPlan{MeanInterval: 20 * time.Minute, MaxKills: 2},
+		},
+	})
+	inj.AttachControlPlane(cp)
+	inj.Start()
+	eng.RunUntil(t0.Add(12 * time.Hour))
+	inj.Stop()
+	if got := inj.Stats().ArbiterKills; got != 2 {
+		t.Fatalf("arbiter kills = %d, want cap of 2 reached", got)
+	}
+	for _, line := range cp.log {
+		if line[len(line)-len("arbiter"):] != "arbiter" {
+			t.Fatalf("non-arbiter kill delivered: %v", cp.log)
+		}
+	}
+
+	// Refusals re-arm without counting.
+	eng2 := simclock.NewEngine(t0)
+	cp2 := &fakeControlPlane{eng: eng2, refuse: map[Component]bool{ComponentArbiter: true}}
+	inj2 := New(eng2, Plan{
+		Seed: 7,
+		ControlPlane: ControlPlanePlan{
+			Arbiter: ControlPlaneKillPlan{MeanInterval: 20 * time.Minute, MaxKills: 2},
+		},
+	})
+	inj2.AttachControlPlane(cp2)
+	inj2.Start()
+	eng2.RunUntil(t0.Add(12 * time.Hour))
+	inj2.Stop()
+	if got := inj2.Stats().ArbiterKills; got != 0 {
+		t.Fatalf("refused arbiter kills counted: %d", got)
+	}
+}
+
+// TestChaosTenantPlanEnabled pins the Enabled cascade for TenantPlan.
+func TestChaosTenantPlanEnabled(t *testing.T) {
+	if (TenantPlan{}).Enabled() {
+		t.Fatal("zero TenantPlan reports enabled")
+	}
+	if !(TenantPlan{MasterKills: ControlPlaneKillPlan{MeanInterval: time.Minute}}).Enabled() {
+		t.Fatal("kill-only TenantPlan reports disabled")
+	}
+	if !(TenantPlan{JoinAt: []time.Duration{time.Minute}}).Enabled() {
+		t.Fatal("join-only TenantPlan reports disabled")
+	}
+	if !(Plan{Tenant: TenantPlan{LeaveAt: []time.Duration{time.Minute}}}).Enabled() {
+		t.Fatal("tenant-only Plan reports disabled")
+	}
+}

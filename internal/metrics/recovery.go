@@ -1,10 +1,12 @@
 package metrics
 
+import "time"
+
 // RecoveryCounters aggregates control-plane crash/recovery activity
 // across one run: how often each component restarted and how much
 // state the recovery machinery carried across the restarts. The wq
-// master fills the task-level counters; the experiment harness fills
-// the restart and replay counters.
+// master fills the task-level counters and Downtime; the experiment
+// harness fills the restart and replay counters.
 type RecoveryCounters struct {
 	// MakeflowRestarts, MasterRestarts and OperatorRestarts count
 	// crash/restart cycles delivered to each component.
@@ -33,6 +35,11 @@ type RecoveryCounters struct {
 	// operator fixed while reconciling its persisted state against the
 	// live cluster (adopted pods, re-registered workers, reset drains).
 	ReconcileCorrections int
+
+	// Downtime is the total crash-to-restore time the component spent
+	// down, accumulated across its restarts (the wq master fills it on
+	// Restore).
+	Downtime time.Duration
 }
 
 // Restarts returns the total restarts across all components.
@@ -51,4 +58,34 @@ func (c *RecoveryCounters) Add(o RecoveryCounters) {
 	c.ReplayedRecords += o.ReplayedRecords
 	c.SkippedRules += o.SkippedRules
 	c.ReconcileCorrections += o.ReconcileCorrections
+	c.Downtime += o.Downtime
+}
+
+// ClusterRecovery merges per-tenant recovery counters into one
+// cluster-level view for runs where many masters share a cluster
+// (experiment E-K). Like ClusterOverload, it is NOT Add repeated: Add
+// was written for sequential restarts of the same component, where
+// summing Downtime is exact. Across masters running concurrently the
+// event counts still sum exactly — each restart, rescue and fence
+// belongs to exactly one master — but downtime windows overlap in
+// wall time, so summing would double-count; the maximum single-master
+// Downtime is the tightest lower bound on the union of the windows
+// the counters can express.
+func ClusterRecovery(perMaster []RecoveryCounters) RecoveryCounters {
+	var c RecoveryCounters
+	for _, o := range perMaster {
+		c.MakeflowRestarts += o.MakeflowRestarts
+		c.MasterRestarts += o.MasterRestarts
+		c.OperatorRestarts += o.OperatorRestarts
+		c.RescuedTasks += o.RescuedTasks
+		c.FencedAttempts += o.FencedAttempts
+		c.RequeuedUnrescued += o.RequeuedUnrescued
+		c.ReplayedRecords += o.ReplayedRecords
+		c.SkippedRules += o.SkippedRules
+		c.ReconcileCorrections += o.ReconcileCorrections
+		if o.Downtime > c.Downtime {
+			c.Downtime = o.Downtime
+		}
+	}
+	return c
 }

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterRecovery(t *testing.T) {
+	per := []RecoveryCounters{
+		{MasterRestarts: 2, RescuedTasks: 5, FencedAttempts: 1, Downtime: 3 * time.Minute},
+		{MasterRestarts: 1, RequeuedUnrescued: 4, ReconcileCorrections: 2, Downtime: 7 * time.Minute},
+		{OperatorRestarts: 1, RescuedTasks: 2, Downtime: time.Minute},
+	}
+	got := ClusterRecovery(per)
+	want := RecoveryCounters{
+		MasterRestarts:       3,
+		OperatorRestarts:     1,
+		RescuedTasks:         7,
+		FencedAttempts:       1,
+		RequeuedUnrescued:    4,
+		ReconcileCorrections: 2,
+		Downtime:             7 * time.Minute,
+	}
+	if got != want {
+		t.Fatalf("ClusterRecovery = %+v, want %+v", got, want)
+	}
+}
+
+func TestClusterRecoveryEmpty(t *testing.T) {
+	if got := ClusterRecovery(nil); got != (RecoveryCounters{}) {
+		t.Fatalf("ClusterRecovery(nil) = %+v, want zero", got)
+	}
+}
+
+// TestClusterRecoveryVsAdd pins the semantic difference that motivated
+// the merge: event counts sum either way, but Add sums Downtime (exact
+// for sequential restarts of one component) while ClusterRecovery takes
+// the per-master maximum (concurrent downtime windows overlap in wall
+// time, so the sum double-counts).
+func TestClusterRecoveryVsAdd(t *testing.T) {
+	a := RecoveryCounters{MasterRestarts: 1, RescuedTasks: 3, Downtime: 4 * time.Minute}
+	b := RecoveryCounters{MasterRestarts: 2, RescuedTasks: 1, Downtime: 6 * time.Minute}
+	added := a
+	added.Add(b)
+	merged := ClusterRecovery([]RecoveryCounters{a, b})
+	if added.Downtime != 10*time.Minute || merged.Downtime != 6*time.Minute {
+		t.Fatalf("Downtime: Add=%v ClusterRecovery=%v, want 10m / 6m", added.Downtime, merged.Downtime)
+	}
+	if added.MasterRestarts != merged.MasterRestarts || added.RescuedTasks != merged.RescuedTasks {
+		t.Fatalf("counts should sum identically: Add=%+v ClusterRecovery=%+v", added, merged)
+	}
+}

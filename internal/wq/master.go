@@ -106,6 +106,7 @@ type Master struct {
 	rescuable   map[int]struct{}
 	rescueTmr   simclock.Timer
 	down        bool
+	downSince   time.Time
 	downSubmits []TaskSpec
 	rec         metrics.RecoveryCounters
 

@@ -1,6 +1,7 @@
 package wq
 
 import (
+	"sort"
 	"time"
 
 	"hta/internal/resources"
@@ -136,6 +137,46 @@ func (m *Master) quarantine(t *Task) {
 			}
 		})
 	}
+}
+
+// FailAllPending settles every waiting task as quarantined — queued,
+// parked in the admission buffer, or sitting out a retry backoff —
+// regardless of remaining retry budget. It is the offboarding handback
+// hook: a tenant leaving the cluster has its pending (never-started)
+// work terminated with the same terminal state and callbacks as a
+// poison task, so the conservation invariant submitted = completed +
+// quarantined (+ shed) holds through the departure, while running
+// tasks finish normally on their draining workers. Returns the number
+// of tasks quarantined.
+func (m *Master) FailAllPending() int {
+	ids := make([]int, 0, m.waiting.Len()+len(m.retryPending)+len(m.admQueue))
+	for id, t := range m.tasks {
+		if t.State == TaskWaiting {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := m.tasks[id]
+		if m.cancelBuffered(id) {
+			// Was parked in the admission buffer; never entered the queue.
+		} else if tmr, pending := m.retryPending[id]; pending {
+			tmr.Stop()
+			delete(m.retryPending, id)
+			delete(m.retryResume, id)
+		} else {
+			m.waiting.Remove(id, t.Resources)
+		}
+		m.quarantine(t)
+	}
+	if m.inOverload && len(m.admQueue) == 0 {
+		// The queue and buffer are empty now; close the interval.
+		m.exitOverload()
+	}
+	if len(ids) > 0 {
+		m.rev++
+	}
+	return len(ids)
 }
 
 // scheduleRetry re-enqueues the task at the front of the queue after

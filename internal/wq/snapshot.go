@@ -194,6 +194,7 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	m.totalCap, m.totalUsed, m.busyUsage = resources.Zero, resources.Zero, resources.Zero
 	m.rev++
 	m.down = true
+	m.downSince = now
 	return snap, workers
 }
 
@@ -206,6 +207,9 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 // Submissions buffered during the downtime are replayed last. The
 // epoch advances by one restart.
 func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
+	if m.down {
+		m.rec.Downtime += m.eng.Now().Sub(m.downSince)
+	}
 	m.down = false
 	m.epoch = snap.Epoch + 1
 	m.nextID = snap.NextID
