@@ -34,7 +34,12 @@
 // BENCH_8.json, and the E-K tenant fault-isolation experiment
 // (tenant-master kills, an arbiter crash/restore, membership churn)
 // plus the arbiter snapshot/restore round-trip probe, writing its
-// summary to BENCH_9.json; combine with -runs none to run only them.
+// summary to BENCH_9.json, and the memory-engine scale ladder (the
+// dispatch cells up to 1M workers / 10M tasks, each with its heap
+// trajectory: peak HeapAlloc, TotalAlloc, GC cycles, pause time),
+// writing its results to BENCH_10.json; combine with -runs none to
+// run only them, or with -runs scale to run only the memory-engine
+// ladder.
 // (BENCH_1.json is the pre-control-plane-scaling historical record.)
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
@@ -159,6 +164,16 @@ func run() int {
 		}
 	}
 	if *jsonBench {
+		if selected["scale"] {
+			// -runs scale -json: just the memory-engine scale ladder
+			// (BENCH_10.json) — the headline cells take ~1 min; the full
+			// bench battery takes far longer.
+			if err := runMemoryBench(*seed); err != nil {
+				fmt.Fprintf(os.Stderr, "memory bench: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		if err := runScaleBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
 			failed = true
@@ -189,6 +204,10 @@ func run() int {
 		}
 		if err := runTenantChaosBench(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "tenant chaos bench: %v\n", err)
+			failed = true
+		}
+		if err := runMemoryBench(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "memory bench: %v\n", err)
 			failed = true
 		}
 	}

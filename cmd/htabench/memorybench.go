@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hta/internal/experiments"
+	"hta/internal/resources"
+	"hta/internal/simclock"
+	"hta/internal/wq"
+)
+
+// memoryBenchFile is where -json writes the memory-engine results:
+// the headline dispatch cells re-run with heap telemetry, up to the
+// 1M-worker / 10M-task cell the interned/packed hot tiers unlock.
+const memoryBenchFile = "BENCH_10.json"
+
+// memBenchRow is one scale cell with its memory trajectory: wall
+// clock plus what the heap did while the cell ran. Peak heap is
+// sampled from inside the simulation (a recurring engine timer reads
+// runtime.MemStats every 10 simulated seconds), so it tracks the
+// storm's actual high-water mark rather than whatever is live at
+// exit; the remaining counters are deltas across the run.
+type memBenchRow struct {
+	Name     string  `json:"name"`
+	Tasks    int     `json:"tasks,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	Events   uint64  `json:"events,omitempty"`
+	RuntimeS float64 `json:"runtime_s,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	// PeakHeapMB is the maximum HeapAlloc observed during the run.
+	PeakHeapMB float64 `json:"peak_heap_mb"`
+	// TotalAllocMB is the cumulative bytes allocated by the run.
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	// NumGC counts garbage-collection cycles triggered by the run.
+	NumGC uint32 `json:"num_gc"`
+	// PauseTotalMS is the total stop-the-world pause time.
+	PauseTotalMS float64 `json:"pause_total_ms"`
+}
+
+type memBenchReport struct {
+	Seed       int64         `json:"seed"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []memBenchRow `json:"benchmarks"`
+}
+
+// runMemoryBench runs the dispatch-storm scale ladder — the 10k CI
+// cell, the 100k-worker / 1M-task headline, and the 1M-worker /
+// 10M-task cell — recording the memory trajectory of each, and
+// writes BENCH_10.json.
+func runMemoryBench(seed int64) error {
+	rep := memBenchReport{Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	cells := []struct {
+		name           string
+		tasks, workers int
+	}{
+		{"ScaleDispatch", 10_000, 500},
+		{"ScaleDispatch100k", 1_000_000, 100_000},
+		{"ScaleDispatch1M", 10_000_000, 1_000_000},
+	}
+	for _, c := range cells {
+		row, err := benchDispatchMemory(seed, c.name, c.tasks, c.workers)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+		fmt.Printf("  %s: %.0f ms wall, peak heap %.0f MB, %d GCs\n",
+			row.Name, row.WallMS, row.PeakHeapMB, row.NumGC)
+	}
+
+	f, err := os.Create(memoryBenchFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("memory-benchmark results written to %s\n", memoryBenchFile)
+	return nil
+}
+
+// benchDispatchMemory is runDispatchStorm with a heap probe riding
+// the simulation: GC to a clean baseline, run the storm with a
+// 10-simulated-second MemStats sampler, report wall clock and the
+// heap trajectory deltas.
+func benchDispatchMemory(seed int64, name string, tasks, workers int) (memBenchRow, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	peak := before.HeapAlloc
+
+	start := time.Now()
+	eng := simclock.NewEngine(experiments.SimStart)
+	m := wq.NewMaster(eng, nil)
+	for w := 0; w < workers; w++ {
+		if err := m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000)); err != nil {
+			return memBenchRow{}, err
+		}
+	}
+	rng := simclock.NewRNG(seed)
+	for t := 0; t < tasks; t++ {
+		d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
+		m.Submit(wq.TaskSpec{
+			Category:  "bench",
+			Resources: resources.New(1, 1024, 100),
+			Profile:   wq.Profile{ExecDuration: d, UsedCPUMilli: 900, UsedMemoryMB: 512},
+		})
+	}
+	// The sampler re-arms itself only while the storm is live: Run
+	// drains the event queue, so a perpetual ticker would never let it
+	// terminate.
+	var sample func()
+	sample = func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		if m.CompletedCount() < tasks {
+			eng.After(10*time.Second, "mem-sample", sample)
+		}
+	}
+	eng.After(10*time.Second, "mem-sample", sample)
+	eng.Run()
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if m.CompletedCount() != tasks {
+		return memBenchRow{}, fmt.Errorf("%s completed %d of %d", name, m.CompletedCount(), tasks)
+	}
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peak {
+		peak = after.HeapAlloc
+	}
+	const mb = 1 << 20
+	return memBenchRow{
+		Name:         name,
+		Tasks:        tasks,
+		Workers:      workers,
+		Events:       eng.Processed(),
+		RuntimeS:     eng.Elapsed().Seconds(),
+		WallMS:       wallMS,
+		PeakHeapMB:   float64(peak) / mb,
+		TotalAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / mb,
+		NumGC:        after.NumGC - before.NumGC,
+		PauseTotalMS: float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+	}, nil
+}

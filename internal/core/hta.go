@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/kubesim"
@@ -592,7 +592,7 @@ func (a *Autoscaler) sortedPodNames() []string {
 	for name := range a.pods {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -55,7 +55,7 @@ func (a *Autoscaler) Snapshot() AutoscalerState {
 	for cat := range a.probeActive {
 		st.ProbeActive = append(st.ProbeActive, cat)
 	}
-	sort.Strings(st.ProbeActive)
+	slices.Sort(st.ProbeActive)
 	return st
 }
 
@@ -122,7 +122,7 @@ func (a *Autoscaler) Restore(st AutoscalerState) int {
 	// Re-derive pod membership from the API server.
 	a.pods = make(map[string]workerPodState)
 	live := a.cluster.ListPods(workerLabels())
-	sort.Slice(live, func(i, j int) bool { return live[i].Name < live[j].Name })
+	slices.SortFunc(live, func(a, b kubesim.Pod) int { return strings.Compare(a.Name, b.Name) })
 	for _, p := range live {
 		switch p.Phase {
 		case kubesim.PodPending:
@@ -162,7 +162,7 @@ func (a *Autoscaler) Restore(st AutoscalerState) int {
 	for cat := range a.held {
 		cats = append(cats, cat)
 	}
-	sort.Strings(cats)
+	slices.Sort(cats)
 	for _, cat := range cats {
 		if !a.mon.Known(cat) {
 			continue

@@ -8,7 +8,7 @@ package dag
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hta/internal/resources"
@@ -235,7 +235,7 @@ func (g *Graph) SourceFiles() []string {
 	for f := range set {
 		out = append(out, f)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

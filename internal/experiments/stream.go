@@ -66,8 +66,8 @@ func runStreamCommon(name string, eng *simclock.Engine, master *wq.Master,
 	res.End = eng.Now()
 	res.Runtime = eng.Elapsed()
 	res.Completed = master.CompletedCount()
-	res.SojournP50 = metrics.DurationQuantile(sojourns, 0.50)
-	res.SojournP99 = metrics.DurationQuantile(sojourns, 0.99)
+	sq := metrics.DurationQuantiles(sojourns, 0.50, 0.99)
+	res.SojournP50, res.SojournP99 = sq[0], sq[1]
 	captureFailures(res, master, nil)
 	sm.finish(res)
 	return res, nil

@@ -291,8 +291,8 @@ func runTenantsCell(cfg TenantsEJConfig, loads []tenantLoad, name string, policy
 		overload = append(overload, ten.Master().OverloadStats())
 	}
 	row.Submitted = total
-	row.MakespanP50 = metrics.DurationQuantile(makespans, 0.50)
-	row.MakespanP99 = metrics.DurationQuantile(makespans, 0.99)
+	mq := metrics.DurationQuantiles(makespans, 0.50, 0.99)
+	row.MakespanP50, row.MakespanP99 = mq[0], mq[1]
 	row.MakespanMax = span
 	row.Jain = metrics.JainIndex(xs)
 	nodeCores := float64(cluster.Config().NodeAllocatable.MilliCPU) / 1000

@@ -8,7 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -151,8 +151,8 @@ func (c *Client) ListPods(ctx context.Context, selector map[string]string) ([]Po
 	if err := c.do(ctx, http.MethodGet, c.podsPath(), q, nil, &list); err != nil {
 		return nil, err
 	}
-	sort.Slice(list.Items, func(i, j int) bool {
-		return list.Items[i].Metadata.Name < list.Items[j].Metadata.Name
+	slices.SortFunc(list.Items, func(a, b Pod) int {
+		return strings.Compare(a.Metadata.Name, b.Metadata.Name)
 	})
 	return list.Items, nil
 }
@@ -163,8 +163,8 @@ func (c *Client) ListNodes(ctx context.Context) ([]Node, error) {
 	if err := c.do(ctx, http.MethodGet, "/api/v1/nodes", nil, nil, &list); err != nil {
 		return nil, err
 	}
-	sort.Slice(list.Items, func(i, j int) bool {
-		return list.Items[i].Metadata.Name < list.Items[j].Metadata.Name
+	slices.SortFunc(list.Items, func(a, b Node) int {
+		return strings.Compare(a.Metadata.Name, b.Metadata.Name)
 	})
 	return list.Items, nil
 }
@@ -224,7 +224,7 @@ func FormatSelector(sel map[string]string) string {
 	for k := range sel {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		parts = append(parts, k+"="+sel[k])

@@ -1,7 +1,8 @@
 package kubesim
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"hta/internal/resources"
 )
@@ -44,11 +45,11 @@ func (c *Cluster) naiveSortedNodes() []*Node {
 	for _, n := range c.nodes {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
-			return out[i].CreatedAt.Before(out[j].CreatedAt)
+	slices.SortFunc(out, func(a, b *Node) int {
+		if c := a.CreatedAt.Compare(b.CreatedAt); c != 0 {
+			return c
 		}
-		return out[i].Name < out[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }

@@ -44,14 +44,36 @@ func (c *OverloadCounters) Add(o OverloadCounters) {
 
 // DurationQuantile returns the q-quantile (0 ≤ q ≤ 1) of the samples
 // by linear interpolation between order statistics, or 0 for an empty
-// set. The input slice is not modified.
+// set. The input slice is not modified. Callers extracting several
+// quantiles from the same samples should use DurationQuantiles, which
+// copies and sorts only once.
 func DurationQuantile(samples []time.Duration, q float64) time.Duration {
+	return DurationQuantiles(samples, q)[0]
+}
+
+// DurationQuantiles returns the requested quantiles of the samples,
+// in the order given, from one shared copy-and-sort of the input. A
+// quantile is computed by linear interpolation between order
+// statistics; every result is 0 for an empty sample set. The input
+// slice is not modified.
+func DurationQuantiles(samples []time.Duration, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
 	n := len(samples)
 	if n == 0 {
-		return 0
+		return out
 	}
 	sorted := append([]time.Duration(nil), samples...)
 	slices.Sort(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// quantileSorted reads the q-quantile from an already sorted,
+// non-empty sample set.
+func quantileSorted(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
 	if q <= 0 {
 		return sorted[0]
 	}

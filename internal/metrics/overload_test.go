@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDurationQuantiles(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		qs      []float64
+		want    []time.Duration
+	}{
+		{
+			name:    "empty samples yield zeros",
+			samples: nil,
+			qs:      []float64{0, 0.5, 1},
+			want:    []time.Duration{0, 0, 0},
+		},
+		{
+			name:    "single sample for every quantile",
+			samples: []time.Duration{ms(7)},
+			qs:      []float64{0, 0.25, 0.99, 1},
+			want:    []time.Duration{ms(7), ms(7), ms(7), ms(7)},
+		},
+		{
+			name:    "extremes clamp to min and max",
+			samples: []time.Duration{ms(30), ms(10), ms(20)},
+			qs:      []float64{-0.5, 0, 1, 1.5},
+			want:    []time.Duration{ms(10), ms(10), ms(30), ms(30)},
+		},
+		{
+			name:    "linear interpolation between order statistics",
+			samples: []time.Duration{ms(40), ms(10), ms(30), ms(20)},
+			qs:      []float64{0.5},
+			// pos = 0.5*3 = 1.5 → halfway between 20ms and 30ms.
+			want: []time.Duration{ms(25)},
+		},
+		{
+			name:    "results follow argument order, not quantile order",
+			samples: []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)},
+			qs:      []float64{0.99, 0.5, 0},
+			want:    []time.Duration{ms(50) - 400*time.Microsecond, ms(30), ms(10)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DurationQuantiles(tc.samples, tc.qs...)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d results, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("quantile %v: got %v, want %v", tc.qs[i], got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDurationQuantilesMatchesSingle pins the batch API to the
+// single-quantile one on random inputs so the two can never drift.
+func TestDurationQuantilesMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		samples := make([]time.Duration, 1+rng.Intn(64))
+		for i := range samples {
+			samples[i] = time.Duration(rng.Intn(1e6)) * time.Microsecond
+		}
+		qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+		batch := DurationQuantiles(samples, qs...)
+		for i, q := range qs {
+			if single := DurationQuantile(samples, q); single != batch[i] {
+				t.Fatalf("trial %d q=%v: batch %v != single %v", trial, q, batch[i], single)
+			}
+		}
+	}
+}
+
+func TestDurationQuantilesLeavesInputUnsorted(t *testing.T) {
+	samples := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	DurationQuantiles(samples, 0.5, 0.9)
+	want := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	for i := range samples {
+		if samples[i] != want[i] {
+			t.Fatalf("input mutated: %v", samples)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 package monitor
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -54,6 +54,10 @@ type Monitor struct {
 	cfg   Config
 	cats  map[string]*catAgg
 	stale bool
+	// rev counts mutations that could change an estimate (observation
+	// batches, state imports). Exposed via EstimateRev so the master's
+	// per-category memo can skip the lock in steady state.
+	rev uint64
 }
 
 type catAgg struct {
@@ -104,6 +108,7 @@ func (m *Monitor) Observe(t wq.Task) {
 	if t.ExecWall > agg.maxExec {
 		agg.maxExec = t.ExecWall
 	}
+	m.rev++
 }
 
 // Known reports whether the category has at least one measurement.
@@ -138,7 +143,7 @@ func (m *Monitor) Categories() []string {
 	for c := range m.cats {
 		out = append(out, c)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -182,4 +187,15 @@ func (m *Monitor) EstimateExecTime(category string) (time.Duration, bool) {
 	return agg.totalExec / time.Duration(agg.count), true
 }
 
+// EstimateRev implements wq.RevEstimator: the revision changes on
+// every mutation that could alter an estimate, so the master can
+// memoize per-category predictions and skip the monitor's lock (and
+// aggregation) on the dispatch hot path between observation batches.
+func (m *Monitor) EstimateRev() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rev
+}
+
 var _ wq.Estimator = (*Monitor)(nil)
+var _ wq.RevEstimator = (*Monitor)(nil)

@@ -1,7 +1,8 @@
 package monitor
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"hta/internal/resources"
@@ -39,8 +40,8 @@ func (m *Monitor) ExportState() State {
 			MaxExec:   agg.maxExec,
 		})
 	}
-	sort.Slice(st.Categories, func(i, j int) bool {
-		return st.Categories[i].Category < st.Categories[j].Category
+	slices.SortFunc(st.Categories, func(a, b CategoryState) int {
+		return strings.Compare(a.Category, b.Category)
 	})
 	return st
 }
@@ -62,4 +63,5 @@ func (m *Monitor) ImportState(st State) {
 			maxExec:   cs.MaxExec,
 		}
 	}
+	m.rev++
 }

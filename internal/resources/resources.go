@@ -193,10 +193,17 @@ type Pool struct {
 
 // NewPool returns a Pool with the given capacity.
 func NewPool(capacity Vector) *Pool {
+	p := MakePool(capacity)
+	return &p
+}
+
+// MakePool returns a Pool value with the given capacity, for callers
+// that embed the pool instead of pointing at a separate allocation.
+func MakePool(capacity Vector) Pool {
 	if !capacity.IsNonNegative() {
 		panic(fmt.Sprintf("resources: negative pool capacity %v", capacity))
 	}
-	return &Pool{capacity: capacity}
+	return Pool{capacity: capacity}
 }
 
 // Capacity returns the pool's total capacity.

@@ -17,22 +17,23 @@
 // no time.Time wall/mono case analysis. Events live in a slab of
 // packed records addressed by index: scheduling recycles records
 // through a free list, cancellation invalidates through a generation
-// counter, and the far-horizon queue is a hand-rolled 4-ary min-heap
-// of indices keyed on (time, seq), halving sift depth and avoiding
-// heap.Interface boxing.
+// counter, and the far-horizon queue is a hierarchical timing wheel:
+// O(1) insert, bitmap slot scans, and a per-instant seq sort at drain
+// time, so no comparison heap sits on the hot path at all.
 //
 // Near-horizon events — everything scheduled at the instant currently
-// executing — live in per-lane calendar buckets instead of the heap.
+// executing — live in per-lane calendar buckets instead of the wheel.
 // A lane is a stable small-integer tag a component reserves with
 // NewLane (per link, per master, per control plane); events scheduled
 // at the current instant append to their lane's bucket in O(1). When
-// the clock advances, the engine drains every heap record bearing the
+// the clock advances, the engine drains every wheel record bearing the
 // new timestamp into its lane bucket (the epoch merge) and then
 // consumes bucket heads in ascending seq order across lanes. Because
-// each lane's bucket is appended in seq order and seq is a single
-// global counter, the merged firing order is exactly (time, seq) —
-// identical to the reference engine's heap order by construction,
-// which the differential suite in differential_test.go pins down.
+// the drained set is sorted by seq before the merge and seq is a
+// single global counter, the merged firing order is exactly (time,
+// seq) — identical to the reference engine's heap order by
+// construction, which the differential suite in differential_test.go
+// pins down.
 //
 // Batches (AtBatch, AfterBatch, AfterBatchN) schedule k callbacks at
 // one instant as a single record occupying a contiguous seq block, so
@@ -47,7 +48,11 @@
 package simclock
 
 import (
+	"cmp"
 	"fmt"
+	"math"
+	"math/bits"
+	"slices"
 	"time"
 )
 
@@ -73,10 +78,11 @@ type Lane int32
 // does not reserve its own.
 const DefaultLane Lane = 0
 
-// rec states held in heapIdx when the record is not in the far heap.
+// rec states held in heapIdx when the record is not in the far wheel.
 const (
-	recFree = -1 // free, fired, or consumed
-	recLane = -2 // resident in a lane bucket
+	recFree  = -1 // free, fired, or consumed
+	recLane  = -2 // resident in a lane bucket
+	recWheel = -3 // resident in a timing-wheel slot
 )
 
 // rec is a packed event record. Singles carry fn; a batch record
@@ -92,8 +98,9 @@ type rec struct {
 	n       int32 // callback count; 1 for singles
 	cur     int32 // batch consume cursor
 	lane    Lane
-	heapIdx int32 // position in the far heap, or recFree/recLane
-	stopped bool  // canceled while lane-resident; skipped on consume
+	heapIdx int32 // recFree/recLane/recWheel residency state
+	next    int32 // intrusive wheel-slot list link; -1 terminates
+	stopped bool  // canceled while lane- or wheel-resident; never fires
 }
 
 // laneBucket is one lane's calendar bucket for the executing instant:
@@ -116,7 +123,13 @@ type Engine struct {
 
 	recs []rec   // packed event slab
 	free []int32 // recycled slab indices
-	heap []int32 // 4-ary min-heap of far records keyed (at, seq)
+
+	// Far-horizon hierarchical timing wheel; see the "far-horizon
+	// timing wheel" section. wheelCnt counts resident records,
+	// including lazily canceled ones awaiting cleanup.
+	wheel    [wheelLevels]wheelLevel
+	wheelCnt int
+	fires    []int32 // advance scratch: records firing at the new instant
 
 	lanes   []laneBucket // per-lane buckets for the executing instant
 	heads   []Lane       // binary min-heap of active lanes keyed by head seq
@@ -128,7 +141,13 @@ type Engine struct {
 
 // NewEngine returns an Engine whose clock starts at start.
 func NewEngine(start time.Time) *Engine {
-	return &Engine{base: start, lanes: make([]laneBucket, 1)}
+	e := &Engine{base: start, lanes: make([]laneBucket, 1)}
+	for level := range e.wheel {
+		for b := range e.wheel[level].head {
+			e.wheel[level].head[b] = -1
+		}
+	}
+	return e
 }
 
 // NewLane reserves a scheduling lane for a component. The name is
@@ -194,12 +213,11 @@ type Timer struct {
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
-// fired (and had not already been stopped). A far-heap event is
-// removed eagerly — components that re-arm a timer on every state
-// change (the network model's completion timer) would otherwise bury
-// the queue in canceled entries and pay their log factor on every
-// pop. A lane-resident event (already due at the executing instant)
-// is canceled in O(1) by marking; its slot drains with the bucket.
+// fired (and had not already been stopped). Cancellation is O(1) and
+// lazy everywhere: the record is marked stopped and skipped — a
+// wheel-resident record is recycled when its slot next drains or a
+// minimum scan walks it, a lane-resident one (already due at the
+// executing instant) when its bucket is consumed.
 func (t Timer) Stop() bool {
 	if t.ev != nil {
 		return refStop(t.ev, t.gen)
@@ -212,13 +230,8 @@ func (t Timer) Stop() bool {
 	if r.gen != t.gen || r.stopped {
 		return false
 	}
-	switch {
-	case r.heapIdx >= 0:
-		e.heapRemove(int(r.heapIdx))
-		e.pending--
-		e.recycle(t.idx)
-		return true
-	case r.heapIdx == recLane:
+	switch r.heapIdx {
+	case recWheel, recLane:
 		r.stopped = true
 		e.pending--
 		return true
@@ -235,8 +248,26 @@ func (e *Engine) alloc() int32 {
 		e.free = e.free[:n-1]
 		return idx
 	}
-	e.recs = append(e.recs, rec{heapIdx: recFree})
-	return int32(len(e.recs) - 1)
+	if len(e.recs) == cap(e.recs) {
+		// Double explicitly: the slab reaches hundreds of thousands
+		// of records in a dispatch storm, and growslice's 1.25× policy
+		// for large slices would copy (and zero) the ~100-byte records
+		// several extra times on the way up.
+		nc := cap(e.recs) * 2
+		if nc < 1024 {
+			nc = 1024
+		}
+		ns := make([]rec, len(e.recs), nc)
+		copy(ns, e.recs)
+		e.recs = ns
+	}
+	// Extend into already-zeroed slab capacity rather than appending a
+	// composite literal: the latter re-writes the whole ~100-byte
+	// record per fresh slot.
+	n := len(e.recs)
+	e.recs = e.recs[:n+1]
+	e.recs[n].heapIdx = recFree
+	return int32(n)
 }
 
 // recycle returns a consumed record to the free list; bumping gen
@@ -293,7 +324,7 @@ func (e *Engine) At(at time.Time, name string, fn func()) Timer {
 	if rel == e.now {
 		e.laneAppend(DefaultLane, idx)
 	} else {
-		e.heapPush(idx)
+		e.wheelInsert(idx)
 	}
 	return Timer{eng: e, idx: idx, gen: r.gen}
 }
@@ -328,7 +359,7 @@ func (e *Engine) atRel(rel int64, name string, fn func()) Timer {
 	if rel == e.now {
 		e.laneAppend(DefaultLane, idx)
 	} else {
-		e.heapPush(idx)
+		e.wheelInsert(idx)
 	}
 	return Timer{eng: e, idx: idx, gen: r.gen}
 }
@@ -435,7 +466,7 @@ func (e *Engine) batchRel(rel int64, lane Lane, name string, fns []func(), fn fu
 	if rel == e.now {
 		e.laneAppend(lane, idx)
 	} else {
-		e.heapPush(idx)
+		e.wheelInsert(idx)
 	}
 }
 
@@ -535,37 +566,27 @@ func (e *Engine) consumeHead() {
 	}
 }
 
-// advance moves the clock to the next scheduled instant and performs
-// the epoch merge: every far-heap record bearing the new timestamp
-// drains into its lane bucket, after which the instant executes as
-// bucket-head pops in ascending seq order. The far heap holds only
-// records strictly after the executing instant, so schedules landing
-// at the current time never touch it.
-func (e *Engine) advance() bool {
-	if len(e.heap) == 0 {
-		return false
-	}
-	t := e.recs[e.heap[0]].at
-	e.now = t
-	for len(e.heap) > 0 {
-		idx := e.heap[0]
-		if e.recs[idx].at != t {
-			break
-		}
-		e.heapPopMin()
-		e.laneAppend(e.recs[idx].lane, idx)
-	}
-	return true
-}
-
 // Step executes the single next event, advancing the clock to its
 // scheduled time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	if e.ref != nil {
 		return e.refStep()
 	}
+	return e.step(math.MaxInt64)
+}
+
+// step executes the single next event whose scheduled time is at most
+// limit. Phantom advances (canceled records holding a slot's cached
+// minimum) fire nothing and loop.
+func (e *Engine) step(limit int64) bool {
 	for {
-		if len(e.heads) == 0 && !e.advance() {
+		if len(e.heads) == 0 {
+			if !e.advance(limit) {
+				return false
+			}
+			continue
+		}
+		if e.now > limit {
 			return false
 		}
 		b := &e.lanes[e.heads[0]]
@@ -591,23 +612,6 @@ func (e *Engine) Step() bool {
 	}
 }
 
-// nextAt reports the relative time of the next non-canceled event,
-// discarding canceled lane heads as it scans.
-func (e *Engine) nextAt() (int64, bool) {
-	for len(e.heads) > 0 {
-		b := &e.lanes[e.heads[0]]
-		if e.recs[b.recs[b.head]].stopped {
-			e.consumeHead()
-			continue
-		}
-		return e.now, true
-	}
-	if len(e.heap) > 0 {
-		return e.recs[e.heap[0]].at, true
-	}
-	return 0, false
-}
-
 // Run executes events until the queue is empty. Most simulations end
 // naturally when their workload completes and periodic controllers
 // have been stopped; use RunUntil to bound runaway simulations.
@@ -625,12 +629,7 @@ func (e *Engine) RunUntil(deadline time.Time) {
 		return
 	}
 	relD := e.rel(deadline)
-	for {
-		at, ok := e.nextAt()
-		if !ok || at > relD {
-			break
-		}
-		e.Step()
+	for e.step(relD) {
 	}
 	if e.now < relD {
 		e.now = relD
@@ -664,104 +663,323 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
-// --- far-horizon 4-ary heap ---
+// --- far-horizon timing wheel ---
 
-// recLess orders records by (time, seq): the engine's single total
-// order. Both fields are plain integers, so the comparison compiles
-// to two compares — the reason the timeline is int64 nanoseconds.
-func (e *Engine) recLess(a, b int32) bool {
-	ra, rb := &e.recs[a], &e.recs[b]
-	if ra.at != rb.at {
-		return ra.at < rb.at
+// The far queue is a hierarchical timing wheel rather than a heap: a
+// heap pays O(log n) cache-missing sifts per event, and a dispatch
+// storm holds hundreds of thousands of pending completions. The wheel
+// inserts in O(1) — pick the lowest level whose 256-slot window
+// covers the event, append to the slot's bucket — and finds the next
+// instant by scanning six 256-bit occupancy bitmaps.
+//
+// Level L slots are 2^(20+8L) ns wide (≈1.05 ms at level 0), so six
+// levels cover any int64 horizon. A slot's bucket holds records in
+// arbitrary order; exact firing order is restored at drain time:
+// advance collects the records bearing the new instant and sorts them
+// by seq — the engine's authoritative total order — before handing
+// them to the lane buckets. The observable schedule is therefore
+// byte-identical to the heap's (time, seq) order; the differential
+// suite pins this.
+//
+// A slot index is the absolute slot number masked to the level width.
+// The insert rule (absolute slot within 256 of the clock's current
+// slot) makes the mapping bijective, and a bucket can never mix
+// events from different window laps: the clock only advances to the
+// minimum pending instant, so a cursor never passes an occupied slot
+// — it lands on it, and the slot is drained (level 0) or cascaded to
+// lower levels (levels 1+) before the window moves on.
+//
+// Cancellation is lazy: Timer.Stop marks the record stopped and the
+// wheel recycles it when its slot drains, or opportunistically when a
+// minimum scan walks over it. The eager removal a heap needs to keep
+// re-armed timers from burying the queue is unnecessary here — a
+// canceled record costs its slot nothing until its instant arrives.
+
+const (
+	wheelShift0 = 20 // level-0 slot width 2^20 ns ≈ 1.05 ms
+	wheelBits   = 8  // slots per level = 256
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 6 // level 5 slots are ~36 years; covers any horizon
+)
+
+func wheelShift(level int) uint { return uint(wheelShift0 + wheelBits*level) }
+
+// wheelLevel is one wheel: 256 slots plus an occupancy bitmap so the
+// minimum scan touches only four words when the level is idle. Each
+// slot heads an intrusive singly linked list threaded through
+// rec.next, so insertion never allocates — the pointer lives in slab
+// padding the record already paid for.
+type wheelLevel struct {
+	occ  [wheelSlots / 64]uint64
+	head [wheelSlots]int32 // slab index of first record; -1 = empty
+	// min caches the earliest at in each occupied slot (valid only
+	// while the occupancy bit is set), so the minimum scan reads one
+	// word per level instead of walking slot lists that can hold
+	// hundreds of thousands of pending completions. Lazily canceled
+	// records may leave the cache below the true live minimum; advance
+	// tolerates that by firing nothing at the phantom instant and
+	// letting the drain recycle them.
+	min [wheelSlots]int64
+}
+
+func (lv *wheelLevel) empty() bool {
+	return lv.occ[0]|lv.occ[1]|lv.occ[2]|lv.occ[3] == 0
+}
+
+// firstSlot returns the absolute slot number and bucket index of the
+// first occupied slot in the window [cur, cur+256), scanning the
+// bitmap circularly from the cursor.
+func (lv *wheelLevel) firstSlot(cur int64) (int64, int, bool) {
+	c := int(cur & wheelMask)
+	w := c >> 6
+	m := lv.occ[w] &^ ((1 << uint(c&63)) - 1)
+	for i := 0; ; i++ {
+		if m != 0 {
+			b := w<<6 + bits.TrailingZeros64(m)
+			return cur + int64((b-c)&wheelMask), b, true
+		}
+		if i == wheelSlots/64 {
+			return 0, 0, false
+		}
+		w = (w + 1) & (wheelSlots/64 - 1)
+		m = lv.occ[w]
+		if i == wheelSlots/64-1 {
+			// Wrapped back to the cursor word: only the low bits
+			// (absolute slots cur+192..cur+255) remain unseen.
+			m &= (1 << uint(c&63)) - 1
+		}
 	}
-	return ra.seq < rb.seq
 }
 
-// The heap is 4-ary: sift depth halves versus binary, and the wider
-// node still fits a cache line of int32 indices. Hand-rolled (like
-// netsim's finishHeap) to avoid heap.Interface boxing on the hot
-// path.
-
-func (e *Engine) heapPush(idx int32) {
-	e.heap = append(e.heap, idx)
-	e.recs[idx].heapIdx = int32(len(e.heap) - 1)
-	e.heapUp(len(e.heap) - 1)
-}
-
-func (e *Engine) heapUp(i int) {
-	h := e.heap
-	idx := h[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if !e.recLess(idx, h[p]) {
-			break
+// wheelInsert places a record (at > now) into the lowest level whose
+// window covers its instant.
+func (e *Engine) wheelInsert(idx int32) {
+	r := &e.recs[idx]
+	for level := 0; ; level++ {
+		sh := wheelShift(level)
+		s := r.at >> sh
+		if s-(e.now>>sh) >= wheelSlots {
+			continue
 		}
-		h[i] = h[p]
-		e.recs[h[i]].heapIdx = int32(i)
-		i = p
+		b := int(s & wheelMask)
+		lv := &e.wheel[level]
+		if lv.head[b] == -1 {
+			lv.min[b] = r.at
+		} else if r.at < lv.min[b] {
+			lv.min[b] = r.at
+		}
+		r.next = lv.head[b]
+		lv.head[b] = idx
+		lv.occ[b>>6] |= 1 << uint(b&63)
+		r.heapIdx = recWheel
+		e.wheelCnt++
+		return
 	}
-	h[i] = idx
-	e.recs[idx].heapIdx = int32(i)
 }
 
-func (e *Engine) heapDown(i int) {
-	h := e.heap
-	n := len(h)
-	idx := h[i]
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		m := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if e.recLess(h[c], h[m]) {
-				m = c
+// cleanSlot unlinks lazily canceled records from a slot's list,
+// recycling them, recomputes the slot's cached minimum, and clears
+// the occupancy bit if the slot empties. Returns the head of the
+// compacted list.
+func (e *Engine) cleanSlot(lv *wheelLevel, b int) int32 {
+	h := lv.head[b]
+	prev := int32(-1)
+	min := int64(math.MaxInt64)
+	for idx := h; idx != -1; {
+		next := e.recs[idx].next
+		if e.recs[idx].stopped {
+			e.wheelCnt--
+			e.recycle(idx)
+			if prev == -1 {
+				h = next
+			} else {
+				e.recs[prev].next = next
+			}
+		} else {
+			prev = idx
+			if e.recs[idx].at < min {
+				min = e.recs[idx].at
 			}
 		}
-		if !e.recLess(h[m], idx) {
+		idx = next
+	}
+	lv.head[b] = h
+	if h == -1 {
+		lv.occ[b>>6] &^= 1 << uint(b&63)
+	} else {
+		lv.min[b] = min
+	}
+	return h
+}
+
+// wheelMin returns the earliest pending instant across all levels.
+// Each level's first occupied slot necessarily holds that level's
+// earliest record (slot order is coarse time order), so the global
+// minimum is the min over at most six cached slot minimums — no list
+// walk on the common path. A cached minimum below the clock can only
+// come from records canceled and then lapped by the cursor; such a
+// slot holds no live work earlier than the clock, so it is cleaned
+// (walked once, canceled records recycled) and the level rescanned.
+// The result may still be a canceled record's instant (a phantom);
+// advance fires nothing there and the drain recycles the record.
+func (e *Engine) wheelMin() (int64, bool) {
+	if e.wheelCnt == 0 {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	found := false
+	for level := 0; level < wheelLevels; level++ {
+		lv := &e.wheel[level]
+		cur := e.now >> wheelShift(level)
+		for !lv.empty() {
+			_, b, ok := lv.firstSlot(cur)
+			if !ok {
+				break
+			}
+			if lv.min[b] < e.now {
+				if e.cleanSlot(lv, b) == -1 {
+					continue // slot was all canceled; rescan the level
+				}
+			}
+			if lv.min[b] < best {
+				best = lv.min[b]
+			}
+			found = true
 			break
 		}
-		h[i] = h[m]
-		e.recs[h[i]].heapIdx = int32(i)
-		i = m
 	}
-	h[i] = idx
-	e.recs[idx].heapIdx = int32(i)
+	if !found {
+		return 0, false
+	}
+	return best, true
 }
 
-// heapPopMin removes and returns the minimum record index.
-func (e *Engine) heapPopMin() int32 {
-	h := e.heap
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	e.heap = h[:n]
-	if n > 0 {
-		e.recs[h[0]].heapIdx = 0
-		e.heapDown(0)
+// advance moves the clock to the next scheduled instant and performs
+// the epoch merge: cascade every higher-level slot the cursor landed
+// on down the hierarchy, then drain the level-0 slot's records
+// bearing the new timestamp into their lane buckets in ascending seq
+// order. Records in the level-0 slot scheduled later in the same
+// ~1 ms slot stay put for a later advance. Candidate instants may be
+// phantoms (lazily canceled records holding a slot's cached minimum);
+// advance hops through them, recycling as it goes, until a real event
+// fires. Returns false when nothing fires at or before limit; if the
+// wheel emptied, the clock is restored so canceled far-future events
+// never stretch a run's elapsed time (a phantom hop below limit can
+// persist — RunUntil clamps the clock to its deadline afterwards).
+func (e *Engine) advance(limit int64) bool {
+	entry := e.now
+	for {
+		t, ok := e.wheelMin()
+		if !ok {
+			// Everything left was canceled and has now been recycled.
+			// Phantom hops may have moved the clock; no event fired, so
+			// restore it (the wheel is empty — no window to disturb).
+			e.now = entry
+			return false
+		}
+		if t > limit {
+			return false
+		}
+		if e.advanceTo(t) {
+			return true
+		}
 	}
-	e.recs[top].heapIdx = recFree
-	return top
 }
 
-// heapRemove removes the record at heap position i (eager cancel).
-func (e *Engine) heapRemove(i int) {
-	h := e.heap
-	idx := h[i]
-	n := len(h) - 1
-	h[i] = h[n]
-	e.heap = h[:n]
-	if i < n {
-		e.recs[h[i]].heapIdx = int32(i)
-		e.heapDown(i)
-		e.heapUp(i)
+// advanceTo moves the clock to t, cascades, and drains; it reports
+// whether any record fired (false means t was a phantom and the
+// canceled records bearing it were recycled).
+func (e *Engine) advanceTo(t int64) bool {
+	e.now = t
+	for level := wheelLevels - 1; level >= 1; level-- {
+		lv := &e.wheel[level]
+		cur := e.now >> wheelShift(level)
+		b := int(cur & wheelMask)
+		if lv.occ[b>>6]&(1<<uint(b&63)) == 0 {
+			continue
+		}
+		h := lv.head[b]
+		lv.head[b] = -1
+		lv.occ[b>>6] &^= 1 << uint(b&63)
+		for idx := h; idx != -1; {
+			next := e.recs[idx].next
+			e.wheelCnt--
+			if e.recs[idx].stopped {
+				e.recycle(idx)
+			} else {
+				// Re-lands at a lower level: the record shares this
+				// level's slot with now, so its next-level slot is
+				// within that window.
+				e.wheelInsert(idx)
+			}
+			idx = next
+		}
 	}
-	e.recs[idx].heapIdx = recFree
+	lv := &e.wheel[0]
+	cur := e.now >> wheelShift(0)
+	b := int(cur & wheelMask)
+	e.fires = e.fires[:0]
+	if lv.occ[b>>6]&(1<<uint(b&63)) != 0 {
+		keep := int32(-1)
+		keepMin := int64(math.MaxInt64)
+		for idx := lv.head[b]; idx != -1; {
+			r := &e.recs[idx]
+			next := r.next
+			if r.stopped {
+				e.wheelCnt--
+				e.recycle(idx)
+			} else if r.at == t {
+				e.fires = append(e.fires, idx)
+			} else {
+				r.next = keep
+				keep = idx
+				if r.at < keepMin {
+					keepMin = r.at
+				}
+			}
+			idx = next
+		}
+		lv.head[b] = keep
+		if keep == -1 {
+			lv.occ[b>>6] &^= 1 << uint(b&63)
+		} else {
+			lv.min[b] = keepMin
+		}
+		e.wheelCnt -= len(e.fires)
+	}
+	if len(e.fires) == 0 {
+		return false
+	}
+	if len(e.fires) > 1 {
+		e.sortBySeq(e.fires)
+	}
+	for _, idx := range e.fires {
+		e.laneAppend(e.recs[idx].lane, idx)
+	}
+	return true
+}
+
+// sortBySeq orders drained record indices by seq: insertion sort for
+// the common handful, falling back to slices.SortFunc when an instant
+// carries an unusually wide unbatched fan-in.
+func (e *Engine) sortBySeq(s []int32) {
+	if len(s) > 32 {
+		slices.SortFunc(s, func(a, b int32) int {
+			return cmp.Compare(e.recs[a].seq, e.recs[b].seq)
+		})
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		key := e.recs[v].seq
+		j := i - 1
+		for j >= 0 && e.recs[s[j]].seq > key {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // --- tickers ---

@@ -93,7 +93,7 @@ func (m *Master) admit(t *Task) {
 
 // enqueue pushes an admitted task at the back of the waiting queue.
 func (m *Master) enqueue(t *Task) {
-	m.waiting.Push(t.ID, t.Priority, t.Resources, t.Category)
+	m.waiting.Push(t.ID, t.Priority, t.Resources, m.catIDFor(t))
 	m.notePeakWaiting()
 	m.rev++
 	m.scheduleDispatch()
@@ -135,7 +135,7 @@ func (m *Master) drainAdmission() {
 	for k < len(m.admQueue) && (m.admission.MaxWaiting <= 0 || m.waiting.Len() < m.admission.MaxWaiting) {
 		id := m.admQueue[k]
 		delete(m.admSet, id)
-		m.enqueue(m.tasks[id])
+		m.enqueue(m.byID[id])
 		k++
 	}
 	if k > 0 {
@@ -192,7 +192,7 @@ func (m *Master) CategoryQueueAges() map[string]time.Duration {
 	now := m.eng.Now()
 	out := make(map[string]time.Duration)
 	m.waiting.ForEach(func(id int) {
-		t := m.tasks[id]
+		t := m.byID[id]
 		age := now.Sub(t.SubmittedAt)
 		if cur, ok := out[t.Category]; !ok || age > cur {
 			out[t.Category] = age
@@ -207,7 +207,7 @@ func (m *Master) OldestQueuedAge() time.Duration {
 	var oldest time.Duration
 	now := m.eng.Now()
 	m.waiting.ForEach(func(id int) {
-		if age := now.Sub(m.tasks[id].SubmittedAt); age > oldest {
+		if age := now.Sub(m.byID[id].SubmittedAt); age > oldest {
 			oldest = age
 		}
 	})

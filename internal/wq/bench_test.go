@@ -2,6 +2,7 @@ package wq
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -75,6 +76,64 @@ func BenchmarkScaleDispatch(b *testing.B) {
 			runScaleDispatch(b, false, 1_000_000, 100_000)
 		}
 	})
+	b.Run("1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runScaleDispatch(b, false, 10_000_000, 1_000_000)
+		}
+	})
+}
+
+// BenchmarkDispatchMemoryProbe is the 100k headline cell with a heap
+// probe riding the simulation: a self-rearming 10-simulated-second
+// timer samples runtime.MemStats, and the peak HeapAlloc and GC count
+// are reported as benchmark metrics. htabench records the same
+// trajectory for the full ladder in BENCH_10.json; this is the CI
+// smoke that catches a memory-footprint regression without a full
+// bench run.
+func BenchmarkDispatchMemoryProbe(b *testing.B) {
+	const (
+		tasks   = 1_000_000
+		workers = 100_000
+	)
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		peak := before.HeapAlloc
+
+		eng := simclock.NewEngine(t0)
+		m := NewMaster(eng, nil)
+		for w := 0; w < workers; w++ {
+			m.AddWorker(fmt.Sprintf("w%d", w), resources.New(4, 16384, 100000))
+		}
+		rng := simclock.NewRNG(1)
+		for t := 0; t < tasks; t++ {
+			d := time.Duration(rng.Jitter(float64(5*time.Minute), 0.8))
+			m.Submit(knownTask("bench", 1, d))
+		}
+		var sample func()
+		sample = func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			if m.CompletedCount() < tasks {
+				eng.After(10*time.Second, "mem-sample", sample)
+			}
+		}
+		eng.After(10*time.Second, "mem-sample", sample)
+		eng.Run()
+		if m.CompletedCount() != tasks {
+			b.Fatalf("completed %d of %d", m.CompletedCount(), tasks)
+		}
+
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+		b.ReportMetric(float64(after.NumGC-before.NumGC), "GCs")
+	}
 }
 
 // BenchmarkScaleDispatchReference runs the 10k cell on the retained

@@ -1,7 +1,5 @@
 package wq
 
-import "container/heap"
-
 // idleEntry marks a worker that became idle; seq is its fixed join
 // rank, so the heap yields idle workers in join order — the order the
 // pre-index placeExclusive scan visited them in.
@@ -15,30 +13,64 @@ type idleEntry struct {
 // whose worker has since started running, begun draining, or left the
 // roster is discarded (the worker re-enters the heap at its next idle
 // transition). Every currently idle, connected worker therefore has
-// at least one live entry.
+// at least one live entry. Hand-rolled rather than container/heap:
+// Push/Pop through heap.Interface box every 16-byte entry into an
+// interface value, which is pure allocator traffic at two transitions
+// per task.
 type idleHeap []idleEntry
 
-func (h idleHeap) Len() int           { return len(h) }
-func (h idleHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
-func (h idleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *idleHeap) Push(x any)        { *h = append(*h, x.(idleEntry)) }
-func (h *idleHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = idleEntry{}
-	*h = old[:n-1]
-	return e
+func (h *idleHeap) push(e idleEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].seq <= e.seq {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = e
+	*h = s
+}
+
+func (h *idleHeap) pop() idleEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	e := s[n]
+	s[n] = idleEntry{}
+	s = s[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && s[c+1].seq < s[c].seq {
+				c++
+			}
+			if s[c].seq >= e.seq {
+				break
+			}
+			s[i] = s[c]
+			i = c
+		}
+		s[i] = e
+	}
+	*h = s
+	return top
 }
 
 // markIdle records a worker's busy→idle transition (or its join).
 // When stale entries pile up faster than exclusive placements drain
 // them, the heap is rebuilt from the live roster.
 func (m *Master) markIdle(w *simWorker) {
-	if len(m.idle) > 4*len(m.workers)+16 {
+	if len(m.idle) > 4*m.workerCount+16 {
 		m.rebuildIdle()
 	}
-	heap.Push(&m.idle, idleEntry{seq: w.joinSeq, w: w})
+	m.idle.push(idleEntry{seq: w.joinSeq, w: w})
 }
 
 func (m *Master) rebuildIdle() {
@@ -48,7 +80,27 @@ func (m *Master) rebuildIdle() {
 			m.idle = append(m.idle, idleEntry{seq: w.joinSeq, w: w})
 		}
 	}
-	heap.Init(&m.idle)
+	// Heapify bottom-up; cheaper than n pushes and runs rarely.
+	s := m.idle
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		e := s[i]
+		j := i
+		for {
+			c := 2*j + 1
+			if c >= len(s) {
+				break
+			}
+			if c+1 < len(s) && s[c+1].seq < s[c].seq {
+				c++
+			}
+			if s[c].seq >= e.seq {
+				break
+			}
+			s[j] = s[c]
+			j = c
+		}
+		s[j] = e
+	}
 }
 
 // takeIdle pops the first idle worker in join order, discarding stale
@@ -56,9 +108,8 @@ func (m *Master) rebuildIdle() {
 // immediately occupy the returned worker (its entry is consumed).
 func (m *Master) takeIdle() *simWorker {
 	for len(m.idle) > 0 {
-		e := heap.Pop(&m.idle).(idleEntry)
-		w := e.w
-		if m.workers[w.id] != w || w.draining || w.running.len() > 0 {
+		w := m.idle.pop().w
+		if !m.connected(w) || w.draining || w.running.len() > 0 {
 			continue
 		}
 		return w

@@ -4,9 +4,9 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
-	"sort"
 	"time"
 
+	"hta/internal/intern"
 	"hta/internal/metrics"
 	"hta/internal/netsim"
 	"hta/internal/resources"
@@ -58,16 +58,40 @@ type Master struct {
 	link   *netsim.Link  // master egress; nil = transfers are free
 	policy Policy
 
+	// Task ids are dense (1..nextID), so the record index is an
+	// id-indexed slice: byID[0] is unused and byID[id] is never nil for
+	// an assigned id. A million-task run looks records up by array
+	// index instead of hashing a map key per dispatch event.
 	nextID   int
-	tasks    map[int]*Task
+	byID     []*Task
 	taskSlab []Task // slab-allocated Task storage; see allocTask
 	waiting  *waitQueue
 	rtFree   []*runningTask // recycled runningTask records
+	rtSlab   []runningTask  // allocation slab for fresh records
+	wkSlab   []simWorker    // allocation slab for joining workers; see AddWorker
 
-	workers     map[string]*simWorker
+	// Worker ids, shared-file names and task categories are interned
+	// into dense int32 ids at the API boundary (AddWorker, Submit,
+	// staging), so the per-event books — the worker index, each
+	// worker's file cache, the queue's category counts — are
+	// slice-indexed instead of string-keyed.
+	wids        *intern.Table // worker id -> dense wid
+	fids        *intern.Table // shared-file name -> dense fid
+	cats        *intern.Table // task category -> dense catID
+	workersBy   []*simWorker  // by wid; nil while not connected
+	workerCount int
 	nextJoinSeq uint64
 	idle        idleHeap
 	freeFetch   []func() // free-transfer fetch arrivals batched per dispatch
+
+	// Per-category estimator memo, valid for one estimator revision:
+	// estRev[catID] holds rev+1 from the last probe (0 = never
+	// probed). Only populated when the estimator declares revisions
+	// (RevEstimator); otherwise every probe goes to the estimator.
+	revEst    RevEstimator
+	estRes    []resources.Vector // by catID
+	estResOK  []bool             // by catID
+	estResRev []uint64           // by catID
 
 	// roster holds workers by slot in join order; departures leave nil
 	// tombstones (compacted once they dominate) so slots stay stable
@@ -131,19 +155,39 @@ type Master struct {
 	lastPassRev uint64
 }
 
-// simWorker is the master-side state of a simulated worker.
+// simWorker is the master-side state of a simulated worker. Shared
+// files are tracked by interned fid: the cache is a dense bitmap and
+// the in-flight books hash an int32 instead of the file name.
 type simWorker struct {
 	id       string
+	wid      int32 // interned id; index into Master.workersBy
 	joinSeq  uint64
-	slot     int // roster index; -1 once removed
-	pool     *resources.Pool
-	cache    map[string]bool     // shared files present
-	fetching map[string][]func() // shared files in flight -> waiters
-	fetches  map[string]*netsim.Transfer
+	slot     int                // roster index; -1 once removed
+	pool     resources.Pool     // embedded: one fewer allocation and cache line per worker
+	cache    []bool             // by fid: shared files present
+	cached   int                // count of set cache entries
+	fetching map[int32][]func() // shared files in flight -> waiters
+	fetches  map[int32]*netsim.Transfer
 	running  runningSet
 	draining bool
 	onDrain  func()
 	joinedAt time.Time
+}
+
+// hasFile reports whether the shared file is cached on the worker.
+func (w *simWorker) hasFile(fid int32) bool {
+	return int(fid) < len(w.cache) && w.cache[fid]
+}
+
+// setFile marks the shared file cached on the worker.
+func (w *simWorker) setFile(fid int32) {
+	for int(fid) >= len(w.cache) {
+		w.cache = append(w.cache, false)
+	}
+	if !w.cache[fid] {
+		w.cache[fid] = true
+		w.cached++
+	}
 }
 
 type runningTask struct {
@@ -156,37 +200,63 @@ type runningTask struct {
 	abortTmr  simclock.Timer
 	execDone  func() // persistent exec-complete closure (see newRunningTask)
 	abortFn   func() // persistent fast-abort closure
+	fetchFn   func() // persistent shared-file-arrival closure
+	inFn      func() // persistent input-transfer-complete closure
+	outFn     func() // persistent output-transfer-complete closure
 	executing bool
 	aborted   bool             // attempt stopped; late fetch callbacks must not run it
 	execUsage resources.Vector // clamped usage while executing
-	execStart time.Time        // when execution (not staging) began
+	// execStart is the engine-relative instant execution (not staging)
+	// began — an Elapsed() offset, not a time.Time, so the
+	// once-per-completion core·second accounting is one integer
+	// subtraction instead of wall/mono time arithmetic.
+	execStart time.Duration
 }
 
-// runningSet holds a worker's in-flight attempts in a small slice. A
-// worker runs at most a handful of tasks at once (capacity-bound), so
-// linear scans beat a map's hashing and delete churn in the dispatch
-// hot path. Attempts are removed from the set before their record is
-// recycled, so every resident entry has a valid task pointer.
-type runningSet struct{ rts []*runningTask }
+// runningSet holds a worker's in-flight attempts in a pair of small
+// parallel slices. A worker runs at most a handful of tasks at once
+// (capacity-bound), so linear scans beat a map's hashing and delete
+// churn in the dispatch hot path — and the scan compares packed
+// int32 ids without dereferencing each attempt's task record.
+// Attempts are removed from the set before their record is recycled,
+// so every resident entry has a valid task pointer.
+type runningSet struct {
+	ids []int32
+	rts []*runningTask
+	// Inline backing for typical multi-core workers: the slices point
+	// here until a worker runs more than four tasks at once, so the
+	// common roster pays no per-worker set allocation at all. Safe
+	// because simWorkers live in slabs and are never copied.
+	idsBuf [4]int32
+	rtsBuf [4]*runningTask
+}
 
 func (s *runningSet) get(id int) *runningTask {
-	for _, rt := range s.rts {
-		if rt.task.ID == id {
-			return rt
+	for i, x := range s.ids {
+		if int(x) == id {
+			return s.rts[i]
 		}
 	}
 	return nil
 }
 
-func (s *runningSet) put(rt *runningTask) { s.rts = append(s.rts, rt) }
+func (s *runningSet) put(rt *runningTask) {
+	if s.ids == nil {
+		s.ids = s.idsBuf[:0]
+		s.rts = s.rtsBuf[:0]
+	}
+	s.ids = append(s.ids, int32(rt.task.ID))
+	s.rts = append(s.rts, rt)
+}
 
 func (s *runningSet) remove(id int) {
-	for i, rt := range s.rts {
-		if rt.task.ID == id {
+	for i, x := range s.ids {
+		if int(x) == id {
 			n := len(s.rts) - 1
+			copy(s.ids[i:], s.ids[i+1:])
 			copy(s.rts[i:], s.rts[i+1:])
 			s.rts[n] = nil
-			s.rts = s.rts[:n]
+			s.ids, s.rts = s.ids[:n], s.rts[:n]
 			return
 		}
 	}
@@ -201,9 +271,11 @@ func NewMaster(eng *simclock.Engine, link *netsim.Link) *Master {
 		eng:          eng,
 		lane:         eng.NewLane("wq"),
 		link:         link,
-		tasks:        make(map[int]*Task),
+		byID:         make([]*Task, 1), // id 0 unused
 		waiting:      newWaitQueue(),
-		workers:      make(map[string]*simWorker),
+		wids:         intern.NewTable(),
+		fids:         intern.NewTable(),
+		cats:         intern.NewTable(),
 		retryPending: make(map[int]simclock.Timer),
 		retryResume:  make(map[int]time.Time),
 		admSet:       make(map[int]struct{}),
@@ -229,27 +301,93 @@ func (m *Master) SetPolicy(p Policy) {
 func (m *Master) Policy() Policy { return m.policy }
 
 // SetEstimator installs the resource estimator consulted for tasks
-// with unknown requirements.
+// with unknown requirements. An estimator that also implements
+// RevEstimator has its per-category predictions memoized between
+// revisions, so a dispatch pass probes it once per category per
+// observation batch instead of once per waiting task.
 func (m *Master) SetEstimator(e Estimator) {
 	m.estimator = e
+	m.revEst, _ = e.(RevEstimator)
+	m.estRes, m.estResOK, m.estResRev = nil, nil, nil
 	m.rev++
 	m.scheduleDispatch()
+}
+
+// task returns the record for an id, or nil for an unknown id.
+func (m *Master) task(id int) *Task {
+	if id <= 0 || id >= len(m.byID) {
+		return nil
+	}
+	return m.byID[id]
+}
+
+// setTask registers a record under its dense id. Growth doubles
+// explicitly: append's 1.25× policy for large slices would re-copy
+// the million-pointer index four times over instead of twice.
+func (m *Master) setTask(t *Task) {
+	if t.ID >= len(m.byID) {
+		n := t.ID + 1
+		if n > cap(m.byID) {
+			c := 2 * cap(m.byID)
+			if c < 1024 {
+				c = 1024
+			}
+			if c < n {
+				c = n
+			}
+			b := make([]*Task, n, c)
+			copy(b, m.byID)
+			m.byID = b
+		} else {
+			m.byID = m.byID[:n]
+		}
+	}
+	m.byID[t.ID] = t
+}
+
+// worker returns the connected worker with the given id, or nil.
+func (m *Master) worker(id string) *simWorker {
+	wid, ok := m.wids.Lookup(id)
+	if !ok {
+		return nil
+	}
+	return m.workersBy[wid]
+}
+
+// catIDFor returns the interned category for tasks whose placement
+// consults the estimator, intern.None for declared-requirement tasks
+// (their category never gates dispatch, so they skip the intern hash).
+func (m *Master) catIDFor(t *Task) int32 {
+	if !t.Resources.IsZero() {
+		return intern.None
+	}
+	return m.cats.Intern(t.Category)
 }
 
 // OnComplete subscribes to task completions.
 func (m *Master) OnComplete(fn func(Result)) { m.onComplete = append(m.onComplete, fn) }
 
-// allocTask hands out Task storage from fixed-capacity slabs, so a
-// million-task run costs thousands of allocations, not millions.
-// Slabs are only ever appended to within capacity, so handed-out
-// pointers stay valid; retention matches the tasks map, which keeps
-// every task for the master's lifetime anyway.
+// allocTask hands out Task storage from geometrically growing slabs
+// (256 up to 16k records each), so a million-task run costs hundreds
+// of allocations, not millions. Slabs are only ever appended to
+// within capacity, so handed-out pointers stay valid; retention
+// matches the byID index, which keeps every task for the master's
+// lifetime anyway.
 func (m *Master) allocTask() *Task {
 	if len(m.taskSlab) == cap(m.taskSlab) {
-		m.taskSlab = make([]Task, 0, 256)
+		c := 2 * cap(m.taskSlab)
+		if c < 256 {
+			c = 256
+		} else if c > 16384 {
+			c = 16384
+		}
+		m.taskSlab = make([]Task, 0, c)
 	}
-	m.taskSlab = append(m.taskSlab, Task{})
-	return &m.taskSlab[len(m.taskSlab)-1]
+	// Extend into already-zeroed slab capacity rather than appending a
+	// composite literal: the latter re-writes ~300 zero bytes per task.
+	n := len(m.taskSlab)
+	m.taskSlab = m.taskSlab[:n+1]
+	return &m.taskSlab[n]
 }
 
 // newRunningTask takes a dispatch record from the free list or makes
@@ -262,12 +400,18 @@ func (m *Master) newRunningTask() *runningTask {
 		m.rtFree = m.rtFree[:n-1]
 		return rt
 	}
-	rt := &runningTask{}
+	// Fresh records come out of a slab: at peak the dispatch storm has
+	// hundreds of thousands of attempts in flight, and one slab alloc
+	// per 4096 beats one per record.
+	if len(m.rtSlab) == 0 {
+		m.rtSlab = make([]runningTask, 4096)
+	}
+	rt := &m.rtSlab[0]
+	m.rtSlab = m.rtSlab[1:]
 	rt.execDone = func() {
 		m.fstats.UsefulCoreSeconds += m.clearExecuting(rt)
 		m.sendOutput(rt)
 	}
-	rt.abortFn = func() { m.fastAbort(rt) }
 	return rt
 }
 
@@ -306,15 +450,15 @@ func (m *Master) Submit(spec TaskSpec) int {
 		SubmittedAt: m.eng.Now(),
 	}
 	t.SharedInputs = append([]File(nil), spec.SharedInputs...)
-	m.tasks[t.ID] = t
+	m.setTask(t)
 	m.admit(t)
 	return t.ID
 }
 
 // Task returns a copy of the task with the given ID.
 func (m *Master) Task(id int) (Task, bool) {
-	t, ok := m.tasks[id]
-	if !ok {
+	t := m.task(id)
+	if t == nil {
 		return Task{}, false
 	}
 	return *t, true
@@ -325,23 +469,43 @@ func (m *Master) AddWorker(id string, capacity resources.Vector) error {
 	if id == "" {
 		return fmt.Errorf("wq: worker with empty id")
 	}
-	if _, dup := m.workers[id]; dup {
+	wid := m.wids.Intern(id)
+	for int(wid) >= len(m.workersBy) {
+		m.workersBy = append(m.workersBy, nil)
+	}
+	if m.workersBy[wid] != nil {
 		return fmt.Errorf("wq: worker %q already connected", id)
 	}
 	if !capacity.AnyPositive() {
 		return fmt.Errorf("wq: worker %q with no capacity", id)
 	}
-	w := &simWorker{
-		id:       id,
-		joinSeq:  m.nextJoinSeq,
-		pool:     resources.NewPool(capacity),
-		cache:    make(map[string]bool),
-		fetching: make(map[string][]func()),
-		fetches:  make(map[string]*netsim.Transfer),
-		joinedAt: m.eng.Now(),
+	// Workers come out of a slab: a 100k-worker roster costs dozens of
+	// allocations instead of hundreds of thousands (the fetch maps are
+	// built lazily at first shared-file use). Handed-out pointers stay
+	// valid because slabs are only appended to within capacity; a
+	// removed worker's record is unreachable garbage inside its slab,
+	// which churn-heavy runs amortize at a few hundred bytes per
+	// departure.
+	if len(m.wkSlab) == cap(m.wkSlab) {
+		c := 2 * cap(m.wkSlab)
+		if c < 256 {
+			c = 256
+		} else if c > 4096 {
+			c = 4096
+		}
+		m.wkSlab = make([]simWorker, 0, c)
 	}
+	m.wkSlab = append(m.wkSlab, simWorker{
+		id:       id,
+		wid:      wid,
+		joinSeq:  m.nextJoinSeq,
+		pool:     resources.MakePool(capacity),
+		joinedAt: m.eng.Now(),
+	})
+	w := &m.wkSlab[len(m.wkSlab)-1]
 	m.nextJoinSeq++
-	m.workers[id] = w
+	m.workersBy[wid] = w
+	m.workerCount++
 	m.rosterAppend(w)
 	m.totalCap = m.totalCap.Add(capacity)
 	m.idleCount++
@@ -355,8 +519,8 @@ func (m *Master) AddWorker(id string, capacity resources.Vector) error {
 // once its running tasks finish (immediately if it is idle). The
 // worker is removed from the roster when drained.
 func (m *Master) DrainWorker(id string, onDrained func()) error {
-	w, ok := m.workers[id]
-	if !ok {
+	w := m.worker(id)
+	if w == nil {
 		return fmt.Errorf("wq: worker %q not connected", id)
 	}
 	if !w.draining {
@@ -380,8 +544,8 @@ func (m *Master) DrainWorker(id string, onDrained func()) error {
 // transfers are canceled. This is what a pod deletion does to the
 // worker inside it.
 func (m *Master) KillWorker(id string) error {
-	w, ok := m.workers[id]
-	if !ok {
+	w := m.worker(id)
+	if w == nil {
 		return fmt.Errorf("wq: worker %q not connected", id)
 	}
 	m.fstats.WorkerKills++
@@ -391,7 +555,7 @@ func (m *Master) KillWorker(id string) error {
 	for _, rt := range w.running.rts {
 		ids = append(ids, rt.task.ID)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	var requeued []int
 	for _, tid := range ids {
 		rt := w.running.get(tid)
@@ -436,7 +600,7 @@ func (m *Master) clearExecuting(rt *runningTask) float64 {
 	}
 	rt.executing = false
 	m.busyUsage = m.busyUsage.Sub(rt.execUsage)
-	elapsed := m.eng.Now().Sub(rt.execStart).Seconds()
+	elapsed := (m.eng.Elapsed() - rt.execStart).Seconds()
 	return elapsed * float64(rt.execUsage.MilliCPU) / 1000
 }
 
@@ -445,17 +609,20 @@ func (m *Master) removeWorker(w *simWorker) {
 	// they outlive the tasks that requested them (the file is cached
 	// for future tasks), so both the kill and drain paths would
 	// otherwise leave a dead worker consuming link capacity. Sorted
-	// name order keeps link bookkeeping deterministic.
-	names := make([]string, 0, len(w.fetches))
-	for name := range w.fetches {
-		names = append(names, name)
+	// name order keeps link bookkeeping deterministic (fids are
+	// assigned in first-fetch order, so they must be sorted by the
+	// names they intern, not by id).
+	fids := make([]int32, 0, len(w.fetches))
+	for fid := range w.fetches {
+		fids = append(fids, fid)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		w.fetches[name].Cancel()
-		delete(w.fetches, name)
+	slices.SortFunc(fids, func(a, b int32) int { return cmp.Compare(m.fids.Str(a), m.fids.Str(b)) })
+	for _, fid := range fids {
+		w.fetches[fid].Cancel()
+		delete(w.fetches, fid)
 	}
-	delete(m.workers, w.id)
+	m.workersBy[w.wid] = nil
+	m.workerCount--
 	m.totalCap = m.totalCap.Sub(w.pool.Capacity())
 	m.totalUsed = m.totalUsed.Sub(w.pool.Used())
 	m.runningCount -= w.running.len()
@@ -467,8 +634,14 @@ func (m *Master) removeWorker(w *simWorker) {
 	m.rosterRemove(w)
 }
 
+// connected reports whether w is still the live worker under its id
+// (false once removed, or after a Crash reset the worker index).
+func (m *Master) connected(w *simWorker) bool {
+	return int(w.wid) < len(m.workersBy) && m.workersBy[w.wid] == w
+}
+
 func (m *Master) finishDrain(w *simWorker) {
-	if m.workers[w.id] != w {
+	if !m.connected(w) {
 		// Already removed: a completion callback may call DrainWorker
 		// on the just-idled worker, finishing the drain before the
 		// completion's own drain check runs. Repeating removeWorker
@@ -486,7 +659,7 @@ func (m *Master) finishDrain(w *simWorker) {
 
 // Workers returns the connected worker IDs in join order.
 func (m *Master) Workers() []string {
-	out := make([]string, 0, len(m.workers))
+	out := make([]string, 0, m.workerCount)
 	for _, w := range m.roster {
 		if w != nil {
 			out = append(out, w.id)
@@ -497,8 +670,8 @@ func (m *Master) Workers() []string {
 
 // WorkerCapacity returns a connected worker's capacity.
 func (m *Master) WorkerCapacity(id string) (resources.Vector, bool) {
-	w, ok := m.workers[id]
-	if !ok {
+	w := m.worker(id)
+	if w == nil {
 		return resources.Zero, false
 	}
 	return w.pool.Capacity(), true
@@ -509,8 +682,8 @@ func (m *Master) WorkerCapacity(id string) (resources.Vector, bool) {
 // to each task's allocation — the signal a metrics server scrapes
 // from the worker pod.
 func (m *Master) WorkerUsage(id string) resources.Vector {
-	w, ok := m.workers[id]
-	if !ok {
+	w := m.worker(id)
+	if w == nil {
 		return resources.Zero
 	}
 	var u resources.Vector
@@ -529,8 +702,8 @@ func (m *Master) BusyCPU() int64 { return m.busyUsage.MilliCPU }
 
 // WorkerBusy reports whether the worker has running tasks.
 func (m *Master) WorkerBusy(id string) bool {
-	w, ok := m.workers[id]
-	return ok && w.running.len() > 0
+	w := m.worker(id)
+	return w != nil && w.running.len() > 0
 }
 
 // --- dispatch ---
@@ -545,16 +718,50 @@ func (m *Master) scheduleDispatch() {
 	m.eng.After(0, "wq-dispatch", m.dispatchFn)
 }
 
+// RevEstimator is an Estimator whose predictions only change when its
+// revision does. The master memoizes per-category estimates against
+// the revision, so steady-state dispatch passes skip the estimator's
+// locking and aggregation entirely (the monitor bumps its revision on
+// every observation batch).
+type RevEstimator interface {
+	Estimator
+	// EstimateRev returns the current estimate revision. Any change
+	// that could alter an estimate must change the revision.
+	EstimateRev() uint64
+}
+
+// estimateResourcesCat probes the estimator for an interned category,
+// memoized per estimator revision when the estimator declares one.
+func (m *Master) estimateResourcesCat(catID int32) (resources.Vector, bool) {
+	if m.estimator == nil || catID < 0 {
+		return resources.Zero, false
+	}
+	if m.revEst == nil {
+		return m.estimator.EstimateResources(m.cats.Str(catID))
+	}
+	rev := m.revEst.EstimateRev() + 1 // 0 marks never-probed slots
+	for int(catID) >= len(m.estResRev) {
+		m.estRes = append(m.estRes, resources.Zero)
+		m.estResOK = append(m.estResOK, false)
+		m.estResRev = append(m.estResRev, 0)
+	}
+	if m.estResRev[catID] == rev {
+		return m.estRes[catID], m.estResOK[catID]
+	}
+	v, ok := m.revEst.EstimateResources(m.cats.Str(catID))
+	m.estRes[catID], m.estResOK[catID], m.estResRev[catID] = v, ok, rev
+	return v, ok
+}
+
 // resolveResources determines the allocation for a task: declared
-// size, an estimator prediction for its category, or unknown.
-func (m *Master) resolveResources(t *Task) (resources.Vector, bool) {
+// size, an estimator prediction for its category, or unknown. catID
+// is the task's interned category (intern.None when declared).
+func (m *Master) resolveResources(t *Task, catID int32) (resources.Vector, bool) {
 	if !t.Resources.IsZero() {
 		return t.Resources, true
 	}
-	if m.estimator != nil {
-		if v, ok := m.estimator.EstimateResources(t.Category); ok && !v.IsZero() {
-			return v, true
-		}
+	if v, ok := m.estimateResourcesCat(catID); ok && !v.IsZero() {
+		return v, true
 	}
 	return resources.Zero, false
 }
@@ -579,7 +786,7 @@ func (m *Master) dispatchOnce() {
 }
 
 func (m *Master) dispatchPass() {
-	if m.waiting.Len() == 0 || len(m.workers) == 0 {
+	if m.waiting.Len() == 0 || m.workerCount == 0 {
 		return
 	}
 	if m.rev == m.lastPassRev {
@@ -595,25 +802,40 @@ func (m *Master) dispatchPass() {
 	if m.queueStalled(maxFree) {
 		return
 	}
-	m.waiting.Scan(func(id int) (bool, resources.Vector, bool) {
-		t := m.tasks[id]
-		res, known := m.resolveResources(t)
+	m.waiting.Scan(func(id int, catID int32, declared resources.Vector) (bool, bool) {
+		if !declared.IsZero() {
+			// Declared requirement: gate on the inline entry without
+			// touching the task record at all.
+			if !declared.Fits(maxFree) {
+				return false, false
+			}
+			placed, scanned, full := m.placeKnown(m.byID[id], declared)
+			if !placed && full {
+				maxFree = scanned
+				// With the refreshed exact bound, stop the pass once
+				// nothing left in the queue can be placed.
+				if m.queueStalled(maxFree) {
+					return false, true
+				}
+			}
+			return placed, false
+		}
+		t := m.byID[id]
+		res, known := m.resolveResources(t, catID)
 		if !known {
-			return m.placeExclusive(t), t.Resources, false
+			return m.placeExclusive(t), false
 		}
 		if !res.Fits(maxFree) {
-			return false, t.Resources, false
+			return false, false
 		}
 		placed, scanned, full := m.placeKnown(t, res)
 		if !placed && full {
 			maxFree = scanned
-			// With the refreshed exact bound, stop the pass once
-			// nothing left in the queue can be placed.
 			if m.queueStalled(maxFree) {
-				return false, t.Resources, true
+				return false, true
 			}
 		}
-		return placed, t.Resources, false
+		return placed, false
 	})
 }
 
@@ -633,15 +855,11 @@ func (m *Master) queueStalled(maxFree resources.Vector) bool {
 		return true
 	}
 	stalled := true
-	m.waiting.ForEachUnknownCategory(func(cat string, _ int) {
+	m.waiting.ForEachUnknownCategory(func(catID int32, _ int) {
 		if !stalled {
 			return
 		}
-		var est resources.Vector
-		ok := false
-		if m.estimator != nil {
-			est, ok = m.estimator.EstimateResources(cat)
-		}
+		est, ok := m.estimateResourcesCat(catID)
 		if ok && !est.IsZero() {
 			if est.Fits(maxFree) {
 				stalled = false
@@ -664,7 +882,7 @@ func (m *Master) maxFreeCapacity() resources.Vector {
 	}
 	var free resources.Vector
 	for _, wid := range m.naiveOrder {
-		w := m.workers[wid]
+		w := m.worker(wid)
 		if !w.draining {
 			free = free.Max(w.pool.Available())
 		}
@@ -677,8 +895,8 @@ func (m *Master) maxFreeCapacity() resources.Vector {
 // finished or already-canceled task is an error. No completion
 // callback fires for canceled tasks.
 func (m *Master) Cancel(id int) error {
-	t, ok := m.tasks[id]
-	if !ok {
+	t := m.task(id)
+	if t == nil {
 		return fmt.Errorf("wq: task %d not found", id)
 	}
 	switch t.State {
@@ -690,12 +908,12 @@ func (m *Master) Cancel(id int) error {
 			delete(m.retryPending, id)
 			delete(m.retryResume, id)
 		} else {
-			m.waiting.Remove(id, t.Resources)
+			m.waiting.Remove(id, t.Resources, m.catIDFor(t))
 			m.drainAdmission() // the cancellation freed a slot under the cap
 		}
 		m.rev++
 	case TaskRunning:
-		w := m.workers[t.WorkerID]
+		w := m.worker(t.WorkerID)
 		if w == nil {
 			return fmt.Errorf("wq: task %d running on unknown worker %q", id, t.WorkerID)
 		}
@@ -759,9 +977,9 @@ func (m *Master) placeKnown(t *Task, res resources.Vector) (placed bool, scanned
 	}
 	if m.naivePlace {
 		// The retained scan, verbatim cost model included: join-order
-		// id list with a map lookup per worker.
+		// id list with a lookup per worker.
 		for _, wid := range m.naiveOrder {
-			if consider(m.workers[wid]) {
+			if consider(m.worker(wid)) {
 				return true, scannedMax, false
 			}
 		}
@@ -817,19 +1035,31 @@ func (m *Master) startTask(t *Task, w *simWorker, alloc resources.Vector, exclus
 	// shared by all its tasks; the private input belongs to the task.
 	rt.pending = 1 // barrier released after all fetches are set up
 	for _, f := range t.SharedInputs {
-		if w.cache[f.Name] {
+		fid := m.fids.Intern(f.Name)
+		if w.hasFile(fid) {
 			continue
 		}
 		rt.pending++
-		m.ensureFile(w, f, func() { m.fetchDone(rt) })
+		if rt.fetchFn == nil {
+			// Bound lazily, like inFn/outFn: only staging-heavy
+			// workloads pay for it, once per record.
+			rt.fetchFn = func() { m.fetchDone(rt) }
+		}
+		m.ensureFile(w, fid, f.SizeMB, rt.fetchFn)
 	}
 	m.flushFreeFetches()
 	if t.InputMB > 0 && m.link != nil {
 		rt.pending++
-		rt.inTr = m.link.Start(t.InputMB, func() {
-			rt.inTr = nil
-			m.fetchDone(rt)
-		})
+		if rt.inFn == nil {
+			// Bound lazily: workloads without per-task transfers never
+			// pay for the closure; transfer-heavy ones pay once per
+			// record, then recycle it with the record.
+			rt.inFn = func() {
+				rt.inTr = nil
+				m.fetchDone(rt)
+			}
+		}
+		rt.inTr = m.link.Start(t.InputMB, rt.inFn)
 	}
 	m.fetchDone(rt) // release the setup barrier
 }
@@ -848,38 +1078,43 @@ func (m *Master) flushFreeFetches() {
 	m.freeFetch = m.freeFetch[:0]
 }
 
-// ensureFile fetches a shared file onto the worker exactly once;
-// callbacks queue while a fetch is in flight.
-func (m *Master) ensureFile(w *simWorker, f File, cb func()) {
-	if w.cache[f.Name] {
+// ensureFile fetches a shared file (by interned fid) onto the worker
+// exactly once; callbacks queue while a fetch is in flight.
+func (m *Master) ensureFile(w *simWorker, fid int32, sizeMB float64, cb func()) {
+	if w.hasFile(fid) {
 		cb()
 		return
 	}
-	if _, inflight := w.fetching[f.Name]; inflight {
-		w.fetching[f.Name] = append(w.fetching[f.Name], cb)
+	if _, inflight := w.fetching[fid]; inflight {
+		w.fetching[fid] = append(w.fetching[fid], cb)
 		return
 	}
-	w.fetching[f.Name] = []func(){cb}
-	if m.link == nil || f.SizeMB <= 0 {
+	if w.fetching == nil {
+		w.fetching = make(map[int32][]func())
+	}
+	w.fetching[fid] = []func(){cb}
+	if m.link == nil || sizeMB <= 0 {
 		// Free transfers arrive instantly; the arrivals for one task's
 		// staging accumulate and go out as a single batch event.
-		name := f.Name
-		m.freeFetch = append(m.freeFetch, func() { m.fileArrived(w, name) })
+		m.freeFetch = append(m.freeFetch, func() { m.fileArrived(w, fid) })
 		return
 	}
-	w.fetches[f.Name] = m.link.Start(f.SizeMB, func() {
-		delete(w.fetches, f.Name)
-		m.fileArrived(w, f.Name)
+	if w.fetches == nil {
+		w.fetches = make(map[int32]*netsim.Transfer)
+	}
+	w.fetches[fid] = m.link.Start(sizeMB, func() {
+		delete(w.fetches, fid)
+		m.fileArrived(w, fid)
 	})
 }
 
-func (m *Master) fileArrived(w *simWorker, name string) {
-	if _, alive := m.workers[w.id]; !alive {
+func (m *Master) fileArrived(w *simWorker, fid int32) {
+	if !m.connected(w) {
 		return
 	}
-	w.cache[name] = true
-	cbs := w.fetching[name]
-	delete(w.fetching, name)
+	w.setFile(fid)
+	cbs := w.fetching[fid]
+	delete(w.fetching, fid)
 	for _, cb := range cbs {
 		cb()
 	}
@@ -899,7 +1134,7 @@ func (m *Master) fetchDone(rt *runningTask) {
 	// All inputs are on the worker: execute.
 	t := rt.task
 	rt.executing = true
-	rt.execStart = m.eng.Now()
+	rt.execStart = m.eng.Elapsed()
 	rt.execUsage = t.Profile.Usage().Min(t.Allocated)
 	m.busyUsage = m.busyUsage.Add(rt.execUsage)
 	rt.execTmr = m.eng.After(t.Profile.ExecDuration, "wq-exec", rt.execDone)
@@ -908,10 +1143,13 @@ func (m *Master) fetchDone(rt *runningTask) {
 func (m *Master) sendOutput(rt *runningTask) {
 	t := rt.task
 	if t.OutputMB > 0 && m.link != nil {
-		rt.outTr = m.link.Start(t.OutputMB, func() {
-			rt.outTr = nil
-			m.completeTask(rt)
-		})
+		if rt.outFn == nil {
+			rt.outFn = func() {
+				rt.outTr = nil
+				m.completeTask(rt)
+			}
+		}
+		rt.outTr = m.link.Start(t.OutputMB, rt.outFn)
 		return
 	}
 	m.completeTask(rt)
@@ -936,9 +1174,13 @@ func (m *Master) completeTask(rt *runningTask) {
 	t.Measured = t.Profile.Usage()
 	m.completeCount++
 	m.rev++
-	res := Result{Task: *t}
-	for _, fn := range m.onComplete {
-		fn(res)
+	if len(m.onComplete) > 0 {
+		// Built only when someone listens: the 280-byte record copy per
+		// completion is pure allocator traffic in headless storms.
+		res := Result{Task: *t}
+		for _, fn := range m.onComplete {
+			fn(res)
+		}
 	}
 	if w.draining && w.running.len() == 0 {
 		m.finishDrain(w)
@@ -982,7 +1224,7 @@ func (m *Master) Stats() Stats {
 		Quarantined:     m.fstats.Quarantined,
 		Buffered:        len(m.admQueue),
 		Shed:            m.ostats.Shed,
-		Workers:         len(m.workers),
+		Workers:         m.workerCount,
 		IdleWorkers:     m.idleCount,
 		DrainingWorkers: m.drainingCount,
 		Capacity:        m.totalCap,
@@ -995,7 +1237,7 @@ func (m *Master) Stats() Stats {
 // allocating. The callback must treat the task as read-only and must
 // not call back into the master.
 func (m *Master) ForEachWaiting(fn func(t *Task)) {
-	m.waiting.ForEach(func(id int) { fn(m.tasks[id]) })
+	m.waiting.ForEach(func(id int) { fn(m.byID[id]) })
 }
 
 // ForEachRunning visits every dispatched task without allocating,
@@ -1018,7 +1260,7 @@ func (m *Master) WaitingTasks() []Task {
 	ids := m.waiting.QueueOrder()
 	out := make([]Task, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, *m.tasks[id])
+		out = append(out, *m.byID[id])
 	}
 	return out
 }
@@ -1069,7 +1311,7 @@ type WorkerDetail struct {
 // WorkerDetails returns per-worker state in join order — the data a
 // `work_queue_status`-style CLI prints.
 func (m *Master) WorkerDetails() []WorkerDetail {
-	out := make([]WorkerDetail, 0, len(m.workers))
+	out := make([]WorkerDetail, 0, m.workerCount)
 	for _, w := range m.roster {
 		if w == nil {
 			continue
@@ -1079,7 +1321,7 @@ func (m *Master) WorkerDetails() []WorkerDetail {
 			Capacity:    w.pool.Capacity(),
 			InUse:       w.pool.Used(),
 			Running:     w.running.len(),
-			CachedFiles: len(w.cache),
+			CachedFiles: w.cached,
 			Draining:    w.draining,
 			JoinedAt:    w.joinedAt,
 		})

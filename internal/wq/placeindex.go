@@ -15,26 +15,37 @@ import "hta/internal/resources"
 // workers), so the descent may probe a subtree that turns out empty
 // and continue right; with the near-homogeneous pools HTC deployments
 // run, that path is cold.
+// The tree is 4-ary: over a 100k-worker roster a leaf-to-root walk is
+// 9 levels instead of 17, and levels — each a likely cache miss on a
+// multi-megabyte node array — dominate the cost of both set and the
+// descent. The wider node costs two extra Max/Fits per level, which
+// are register-resident arithmetic.
 type availIndex struct {
-	n    int                // leaf count, power of two (0 = empty)
-	node []resources.Vector // 1-based heap layout; leaf i at node[n+i]
+	n    int                // leaf count, power of four (0 = empty)
+	base int                // index of the first leaf: (n-1)/3
+	node []resources.Vector // 0-based; children of i at 4i+1..4i+4
 }
 
 // reset rebuilds the tree for the given leaf values.
 func (ix *availIndex) reset(leaves []resources.Vector) {
-	ix.n = 1
-	for ix.n < len(leaves) {
-		ix.n *= 2
-	}
 	if len(leaves) == 0 {
-		ix.n = 0
-		ix.node = nil
+		ix.n, ix.base, ix.node = 0, 0, nil
 		return
 	}
-	ix.node = make([]resources.Vector, 2*ix.n)
-	copy(ix.node[ix.n:], leaves)
-	for i := ix.n - 1; i >= 1; i-- {
-		ix.node[i] = ix.node[2*i].Max(ix.node[2*i+1])
+	ix.n = 1
+	for ix.n < len(leaves) {
+		ix.n *= 4
+	}
+	ix.base = (ix.n - 1) / 3
+	ix.node = make([]resources.Vector, ix.base+ix.n)
+	copy(ix.node[ix.base:], leaves)
+	ix.rebuild()
+}
+
+func (ix *availIndex) rebuild() {
+	for i := ix.base - 1; i >= 0; i-- {
+		c := 4*i + 1
+		ix.node[i] = ix.node[c].Max(ix.node[c+1]).Max(ix.node[c+2].Max(ix.node[c+3]))
 	}
 }
 
@@ -45,33 +56,34 @@ func (ix *availIndex) ensure(slots int) {
 		return
 	}
 	old := ix.node
-	oldN := ix.n
+	oldN, oldBase := ix.n, ix.base
 	n := ix.n
 	if n == 0 {
 		n = 1
 	}
 	for n < slots {
-		n *= 2
+		n *= 4
 	}
 	ix.n = n
-	ix.node = make([]resources.Vector, 2*n)
+	ix.base = (n - 1) / 3
+	ix.node = make([]resources.Vector, ix.base+n)
 	if oldN > 0 {
-		copy(ix.node[n:], old[oldN:2*oldN])
+		copy(ix.node[ix.base:], old[oldBase:oldBase+oldN])
 	}
-	for i := n - 1; i >= 1; i-- {
-		ix.node[i] = ix.node[2*i].Max(ix.node[2*i+1])
-	}
+	ix.rebuild()
 }
 
 // set updates the leaf for a slot and re-aggregates its ancestors.
 func (ix *availIndex) set(slot int, v resources.Vector) {
-	i := ix.n + slot
+	i := ix.base + slot
 	if ix.node[i] == v {
 		return
 	}
 	ix.node[i] = v
-	for i /= 2; i >= 1; i /= 2 {
-		agg := ix.node[2*i].Max(ix.node[2*i+1])
+	for i > 0 {
+		i = (i - 1) / 4
+		c := 4*i + 1
+		agg := ix.node[c].Max(ix.node[c+1]).Max(ix.node[c+2].Max(ix.node[c+3]))
 		if agg == ix.node[i] {
 			break
 		}
@@ -85,7 +97,7 @@ func (ix *availIndex) maxFree() resources.Vector {
 	if ix.n == 0 {
 		return resources.Zero
 	}
-	return ix.node[1]
+	return ix.node[0]
 }
 
 // findFirst returns the lowest slot whose available capacity fits
@@ -93,23 +105,23 @@ func (ix *availIndex) maxFree() resources.Vector {
 // preserves relative order, so lowest slot = first fit in join order,
 // matching the retained linear scan exactly.
 func (ix *availIndex) findFirst(res resources.Vector) int {
-	if ix.n == 0 || !res.Fits(ix.node[1]) {
+	if ix.n == 0 || !res.Fits(ix.node[0]) {
 		return -1
 	}
-	return ix.search(1, res)
+	return ix.search(0, res)
 }
 
 func (ix *availIndex) search(i int, res resources.Vector) int {
-	if i >= ix.n {
-		return i - ix.n
+	if i >= ix.base {
+		return i - ix.base
 	}
-	if res.Fits(ix.node[2*i]) {
-		if s := ix.search(2*i, res); s >= 0 {
-			return s
+	c := 4*i + 1
+	for k := 0; k < 4; k++ {
+		if res.Fits(ix.node[c+k]) {
+			if s := ix.search(c+k, res); s >= 0 {
+				return s
+			}
 		}
-	}
-	if res.Fits(ix.node[2*i+1]) {
-		return ix.search(2*i+1, res)
 	}
 	return -1
 }

@@ -1,7 +1,6 @@
 package wq
 
 import (
-	"sort"
 	"time"
 
 	"hta/internal/resources"
@@ -150,14 +149,13 @@ func (m *Master) quarantine(t *Task) {
 // of tasks quarantined.
 func (m *Master) FailAllPending() int {
 	ids := make([]int, 0, m.waiting.Len()+len(m.retryPending)+len(m.admQueue))
-	for id, t := range m.tasks {
-		if t.State == TaskWaiting {
+	for id := 1; id < len(m.byID); id++ {
+		if t := m.byID[id]; t != nil && t.State == TaskWaiting {
 			ids = append(ids, id)
 		}
 	}
-	sort.Ints(ids)
 	for _, id := range ids {
-		t := m.tasks[id]
+		t := m.byID[id]
 		if m.cancelBuffered(id) {
 			// Was parked in the admission buffer; never entered the queue.
 		} else if tmr, pending := m.retryPending[id]; pending {
@@ -165,7 +163,7 @@ func (m *Master) FailAllPending() int {
 			delete(m.retryPending, id)
 			delete(m.retryResume, id)
 		} else {
-			m.waiting.Remove(id, t.Resources)
+			m.waiting.Remove(id, t.Resources, m.catIDFor(t))
 		}
 		m.quarantine(t)
 	}
@@ -199,9 +197,9 @@ func (m *Master) enqueueFront(ids []int) {
 	if len(ids) == 0 {
 		return
 	}
-	m.waiting.PushFront(ids, func(id int) (int, resources.Vector, string) {
-		t := m.tasks[id]
-		return t.Priority, t.Resources, t.Category
+	m.waiting.PushFront(ids, func(id int) (int, resources.Vector, int32) {
+		t := m.byID[id]
+		return t.Priority, t.Resources, m.catIDFor(t)
 	})
 	m.notePeakWaiting()
 	m.rev++
@@ -220,6 +218,11 @@ func (m *Master) armFastAbort(rt *runningTask) {
 		return
 	}
 	deadline := time.Duration(float64(mean) * m.retry.FastAbortMultiplier)
+	if rt.abortFn == nil {
+		// Bound lazily: only workloads with fast-abort armed pay for
+		// the closure, once per record.
+		rt.abortFn = func() { m.fastAbort(rt) }
+	}
 	rt.abortTmr = m.eng.After(deadline, "wq-fast-abort", rt.abortFn)
 }
 

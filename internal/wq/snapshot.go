@@ -17,10 +17,12 @@ package wq
 // retry-budget slot (the downtime was not the task's fault).
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
+	"hta/internal/intern"
 	"hta/internal/metrics"
 	"hta/internal/resources"
 	"hta/internal/simclock"
@@ -85,19 +87,16 @@ func (m *Master) Snapshot() Snapshot {
 		// restored master re-opens one if it is still deflecting.
 		Overload: m.OverloadStats(),
 	}
-	ids := make([]int, 0, len(m.tasks))
-	for id := range m.tasks {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	snap.Tasks = make([]Task, 0, len(ids))
-	for _, id := range ids {
-		snap.Tasks = append(snap.Tasks, *m.tasks[id])
+	snap.Tasks = make([]Task, 0, len(m.byID)-1)
+	for id := 1; id < len(m.byID); id++ {
+		if t := m.byID[id]; t != nil {
+			snap.Tasks = append(snap.Tasks, *t)
+		}
 	}
 	for id, at := range m.retryResume {
 		snap.RetryResume = append(snap.RetryResume, RetryResume{ID: id, Resume: at})
 	}
-	sort.Slice(snap.RetryResume, func(i, j int) bool { return snap.RetryResume[i].ID < snap.RetryResume[j].ID })
+	slices.SortFunc(snap.RetryResume, func(a, b RetryResume) int { return cmp.Compare(a.ID, b.ID) })
 	return snap
 }
 
@@ -115,7 +114,7 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	}
 	snap := m.Snapshot()
 	now := m.eng.Now()
-	workers := make([]WorkerReattach, 0, len(m.workers))
+	workers := make([]WorkerReattach, 0, m.workerCount)
 	for _, w := range m.roster {
 		if w == nil {
 			continue
@@ -130,13 +129,13 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 		for _, rt := range w.running.rts {
 			tids = append(tids, rt.task.ID)
 		}
-		sort.Ints(tids)
+		slices.Sort(tids)
 		for _, tid := range tids {
 			rt := w.running.get(tid)
 			t := rt.task
 			remaining := t.Profile.ExecDuration
 			if rt.executing {
-				if remaining -= now.Sub(rt.execStart); remaining < 0 {
+				if remaining -= m.eng.Elapsed() - rt.execStart; remaining < 0 {
 					remaining = 0
 				}
 			}
@@ -156,13 +155,13 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 			rt.abortTmr.Stop()
 			rt.aborted = true
 		}
-		names := make([]string, 0, len(w.fetches))
-		for name := range w.fetches {
-			names = append(names, name)
+		fids := make([]int32, 0, len(w.fetches))
+		for fid := range w.fetches {
+			fids = append(fids, fid)
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			w.fetches[name].Cancel()
+		slices.SortFunc(fids, func(a, b int32) int { return cmp.Compare(m.fids.Str(a), m.fids.Str(b)) })
+		for _, fid := range fids {
+			w.fetches[fid].Cancel()
 		}
 		workers = append(workers, wr)
 	}
@@ -172,11 +171,14 @@ func (m *Master) Crash() (Snapshot, []WorkerReattach) {
 	m.rescueTmr.Stop()
 
 	m.nextID = 0
-	m.tasks = make(map[int]*Task)
+	m.byID = make([]*Task, 1)
 	m.taskSlab = nil
 	m.waiting = newWaitQueue()
 	m.rtFree = nil
-	m.workers = make(map[string]*simWorker)
+	m.wids = intern.NewTable()
+	m.fids = intern.NewTable()
+	m.workersBy = nil
+	m.workerCount = 0
 	m.roster, m.tombs = nil, 0
 	m.avail = availIndex{}
 	m.naiveOrder = nil
@@ -218,11 +220,11 @@ func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
 	for i := range snap.Tasks {
 		t := m.allocTask()
 		*t = snap.Tasks[i]
-		m.tasks[t.ID] = t
+		m.setTask(t)
 	}
 	for _, id := range snap.QueueOrder {
-		t := m.tasks[id]
-		m.waiting.Push(id, t.Priority, t.Resources, t.Category)
+		t := m.byID[id]
+		m.waiting.Push(id, t.Priority, t.Resources, m.catIDFor(t))
 	}
 	m.ostats = snap.Overload
 	m.notePeakWaiting()
@@ -241,7 +243,7 @@ func (m *Master) Restore(snap Snapshot, rescueWindow time.Duration) {
 		if d < 0 {
 			d = 0
 		}
-		m.scheduleRetry(m.tasks[rr.ID], d)
+		m.scheduleRetry(m.byID[rr.ID], d)
 	}
 	m.rescuable = make(map[int]struct{})
 	for i := range snap.Tasks {
@@ -292,14 +294,14 @@ func (m *Master) AttachWorker(w WorkerReattach) error {
 	if err := m.AddWorker(w.ID, w.Capacity); err != nil {
 		return err
 	}
-	sw := m.workers[w.ID]
+	sw := m.worker(w.ID)
 	downFor := m.eng.Now().Sub(w.DetachedAt)
 	if downFor < 0 {
 		downFor = 0
 	}
 	for _, it := range w.Inflight {
-		t, ok := m.tasks[it.ID]
-		if !ok || t.State != TaskRunning || t.WorkerID != w.ID || t.Gen != it.Gen {
+		t := m.task(it.ID)
+		if t == nil || t.State != TaskRunning || t.WorkerID != w.ID || t.Gen != it.Gen {
 			m.rec.FencedAttempts++
 			continue
 		}
@@ -346,7 +348,7 @@ func (m *Master) rescue(w *simWorker, t *Task, remaining time.Duration) {
 	rt.pending = 0
 	w.running.put(rt)
 	rt.executing = true
-	rt.execStart = m.eng.Now()
+	rt.execStart = m.eng.Elapsed()
 	rt.execUsage = t.Profile.Usage().Min(t.Allocated)
 	m.busyUsage = m.busyUsage.Add(rt.execUsage)
 	rt.execTmr = m.eng.After(remaining, "wq-exec", rt.execDone)
@@ -362,11 +364,11 @@ func (m *Master) expireRescue() {
 	for id := range m.rescuable {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	m.rescuable = nil
 	var requeued []int
 	for _, id := range ids {
-		t := m.tasks[id]
+		t := m.byID[id]
 		m.rec.RequeuedUnrescued++
 		m.fstats.Requeues++
 		if m.failAttemptCharged(t, false) {
@@ -386,16 +388,11 @@ func (m *Master) CompletedTags() []string { return m.tagsInState(TaskComplete) }
 func (m *Master) QuarantinedTags() []string { return m.tagsInState(TaskQuarantined) }
 
 func (m *Master) tagsInState(st TaskState) []string {
-	ids := make([]int, 0, len(m.tasks))
-	for id, t := range m.tasks {
-		if t.State == st {
-			ids = append(ids, id)
+	tags := make([]string, 0)
+	for id := 1; id < len(m.byID); id++ {
+		if t := m.byID[id]; t != nil && t.State == st {
+			tags = append(tags, t.Tag)
 		}
-	}
-	sort.Ints(ids)
-	tags := make([]string, 0, len(ids))
-	for _, id := range ids {
-		tags = append(tags, m.tasks[id].Tag)
 	}
 	return tags
 }

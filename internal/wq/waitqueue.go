@@ -4,7 +4,6 @@ import (
 	"cmp"
 	"math"
 	"slices"
-	"sort"
 
 	"hta/internal/resources"
 )
@@ -21,13 +20,19 @@ var maxVector = resources.Vector{MilliCPU: math.MaxInt64, MemoryMB: math.MaxInt6
 // equivalent; the global FIFO rank of every task is retained in seq
 // so WaitingTasks can still report queue order.
 //
+// Task IDs are dense (1..nextID), so the position and rank indexes are
+// id-indexed slices rather than maps, and each bucket entry carries
+// the task's declared requirement and interned category inline — a
+// dispatch pass reads contiguous entries without hashing or chasing
+// the task record for fields that only gate placement.
+//
 // Removal (Cancel) is O(1) amortized: the entry is tombstoned in its
 // bucket via the pos index and compacted opportunistically.
 type waitQueue struct {
 	buckets map[int]*prioBucket
-	prios   []int               // bucket priorities, descending
-	pos     map[int]*prioBucket // live waiting id -> its bucket (the position index)
-	seq     map[int]int64       // live waiting id -> global FIFO rank
+	prios   []int         // bucket priorities, descending
+	pos     []*prioBucket // by task id: live waiting id -> its bucket (the position index)
+	seq     []int64       // by task id: global FIFO rank, valid while pos[id] != nil
 
 	nextSeq  int64 // rank for the next Submit (queue back)
 	frontSeq int64 // rank just before the current queue front
@@ -43,29 +48,45 @@ type waitQueue struct {
 	minReq     resources.Vector
 	unknownRes int
 
-	// unknownCats counts the zero-declared waiting tasks per category
-	// and catOf remembers each such task's category for untracking.
-	// Undeclared tasks all place through their category's estimate (or
-	// the exclusive path when no estimate exists yet), so a handful of
-	// per-category checks extends the stalled-queue early exit to runs
-	// where nothing is declared — without them a 40k-task undeclared
-	// queue is walked end-to-end on every completion.
-	unknownCats map[string]int
-	catOf       map[int]string
+	// freeBucket holds the most recently dropped bucket for reuse, and
+	// emptied is Scan's scratch list of drained buckets. Both exist so
+	// the steady drain-and-refill regime — one priority, queue emptying
+	// between submissions — recycles its bucket (and the bucket's entry
+	// storage) instead of allocating a fresh one per cycle.
+	freeBucket *prioBucket
+	emptied    []*prioBucket
+
+	// unknownCats counts the zero-declared waiting tasks per interned
+	// category. Undeclared tasks all place through their category's
+	// estimate (or the exclusive path when no estimate exists yet), so
+	// a handful of per-category checks extends the stalled-queue early
+	// exit to runs where nothing is declared — without them a 40k-task
+	// undeclared queue is walked end-to-end on every completion.
+	unknownCats map[int32]int
+}
+
+// wqEnt is one waiting task in a priority bucket: the id plus the two
+// fields a dispatch pass needs before it ever touches the task record.
+// catID is intern.None for tasks with a declared requirement — the
+// category only matters when placement goes through the estimator.
+type wqEnt struct {
+	id       int32
+	catID    int32
+	declared resources.Vector
 }
 
 type prioBucket struct {
 	prio  int
-	ids   []int // FIFO; entries whose pos no longer maps here are tombstones
-	start int   // consumed front: ids[:start] are all tombstones
-	dead  int   // tombstones at or after start
+	ents  []wqEnt // FIFO; entries whose pos no longer maps here are tombstones
+	start int     // consumed front: ents[:start] are all tombstones
+	dead  int     // tombstones at or after start
 }
 
 // advance moves the consumed-front pointer past leading tombstones,
 // so the steady one-completion-one-placement regime pays O(1) per
 // pass instead of re-walking every previously placed entry.
 func (b *prioBucket) advance(q *waitQueue) {
-	for b.start < len(b.ids) && q.pos[b.ids[b.start]] != b {
+	for b.start < len(b.ents) && q.pos[b.ents[b.start].id] != b {
 		b.start++
 		b.dead--
 	}
@@ -74,24 +95,55 @@ func (b *prioBucket) advance(q *waitQueue) {
 func newWaitQueue() *waitQueue {
 	return &waitQueue{
 		buckets:     make(map[int]*prioBucket),
-		pos:         make(map[int]*prioBucket),
-		seq:         make(map[int]int64),
 		minReq:      maxVector,
-		unknownCats: make(map[string]int),
-		catOf:       make(map[int]string),
+		unknownCats: make(map[int32]int),
 	}
 }
 
 // Len returns the number of waiting tasks.
 func (q *waitQueue) Len() int { return q.n }
 
+// ensure grows the id-indexed slices to cover id. Ids are dense and
+// the growth is explicit doubling: append's 1.25× policy for large
+// slices would re-copy and re-zero a million-entry index four times
+// over instead of twice.
+func (q *waitQueue) ensure(id int) {
+	if id < len(q.pos) {
+		return
+	}
+	n := id + 1
+	if n > cap(q.pos) {
+		c := 2 * cap(q.pos)
+		if c < 1024 {
+			c = 1024
+		}
+		if c < n {
+			c = n
+		}
+		pos := make([]*prioBucket, n, c)
+		copy(pos, q.pos)
+		q.pos = pos
+		seq := make([]int64, n, c)
+		copy(seq, q.seq)
+		q.seq = seq
+		return
+	}
+	q.pos = q.pos[:n]
+	q.seq = q.seq[:n]
+}
+
 func (q *waitQueue) bucket(prio int) *prioBucket {
 	b, ok := q.buckets[prio]
 	if !ok {
-		b = &prioBucket{prio: prio}
+		if b = q.freeBucket; b != nil {
+			q.freeBucket = nil
+			b.prio = prio
+		} else {
+			b = &prioBucket{prio: prio}
+		}
 		q.buckets[prio] = b
 		// Insert prio into the descending list.
-		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= prio })
+		i, _ := slices.BinarySearchFunc(q.prios, prio, func(e, t int) int { return cmp.Compare(t, e) })
 		q.prios = append(q.prios, 0)
 		copy(q.prios[i+1:], q.prios[i:])
 		q.prios[i] = prio
@@ -99,24 +151,34 @@ func (q *waitQueue) bucket(prio int) *prioBucket {
 	return b
 }
 
-func (q *waitQueue) track(id int, prio int, declared resources.Vector, cat string) *prioBucket {
+func (q *waitQueue) track(id int, prio int, declared resources.Vector, catID int32) *prioBucket {
 	b := q.bucket(prio)
+	q.ensure(id)
 	q.pos[id] = b
 	q.n++
 	if declared.IsZero() {
 		q.unknownRes++
-		q.unknownCats[cat]++
-		q.catOf[id] = cat
+		q.unknownCats[catID]++
 	} else {
 		q.minReq = q.minReq.Min(declared)
 	}
 	return b
 }
 
-// Push appends a task at the back of the queue.
-func (q *waitQueue) Push(id int, prio int, declared resources.Vector, cat string) {
-	b := q.track(id, prio, declared, cat)
-	b.ids = append(b.ids, id)
+// Push appends a task at the back of the queue. catID is the task's
+// interned category when declared is zero (it routes through the
+// estimator), intern.None otherwise.
+func (q *waitQueue) Push(id int, prio int, declared resources.Vector, catID int32) {
+	b := q.track(id, prio, declared, catID)
+	if len(b.ents) == cap(b.ents) && cap(b.ents) >= 1024 {
+		// Double explicitly past append's 1.25× large-slice policy: a
+		// million-task submission burst would otherwise re-copy the
+		// bucket four times over instead of twice.
+		ents := make([]wqEnt, len(b.ents), 2*cap(b.ents))
+		copy(ents, b.ents)
+		b.ents = ents
+	}
+	b.ents = append(b.ents, wqEnt{id: int32(id), catID: catID, declared: declared})
 	q.seq[id] = q.nextSeq
 	q.nextSeq++
 }
@@ -124,56 +186,54 @@ func (q *waitQueue) Push(id int, prio int, declared resources.Vector, cat string
 // PushFront requeues tasks at the front of the queue, preserving the
 // given order (the oldest outstanding work, e.g. tasks returned by a
 // killed worker).
-func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared resources.Vector, cat string)) {
+func (q *waitQueue) PushFront(ids []int, prioOf func(id int) (prio int, declared resources.Vector, catID int32)) {
 	if len(ids) == 0 {
 		return
 	}
 	// Ranks just before the current front, ascending across ids.
 	base := q.frontSeq - int64(len(ids))
 	q.frontSeq = base
-	perBucket := make(map[*prioBucket][]int)
+	perBucket := make(map[*prioBucket][]wqEnt)
 	for i, id := range ids {
-		prio, declared, cat := prioOf(id)
-		b := q.track(id, prio, declared, cat)
+		prio, declared, catID := prioOf(id)
+		b := q.track(id, prio, declared, catID)
 		q.seq[id] = base + int64(i)
-		perBucket[b] = append(perBucket[b], id)
+		perBucket[b] = append(perBucket[b], wqEnt{id: int32(id), catID: catID, declared: declared})
 	}
 	for _, prio := range q.prios {
 		b := q.buckets[prio]
 		if front := perBucket[b]; len(front) > 0 {
-			b.ids = append(front, b.ids[b.start:]...)
+			b.ents = append(front, b.ents[b.start:]...)
 			b.start = 0
 		}
 	}
 }
 
 // Remove tombstones a waiting task in O(1); compaction is amortized.
-func (q *waitQueue) Remove(id int, declared resources.Vector) bool {
-	b, ok := q.pos[id]
-	if !ok {
+// declared and catID must match what the task was pushed with.
+func (q *waitQueue) Remove(id int, declared resources.Vector, catID int32) bool {
+	if id >= len(q.pos) || q.pos[id] == nil {
 		return false
 	}
-	q.untrack(id, declared)
+	b := q.pos[id]
+	q.untrack(id, declared, catID)
 	b.dead++
-	if b.dead > 32 && b.dead > (len(b.ids)-b.start)/2 {
+	if b.dead > 32 && b.dead > (len(b.ents)-b.start)/2 {
 		q.compact(b)
-		if len(b.ids) == 0 {
+		if len(b.ents) == 0 {
 			q.dropBucket(b)
 		}
 	}
 	return true
 }
 
-func (q *waitQueue) untrack(id int, declared resources.Vector) {
-	delete(q.pos, id)
-	delete(q.seq, id)
+func (q *waitQueue) untrack(id int, declared resources.Vector, catID int32) {
+	q.pos[id] = nil
 	q.n--
 	if declared.IsZero() {
 		q.unknownRes--
-		cat := q.catOf[id]
-		delete(q.catOf, id)
-		if q.unknownCats[cat]--; q.unknownCats[cat] == 0 {
-			delete(q.unknownCats, cat)
+		if q.unknownCats[catID]--; q.unknownCats[catID] == 0 {
+			delete(q.unknownCats, catID)
 		}
 	}
 	if q.n == 0 {
@@ -185,13 +245,13 @@ func (q *waitQueue) untrack(id int, declared resources.Vector) {
 }
 
 func (q *waitQueue) compact(b *prioBucket) {
-	live := b.ids[:0]
-	for _, id := range b.ids[b.start:] {
-		if q.pos[id] == b {
-			live = append(live, id)
+	live := b.ents[:0]
+	for _, e := range b.ents[b.start:] {
+		if q.pos[e.id] == b {
+			live = append(live, e)
 		}
 	}
-	b.ids = live
+	b.ents = live
 	b.start = 0
 	b.dead = 0
 }
@@ -204,12 +264,15 @@ func (q *waitQueue) dropBucket(b *prioBucket) {
 			break
 		}
 	}
+	b.ents = b.ents[:0]
+	b.start, b.dead = 0, 0
+	q.freeBucket = b
 }
 
-// Scan visits every waiting task in dispatch order. fn reports
-// whether the task was placed; placed entries and tombstones are
-// compacted away as the scan walks each bucket. fn must not mutate
-// the queue (no Push/Remove) while the scan runs.
+// Scan visits every waiting task in dispatch order with its inline
+// entry fields. fn reports whether the task was placed; placed entries
+// and tombstones are compacted away as the scan walks each bucket. fn
+// must not mutate the queue (no Push/Remove) while the scan runs.
 //
 // fn's stop result ends the pass after the current task: on a
 // 10k-worker fleet a completion would otherwise walk tens of
@@ -222,22 +285,22 @@ func (q *waitQueue) dropBucket(b *prioBucket) {
 // early-stopped pass, which turned the steady one-completion-
 // one-placement regime of a million-task run into a quadratic
 // memmove.
-func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector, stop bool)) {
-	var emptied []*prioBucket
+func (q *waitQueue) Scan(fn func(id int, catID int32, declared resources.Vector) (placed bool, stop bool)) {
+	emptied := q.emptied[:0]
 	stopped := false
 	for _, prio := range q.prios {
 		if stopped {
 			break
 		}
 		b := q.buckets[prio]
-		for i := b.start; i < len(b.ids); i++ {
-			id := b.ids[i]
-			if q.pos[id] != b {
+		for i := b.start; i < len(b.ents); i++ {
+			e := b.ents[i]
+			if q.pos[e.id] != b {
 				continue // tombstone
 			}
-			placed, declared, stop := fn(id)
+			placed, stop := fn(int(e.id), e.catID, e.declared)
 			if placed {
-				q.untrack(id, declared)
+				q.untrack(int(e.id), e.declared, e.catID)
 				b.dead++
 			}
 			if stop {
@@ -246,22 +309,24 @@ func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector
 			}
 		}
 		b.advance(q)
-		if b.start == len(b.ids) {
-			b.ids = b.ids[:0]
+		if b.start == len(b.ents) {
+			b.ents = b.ents[:0]
 			b.start, b.dead = 0, 0
-		} else if b.dead > 32 && b.dead > (len(b.ids)-b.start)/2 {
+		} else if b.dead > 32 && b.dead > (len(b.ents)-b.start)/2 {
 			q.compact(b)
-		} else if b.start > 1024 && b.start > len(b.ids)/2 {
+		} else if b.start > 1024 && b.start > len(b.ents)/2 {
 			// Reclaim the consumed prefix once it dominates the array.
 			q.compact(b)
 		}
-		if len(b.ids) == 0 {
+		if len(b.ents) == 0 {
 			emptied = append(emptied, b)
 		}
 	}
-	for _, b := range emptied {
+	for i, b := range emptied {
 		q.dropBucket(b)
+		emptied[i] = nil
 	}
+	q.emptied = emptied[:0]
 }
 
 // ForEach visits every waiting task in dispatch order (priority
@@ -269,9 +334,9 @@ func (q *waitQueue) Scan(fn func(id int) (placed bool, declared resources.Vector
 func (q *waitQueue) ForEach(fn func(id int)) {
 	for _, prio := range q.prios {
 		b := q.buckets[prio]
-		for _, id := range b.ids[b.start:] {
-			if q.pos[id] == b {
-				fn(id)
+		for _, e := range b.ents[b.start:] {
+			if q.pos[e.id] == b {
+				fn(int(e.id))
 			}
 		}
 	}
@@ -281,19 +346,24 @@ func (q *waitQueue) ForEach(fn func(id int)) {
 // pre-index implementation kept its waiting slice in).
 func (q *waitQueue) QueueOrder() []int {
 	out := make([]int, 0, q.n)
-	for id := range q.seq {
-		out = append(out, id)
+	for _, prio := range q.prios {
+		b := q.buckets[prio]
+		for _, e := range b.ents[b.start:] {
+			if q.pos[e.id] == b {
+				out = append(out, int(e.id))
+			}
+		}
 	}
 	slices.SortFunc(out, func(a, b int) int { return cmp.Compare(q.seq[a], q.seq[b]) })
 	return out
 }
 
-// ForEachUnknownCategory visits the categories of zero-declared
-// waiting tasks with their counts. Iteration order is unspecified;
-// callers must compute order-independent results.
-func (q *waitQueue) ForEachUnknownCategory(fn func(cat string, n int)) {
-	for cat, n := range q.unknownCats {
-		fn(cat, n)
+// ForEachUnknownCategory visits the interned categories of
+// zero-declared waiting tasks with their counts. Iteration order is
+// unspecified; callers must compute order-independent results.
+func (q *waitQueue) ForEachUnknownCategory(fn func(catID int32, n int)) {
+	for catID, n := range q.unknownCats {
+		fn(catID, n)
 	}
 }
 

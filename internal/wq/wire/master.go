@@ -1,9 +1,10 @@
 package wire
 
 import (
+	"cmp"
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -323,7 +324,7 @@ func (m *Master) RunningTasks() []Task {
 			out = append(out, *t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Task) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -397,7 +398,7 @@ func (m *Master) serve(c *conn) {
 		for id := range p.tasks {
 			ids = append(ids, id)
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		for _, id := range ids {
 			t := m.tasks[id]
 			if reported[id] && t != nil && t.Status == StatusRunning && t.WorkerID == w.id {
@@ -422,7 +423,7 @@ func (m *Master) serve(c *conn) {
 			m.fenced++
 		}
 	}
-	sort.Ints(drop)
+	slices.Sort(drop)
 	m.workers[w.id] = w
 	m.order = append(m.order, w.id)
 	m.mu.Unlock()
@@ -510,7 +511,7 @@ func (m *Master) disconnect(w *workerConn) {
 		t.Allocated = resources.Zero
 		requeued = append(requeued, id)
 	}
-	sort.Ints(requeued)
+	slices.Sort(requeued)
 	m.waiting = append(requeued, m.waiting...)
 	m.mu.Unlock()
 	m.dispatch()
@@ -536,7 +537,7 @@ func (m *Master) expireParked(workerID string, p *parkedWorker) {
 		t.Allocated = resources.Zero
 		requeued = append(requeued, id)
 	}
-	sort.Ints(requeued)
+	slices.Sort(requeued)
 	m.waiting = append(requeued, m.waiting...)
 	m.mu.Unlock()
 	m.dispatch()
@@ -568,8 +569,8 @@ func (m *Master) dispatch() {
 	var sends []send
 	m.mu.Lock()
 	order := append([]int(nil), m.waiting...)
-	sort.SliceStable(order, func(i, j int) bool {
-		return m.tasks[order[i]].Priority > m.tasks[order[j]].Priority
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(m.tasks[b].Priority, m.tasks[a].Priority)
 	})
 	placed := make(map[int]bool)
 	for _, id := range order {

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"net"
 	"os/exec"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -108,7 +108,7 @@ func (w *Worker) Connect(addr string) error {
 		inflight = append(inflight, id)
 	}
 	w.mu.Unlock()
-	sort.Ints(inflight)
+	slices.Sort(inflight)
 
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
